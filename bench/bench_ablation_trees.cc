@@ -1,0 +1,50 @@
+// Ablation: routing-substrate width. Runs Innet on Query 1 with 1, 2 and 3
+// overlapping routing trees. More trees cost more initiation (construction
+// + summaries + wider exploration) but discover shorter producer-to-producer
+// paths, cutting per-cycle computation traffic.
+
+#include "bench/bench_util.h"
+#include "join/executor.h"
+
+using namespace aspen;
+using namespace aspen::benchutil;
+
+int main() {
+  PrintHeader("Ablation", "Number of routing trees (Innet, Query 1)");
+  net::Topology topo = PaperTopology();
+  workload::SelectivityParams sel{0.5, 0.5, 0.2};
+  const int cycles = CyclesFromEnv(200);
+  const int runs = RunsFromEnv(3);
+  core::Table table({"trees", "initiation", "computation", "total",
+                     "avg path len (pairs)"});
+  for (int trees : {1, 2, 3}) {
+    auto opts = MakeOptions(
+        {join::Algorithm::kInnet, join::InnetFeatures::Cmg()}, sel);
+    opts.num_trees = trees;
+    auto agg = OrDie(core::RunAveraged(
+        [&](uint64_t seed) {
+          return workload::Workload::MakeQuery1(&topo, sel, 3, seed);
+        },
+        opts, cycles, runs));
+    // Path-length diagnostic from one representative initiation.
+    auto wl = OrDie(workload::Workload::MakeQuery1(&topo, sel, 3, 7));
+    join::JoinExecutor exec(&wl, opts);
+    if (!exec.Initiate().ok()) return 1;
+    double hops = 0;
+    int n = 0;
+    for (const auto& [key, pl] : exec.placements()) {
+      if (!pl.path.empty()) {
+        hops += static_cast<double>(pl.path.size()) - 1;
+        ++n;
+      }
+    }
+    table.AddRow({std::to_string(trees),
+                  core::HumanBytes(agg.initiation_bytes),
+                  core::HumanBytes(agg.computation_bytes),
+                  core::HumanBytes(agg.total_bytes),
+                  core::Fixed(n > 0 ? hops / n : 0, 2)});
+  }
+  std::printf("%d cycles, %d runs\n", cycles, runs);
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 11: effect of execution duration on learning. Query 0,
+// sigma_st = 20%, w = 3, Innet-cmg with learning, for 200 / 400 / 800
+// sampling cycles. As runs lengthen, performance under wrong initial
+// estimates approaches the correctly-estimated diagonal.
+
+#include "bench/bench_util.h"
+#include "bench/estimate_matrix.h"
+
+using namespace aspen;
+using namespace aspen::benchutil;
+
+int main() {
+  PrintHeader("Figure 11", "Learning vs duration: Query 0, sigma_st=20%, w=3");
+  net::Topology topo = PaperTopology();
+  AlgoSpec cmg{join::Algorithm::kInnet, join::InnetFeatures::Cmg()};
+  for (int cycles : {200, 400, 800}) {
+    std::printf("\n(%d sampling intervals)\n", cycles);
+    RunEstimateMatrix(
+        [&](const workload::SelectivityParams& truth, uint64_t seed) {
+          return workload::Workload::MakeQuery0(&topo, truth, 25, 3, seed);
+        },
+        cmg, 0.2, cycles, /*learning=*/true);
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark): throughput of the substrate
+// primitives — simulator stepping, multi-tree exploration, expression
+// evaluation, cost-model placement, topology generation. These bound how
+// large an experiment the harness can drive.
+
+#include <benchmark/benchmark.h>
+
+#include "join/executor.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "opt/cost_model.h"
+#include "query/analyzer.h"
+#include "routing/multi_tree.h"
+#include "workload/workload.h"
+
+namespace aspen {
+namespace {
+
+const net::Topology& BenchTopology() {
+  static const net::Topology topo = *net::Topology::Random(100, 7.0, 42);
+  return topo;
+}
+
+void BM_NetworkStepWithTraffic(benchmark::State& state) {
+  const net::Topology& topo = BenchTopology();
+  routing::RoutingTree tree = routing::RoutingTree::Build(topo, 0);
+  net::Network net(&topo, {});
+  net.set_parent_resolver(&tree);
+  for (auto _ : state) {
+    for (net::NodeId u = 1; u < topo.num_nodes(); u += 4) {
+      net::Message m;
+      m.kind = net::MessageKind::kData;
+      m.mode = net::RoutingMode::kTreeToRoot;
+      m.origin = u;
+      m.dest = 0;
+      m.size_bytes = 8;
+      benchmark::DoNotOptimize(net.Submit(std::move(m)));
+    }
+    net.StepUntilQuiet();
+  }
+  state.SetItemsProcessed(state.iterations() * (topo.num_nodes() / 4));
+}
+BENCHMARK(BM_NetworkStepWithTraffic);
+
+void BM_MultiTreeExploration(benchmark::State& state) {
+  const net::Topology& topo = BenchTopology();
+  routing::MultiTreeOptions opts;
+  opts.num_trees = static_cast<int>(state.range(0));
+  routing::MultiTree multi(&topo, opts);
+  routing::IndexedAttribute attr;
+  attr.name = "a";
+  attr.value_fn = [](net::NodeId id) { return (id * 7) % 12; };
+  int idx = *multi.IndexAttribute(attr);
+  int source = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multi.FindMatches(source, idx, 3));
+    source = (source + 13) % topo.num_nodes();
+  }
+}
+BENCHMARK(BM_MultiTreeExploration)->Arg(1)->Arg(3);
+
+void BM_ExprEval(benchmark::State& state) {
+  using namespace query;
+  auto e = Expr::And(
+      Expr::Eq(Expr::Attr(Side::kS, kAttrX),
+               Expr::Add(Expr::Attr(Side::kT, kAttrY), Expr::Const(5))),
+      Expr::Eq(Expr::Mod(Expr::Hash(Expr::Attr(Side::kS, kAttrU)),
+                         Expr::Const(2)),
+               Expr::Const(0)));
+  Tuple s = Schema::Sensor().MakeTuple();
+  Tuple t = Schema::Sensor().MakeTuple();
+  s[kAttrX] = 9;
+  t[kAttrY] = 4;
+  for (auto _ : state) {
+    s[kAttrU] = (s[kAttrU] + 1) & 0x7;
+    benchmark::DoNotOptimize(e->EvalBool(&s, &t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExprEval);
+
+void BM_PlaceOnPath(benchmark::State& state) {
+  std::vector<net::NodeId> path(state.range(0));
+  for (size_t i = 0; i < path.size(); ++i) path[i] = static_cast<int>(i);
+  opt::PairCostInputs cost{0.5, 0.5, 0.2, 3};
+  auto depth = [](net::NodeId id) { return static_cast<int>(id % 11); };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::PlaceOnPath(cost, path, depth));
+  }
+}
+BENCHMARK(BM_PlaceOnPath)->Arg(8)->Arg(32);
+
+void BM_TopologyGeneration(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net::Topology::Random(static_cast<int>(state.range(0)), 7.0, seed++));
+  }
+}
+BENCHMARK(BM_TopologyGeneration)->Arg(100)->Arg(200);
+
+void BM_FullExperimentCycle(benchmark::State& state) {
+  const net::Topology& topo = BenchTopology();
+  workload::SelectivityParams sel{0.5, 0.5, 0.2};
+  auto wl = *workload::Workload::MakeQuery1(&topo, sel, 3, 7);
+  join::ExecutorOptions opts;
+  opts.algorithm = join::Algorithm::kInnet;
+  opts.features = join::InnetFeatures::Cmg();
+  opts.assumed = sel;
+  join::JoinExecutor exec(&wl, opts);
+  if (!exec.Initiate().ok()) state.SkipWithError("initiate failed");
+  for (auto _ : state) {
+    if (!exec.RunCycles(1).ok()) state.SkipWithError("run failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullExperimentCycle);
+
+}  // namespace
+}  // namespace aspen
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// Shared infrastructure for the per-figure benchmark binaries.
+//
+// Every bench regenerates one table or figure from the paper's evaluation:
+// same workloads, same parameter sweeps, same reported series. Repetitions
+// default to 5 seeds (the paper used 9; override with ASPEN_BENCH_RUNS).
+
+#ifndef ASPEN_BENCH_BENCH_UTIL_H_
+#define ASPEN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/report.h"
+#include "join/types.h"
+#include "net/topology.h"
+#include "workload/workload.h"
+
+namespace aspen {
+namespace benchutil {
+
+/// The five sigma_s : sigma_t ratio stages of Figures 2-4 and 8-11.
+struct Ratio {
+  double sigma_s;
+  double sigma_t;
+  const char* label;
+};
+
+inline const std::vector<Ratio>& Ratios() {
+  static const std::vector<Ratio> kRatios = {
+      {0.1, 1.0, "1/10:1"},       {1.0 / 6, 0.5, "1/6:1/2"},
+      {0.5, 0.5, "1/2:1/2"},      {0.5, 1.0 / 6, "1/2:1/6"},
+      {1.0, 0.1, "1:1/10"},
+  };
+  return kRatios;
+}
+
+/// The join-selectivity sweep of Figures 2-3 and 9(b).
+struct JoinSel {
+  double value;
+  const char* label;
+};
+
+inline const std::vector<JoinSel>& JoinSels() {
+  static const std::vector<JoinSel> kSels = {
+      {0.2, "20%"}, {0.1, "10%"}, {0.05, "5%"}};
+  return kSels;
+}
+
+/// One algorithm configuration as it appears in the paper's legends.
+struct AlgoSpec {
+  join::Algorithm algo;
+  join::InnetFeatures features;
+  std::string Name() const { return join::AlgorithmName(algo, features); }
+};
+
+/// The legend of Figures 2-3: Naive, Base, GHT, Innet, Innet-cmg,
+/// Innet-cmpg.
+inline std::vector<AlgoSpec> Figure2Algos() {
+  return {
+      {join::Algorithm::kNaive, {}},
+      {join::Algorithm::kBase, {}},
+      {join::Algorithm::kGht, {}},
+      {join::Algorithm::kInnet, join::InnetFeatures::None()},
+      {join::Algorithm::kInnet, join::InnetFeatures::Cmg()},
+      {join::Algorithm::kInnet, join::InnetFeatures::Cmpg()},
+  };
+}
+
+inline int RunsFromEnv(int default_runs = 5) {
+  const char* env = std::getenv("ASPEN_BENCH_RUNS");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return default_runs;
+}
+
+inline int CyclesFromEnv(int default_cycles) {
+  const char* env = std::getenv("ASPEN_BENCH_CYCLES");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return default_cycles;
+}
+
+inline join::ExecutorOptions MakeOptions(
+    const AlgoSpec& spec, const workload::SelectivityParams& assumed,
+    bool mesh = false) {
+  join::ExecutorOptions opts;
+  opts.algorithm = spec.algo;
+  opts.features = spec.features;
+  opts.assumed = assumed;
+  opts.mesh_mode = mesh;
+  return opts;
+}
+
+/// The paper's standard 100-node, ~7-neighbor evaluation topology.
+inline net::Topology PaperTopology(uint64_t seed = 42) {
+  auto topo = net::Topology::Random(100, 7.0, seed);
+  if (!topo.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", topo.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*topo);
+}
+
+/// Dies on error — bench binaries have no graceful recovery path.
+template <typename T>
+T OrDie(Result<T> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).ValueOrDie();
+}
+
+inline void PrintHeader(const char* figure, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace benchutil
+}  // namespace aspen
+
+#endif  // ASPEN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,115 @@
+// Path-quality measurement for the routing-substrate figures (Appendix C,
+// Figures 16-18): average path length and maximum per-node load over the
+// paths connecting all node pairs, for k-tree routing, GPSR-style
+// geographic routing, DHT overlay routing, and the full-graph (BFS) bound.
+
+#ifndef ASPEN_BENCH_PATH_QUALITY_H_
+#define ASPEN_BENCH_PATH_QUALITY_H_
+
+#include <vector>
+
+#include "net/topology.h"
+#include "routing/content_address.h"
+#include "routing/multi_tree.h"
+
+namespace aspen {
+namespace benchutil {
+
+struct PathQuality {
+  double avg_len = 0;         ///< mean hops per path
+  double max_load_kpaths = 0; ///< max paths through any node, in thousands
+  double max_load_per_path = 0;  ///< max load normalized by path count
+};
+
+namespace detail {
+
+inline PathQuality Score(const std::vector<std::vector<net::NodeId>>& paths,
+                         int num_nodes) {
+  PathQuality q;
+  std::vector<int64_t> load(num_nodes, 0);
+  int64_t total_hops = 0;
+  for (const auto& p : paths) {
+    total_hops += static_cast<int64_t>(p.size()) - 1;
+    for (net::NodeId u : p) ++load[u];
+  }
+  int64_t max_load = 0;
+  for (int64_t l : load) max_load = std::max(max_load, l);
+  q.avg_len = paths.empty() ? 0
+                            : static_cast<double>(total_hops) / paths.size();
+  q.max_load_kpaths = max_load / 1000.0;
+  q.max_load_per_path =
+      paths.empty() ? 0 : static_cast<double>(max_load) / paths.size();
+  return q;
+}
+
+}  // namespace detail
+
+/// All unordered node pairs of the topology.
+inline std::vector<std::pair<net::NodeId, net::NodeId>> AllPairs(
+    const net::Topology& topo) {
+  std::vector<std::pair<net::NodeId, net::NodeId>> out;
+  for (net::NodeId a = 0; a < topo.num_nodes(); ++a) {
+    for (net::NodeId b = a + 1; b < topo.num_nodes(); ++b) {
+      out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+/// Best tree path (over `num_trees` overlapping trees) for every pair.
+inline PathQuality TreesQuality(const net::Topology& topo, int num_trees) {
+  routing::MultiTreeOptions opts;
+  opts.num_trees = num_trees;
+  routing::MultiTree multi(&topo, opts);
+  std::vector<std::vector<net::NodeId>> paths;
+  for (const auto& [a, b] : AllPairs(topo)) {
+    std::vector<net::NodeId> best;
+    for (int t = 0; t < multi.num_trees(); ++t) {
+      auto p = multi.tree(t).TreePath(a, b);
+      if (best.empty() || p.size() < best.size()) best = std::move(p);
+    }
+    paths.push_back(std::move(best));
+  }
+  return detail::Score(paths, topo.num_nodes());
+}
+
+/// GPSR-style greedy geographic paths.
+inline PathQuality GpsrQuality(const net::Topology& topo) {
+  routing::GeoHash geo(&topo);
+  std::vector<std::vector<net::NodeId>> paths;
+  for (const auto& [a, b] : AllPairs(topo)) {
+    paths.push_back(geo.GreedyPath(a, b));
+  }
+  return detail::Score(paths, topo.num_nodes());
+}
+
+/// DHT overlay paths: each lookup routes through the overlay relay that
+/// owns the key before reaching the destination (one overlay indirection,
+/// Pastry-style), each overlay hop travelling a physical shortest path.
+inline PathQuality DhtQuality(const net::Topology& topo) {
+  routing::DhtRing ring(&topo);
+  std::vector<std::vector<net::NodeId>> paths;
+  for (const auto& [a, b] : AllPairs(topo)) {
+    net::NodeId relay =
+        ring.NodeForKey(static_cast<int32_t>(a * 1009 + b));
+    auto first = topo.ShortestPath(a, relay);
+    auto second = topo.ShortestPath(relay, b);
+    first.insert(first.end(), second.begin() + 1, second.end());
+    paths.push_back(std::move(first));
+  }
+  return detail::Score(paths, topo.num_nodes());
+}
+
+/// Full-connectivity-graph shortest paths (the unreachable lower bound).
+inline PathQuality BfsQuality(const net::Topology& topo) {
+  std::vector<std::vector<net::NodeId>> paths;
+  for (const auto& [a, b] : AllPairs(topo)) {
+    paths.push_back(topo.ShortestPath(a, b));
+  }
+  return detail::Score(paths, topo.num_nodes());
+}
+
+}  // namespace benchutil
+}  // namespace aspen
+
+#endif  // ASPEN_BENCH_PATH_QUALITY_H_

@@ -1,0 +1,76 @@
+// Quickstart: run one windowed sensor join with several algorithms and
+// compare their network cost.
+//
+// Builds a 100-node random deployment, installs Query 1 from the paper
+// (S.id < 25, T.id > 50, S.x = T.y + 5 AND S.u = T.u, window 3), runs 100
+// sampling cycles per algorithm on identical data traces, and prints the
+// traffic each algorithm generated.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/report.h"
+#include "join/types.h"
+#include "net/topology.h"
+#include "workload/workload.h"
+
+using namespace aspen;
+
+int main() {
+  auto topo_r = net::Topology::Random(/*num_nodes=*/100, /*target_degree=*/7,
+                                      /*seed=*/42);
+  if (!topo_r.ok()) {
+    std::fprintf(stderr, "topology: %s\n", topo_r.status().ToString().c_str());
+    return 1;
+  }
+  const net::Topology& topo = *topo_r;
+  std::printf("topology: %d nodes, avg degree %.1f, radio range %.1fm\n\n",
+              topo.num_nodes(), topo.AverageDegree(), topo.radio_range());
+
+  workload::SelectivityParams sel{0.5, 0.5, 0.2};
+
+  struct Entry {
+    join::Algorithm algo;
+    join::InnetFeatures features;
+  };
+  const Entry entries[] = {
+      {join::Algorithm::kNaive, {}},
+      {join::Algorithm::kBase, {}},
+      {join::Algorithm::kGht, {}},
+      {join::Algorithm::kInnet, join::InnetFeatures::None()},
+      {join::Algorithm::kInnet, join::InnetFeatures::Cmg()},
+      {join::Algorithm::kInnet, join::InnetFeatures::Cmpg()},
+  };
+
+  core::Table table({"algorithm", "total traffic", "base traffic",
+                     "max node", "results", "avg delay (cycles)"});
+  for (const Entry& e : entries) {
+    auto wl = workload::Workload::MakeQuery1(&topo, sel, /*window=*/3,
+                                             /*seed=*/7);
+    if (!wl.ok()) {
+      std::fprintf(stderr, "workload: %s\n", wl.status().ToString().c_str());
+      return 1;
+    }
+    join::ExecutorOptions opts;
+    opts.algorithm = e.algo;
+    opts.features = e.features;
+    opts.assumed = sel;  // the optimizer is given the true selectivities
+    opts.seed = 1;
+    auto stats = core::RunExperiment(*wl, opts, /*sampling_cycles=*/100);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "run: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({stats->algorithm,
+                  core::HumanBytes(static_cast<double>(stats->total_bytes)),
+                  core::HumanBytes(static_cast<double>(stats->base_bytes)),
+                  core::HumanBytes(static_cast<double>(stats->max_node_bytes)),
+                  std::to_string(stats->results),
+                  core::Fixed(stats->avg_result_delay_cycles, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nEvery algorithm saw the same data trace; result counts agree when "
+      "no algorithm dropped tuples.\n");
+  return 0;
+}

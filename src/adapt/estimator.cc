@@ -1,0 +1,39 @@
+#include "adapt/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aspen {
+namespace adapt {
+
+workload::SelectivityParams SelectivityEstimator::Estimate(
+    int w, const workload::SelectivityParams& prior) const {
+  workload::SelectivityParams est = prior;
+  if (cycles_ > 0) {
+    est.sigma_s = static_cast<double>(ns_) / cycles_;
+    est.sigma_t = static_cast<double>(nt_) / cycles_;
+  }
+  if (ns_ + nt_ > 0) {
+    est.sigma_st =
+        static_cast<double>(nst_) / (static_cast<double>(w) * (ns_ + nt_));
+  }
+  est.sigma_s = std::clamp(est.sigma_s, 1e-4, 1.0);
+  est.sigma_t = std::clamp(est.sigma_t, 1e-4, 1.0);
+  est.sigma_st = std::clamp(est.sigma_st, 1e-4, 1.0);
+  return est;
+}
+
+bool SelectivityEstimator::Diverged(const workload::SelectivityParams& fresh,
+                                    const workload::SelectivityParams& ref,
+                                    double threshold) {
+  auto component = [&](double f, double r) {
+    if (r <= 0.0) return f > 0.0;
+    return std::abs(f - r) / r > threshold;
+  };
+  return component(fresh.sigma_s, ref.sigma_s) ||
+         component(fresh.sigma_t, ref.sigma_t) ||
+         component(fresh.sigma_st, ref.sigma_st);
+}
+
+}  // namespace adapt
+}  // namespace aspen

@@ -1,0 +1,65 @@
+// Online selectivity estimation (Section 6).
+//
+// A join node tracks, per producer pair, the tuples received from each side
+// (Ns, Nt), the results produced (Nst) and the sampling cycles observed (T),
+// then re-estimates:
+//   sigma_st = Nst / (w * (Ns + Nt))      sigma_p = Np / T
+// Counters are periodically reset so learning tracks a local time span.
+
+#ifndef ASPEN_ADAPT_ESTIMATOR_H_
+#define ASPEN_ADAPT_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "workload/selectivity.h"
+
+namespace aspen {
+namespace adapt {
+
+/// \brief Counter-based estimator for one (s, t) pair.
+class SelectivityEstimator {
+ public:
+  /// An S-side tuple arrived, producing `matches` join results.
+  void RecordS(int matches) {
+    ns_ += 1;
+    nst_ += matches;
+  }
+  /// A T-side tuple arrived, producing `matches` join results.
+  void RecordT(int matches) {
+    nt_ += 1;
+    nst_ += matches;
+  }
+  /// One sampling cycle elapsed.
+  void Tick() { ++cycles_; }
+
+  /// Resets all counters (periodic local-time-span learning).
+  void Reset() { ns_ = nt_ = nst_ = cycles_ = 0; }
+
+  int64_t ns() const { return ns_; }
+  int64_t nt() const { return nt_; }
+  int64_t nst() const { return nst_; }
+  int64_t cycles() const { return cycles_; }
+
+  /// \brief Current estimates; components with no evidence yet fall back to
+  /// `prior`. Estimates are clamped into (0, 1] — they are probabilities,
+  /// but bursty counters can transiently exceed 1.
+  workload::SelectivityParams Estimate(
+      int w, const workload::SelectivityParams& prior) const;
+
+  /// \brief The 33%-divergence trigger: true when any component of `fresh`
+  /// differs from `reference` by more than `threshold` (relative).
+  static bool Diverged(const workload::SelectivityParams& fresh,
+                       const workload::SelectivityParams& reference,
+                       double threshold);
+
+ private:
+  int64_t ns_ = 0;
+  int64_t nt_ = 0;
+  int64_t nst_ = 0;
+  int64_t cycles_ = 0;
+};
+
+}  // namespace adapt
+}  // namespace aspen
+
+#endif  // ASPEN_ADAPT_ESTIMATOR_H_

@@ -1,0 +1,44 @@
+// Lightweight assertion & logging macros (Arrow-style DCHECK family).
+// Failed checks print file:line and abort — they mark programming errors,
+// never recoverable runtime conditions (those use Status).
+
+#ifndef ASPEN_COMMON_LOGGING_H_
+#define ASPEN_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aspen {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "[aspen] CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace aspen
+
+#define ASPEN_CHECK(expr)                                       \
+  do {                                                          \
+    if (!(expr))                                                \
+      ::aspen::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+  } while (false)
+
+#define ASPEN_CHECK_GE(a, b) ASPEN_CHECK((a) >= (b))
+#define ASPEN_CHECK_GT(a, b) ASPEN_CHECK((a) > (b))
+#define ASPEN_CHECK_LE(a, b) ASPEN_CHECK((a) <= (b))
+#define ASPEN_CHECK_LT(a, b) ASPEN_CHECK((a) < (b))
+#define ASPEN_CHECK_EQ(a, b) ASPEN_CHECK((a) == (b))
+#define ASPEN_CHECK_NE(a, b) ASPEN_CHECK((a) != (b))
+
+#ifdef NDEBUG
+#define ASPEN_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define ASPEN_DCHECK(expr) ASPEN_CHECK(expr)
+#endif
+
+#endif  // ASPEN_COMMON_LOGGING_H_

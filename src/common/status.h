@@ -1,0 +1,163 @@
+// Status / Result error-handling primitives, following the Arrow / RocksDB
+// idiom: no exceptions cross the public API; fallible operations return a
+// Status (or a Result<T> carrying a value on success).
+
+#ifndef ASPEN_COMMON_STATUS_H_
+#define ASPEN_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace aspen {
+
+/// \brief Machine-readable category for a Status.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnreachable,     ///< a network destination could not be reached
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+  kNotImplemented,
+};
+
+/// \brief Returns the canonical lower-case name for a StatusCode
+/// (e.g. "invalid_argument").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a human-readable
+/// message. OK statuses carry no message and are cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A kOk code with a
+  /// non-empty message is normalized to plain OK.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(code == StatusCode::kOk ? std::string() : std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unreachable(std::string msg) {
+    return Status(StatusCode::kUnreachable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnreachable() const { return code_ == StatusCode::kUnreachable; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+
+  /// "OK" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief A value or an error Status. Mirrors arrow::Result.
+///
+/// Accessing the value of a failed Result is a programming error and aborts
+/// in debug builds (undefined in release); always check ok() first or use
+/// ValueOr().
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (success).
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}  // NOLINT
+  /// Implicit conversion from a non-OK status (failure).
+  Result(Status status)  // NOLINT
+      : data_(std::in_place_index<1>, std::move(status)) {}
+
+  bool ok() const { return data_.index() == 0; }
+
+  /// The error status; OK if this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<1>(data_);
+  }
+
+  const T& ValueOrDie() const& { return std::get<0>(data_); }
+  T& ValueOrDie() & { return std::get<0>(data_); }
+  T&& ValueOrDie() && { return std::get<0>(std::move(data_)); }
+
+  /// operator* as a shorthand for ValueOrDie.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the contained value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<0>(data_);
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status out of the current function.
+#define ASPEN_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::aspen::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+/// Assigns the value of a Result to `lhs`, or propagates its error.
+#define ASPEN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define ASPEN_ASSIGN_OR_RETURN_CONCAT_(a, b) a##b
+#define ASPEN_ASSIGN_OR_RETURN_CONCAT(a, b) ASPEN_ASSIGN_OR_RETURN_CONCAT_(a, b)
+
+#define ASPEN_ASSIGN_OR_RETURN(lhs, rexpr) \
+  ASPEN_ASSIGN_OR_RETURN_IMPL(             \
+      ASPEN_ASSIGN_OR_RETURN_CONCAT(_aspen_result_, __LINE__), lhs, rexpr)
+
+}  // namespace aspen
+
+#endif  // ASPEN_COMMON_STATUS_H_

@@ -1,0 +1,89 @@
+#include "core/engine.h"
+
+#include <cmath>
+#include <vector>
+
+namespace aspen {
+namespace core {
+
+Result<join::RunStats> RunExperiment(const workload::Workload& workload,
+                                     const join::ExecutorOptions& options,
+                                     int sampling_cycles) {
+  join::JoinExecutor exec(&workload, options);
+  ASPEN_RETURN_NOT_OK(exec.Initiate());
+  ASPEN_RETURN_NOT_OK(exec.RunCycles(sampling_cycles));
+  return exec.Stats();
+}
+
+namespace {
+
+struct Welford {
+  double sum = 0, sumsq = 0;
+  int n = 0;
+  void Add(double x) {
+    sum += x;
+    sumsq += x * x;
+    ++n;
+  }
+  double Mean() const { return n > 0 ? sum / n : 0.0; }
+  /// 95% CI half-width (normal approximation; the paper reports 95% CIs
+  /// over 9 runs).
+  double Ci95() const {
+    if (n < 2) return 0.0;
+    double var = (sumsq - sum * sum / n) / (n - 1);
+    return 1.96 * std::sqrt(std::max(var, 0.0) / n);
+  }
+};
+
+}  // namespace
+
+Result<AggregatedStats> RunAveraged(const WorkloadFactory& factory,
+                                    const join::ExecutorOptions& options,
+                                    int sampling_cycles, int runs,
+                                    uint64_t seed0) {
+  AggregatedStats agg;
+  Welford total_b, base_b, max_b, total_m, base_m, max_m, init_b, comp_b,
+      results, delay, max_delay, migrations, failovers;
+  for (int r = 0; r < runs; ++r) {
+    ASPEN_ASSIGN_OR_RETURN(workload::Workload wl, factory(seed0 + r));
+    join::ExecutorOptions opts = options;
+    opts.seed = seed0 + r;
+    ASPEN_ASSIGN_OR_RETURN(join::RunStats st,
+                           RunExperiment(wl, opts, sampling_cycles));
+    agg.algorithm = st.algorithm;
+    total_b.Add(static_cast<double>(st.total_bytes));
+    base_b.Add(static_cast<double>(st.base_bytes));
+    max_b.Add(static_cast<double>(st.max_node_bytes));
+    total_m.Add(static_cast<double>(st.total_messages));
+    base_m.Add(static_cast<double>(st.base_messages));
+    max_m.Add(static_cast<double>(st.max_node_messages));
+    init_b.Add(static_cast<double>(st.initiation_bytes));
+    comp_b.Add(static_cast<double>(st.computation_bytes));
+    results.Add(static_cast<double>(st.results));
+    delay.Add(st.avg_result_delay_cycles);
+    max_delay.Add(st.max_result_delay_cycles);
+    migrations.Add(static_cast<double>(st.migrations));
+    failovers.Add(static_cast<double>(st.failovers));
+  }
+  agg.runs = runs;
+  agg.total_bytes = total_b.Mean();
+  agg.total_bytes_ci = total_b.Ci95();
+  agg.base_bytes = base_b.Mean();
+  agg.base_bytes_ci = base_b.Ci95();
+  agg.max_node_bytes = max_b.Mean();
+  agg.total_messages = total_m.Mean();
+  agg.total_messages_ci = total_m.Ci95();
+  agg.base_messages = base_m.Mean();
+  agg.max_node_messages = max_m.Mean();
+  agg.initiation_bytes = init_b.Mean();
+  agg.computation_bytes = comp_b.Mean();
+  agg.results = results.Mean();
+  agg.avg_result_delay_cycles = delay.Mean();
+  agg.max_result_delay_cycles = max_delay.Mean();
+  agg.migrations = migrations.Mean();
+  agg.failovers = failovers.Mean();
+  return agg;
+}
+
+}  // namespace core
+}  // namespace aspen

@@ -1,0 +1,60 @@
+// Public facade: run a (workload, algorithm) experiment end to end.
+//
+// This is the entry point downstream users and every benchmark use:
+//   auto wl = workload::Workload::MakeQuery1(&topo, {0.5, 0.5, 0.2}, 3, 42);
+//   auto stats = core::RunExperiment(*wl, opts, /*cycles=*/100);
+// Multi-seed averaging matches the paper's methodology (9 runs, 95% CIs).
+
+#ifndef ASPEN_CORE_ENGINE_H_
+#define ASPEN_CORE_ENGINE_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "join/executor.h"
+#include "workload/workload.h"
+
+namespace aspen {
+namespace core {
+
+/// \brief Initiates and runs one experiment; returns its metrics.
+Result<join::RunStats> RunExperiment(const workload::Workload& workload,
+                                     const join::ExecutorOptions& options,
+                                     int sampling_cycles);
+
+/// \brief Mean metrics over repeated runs, with 95% confidence half-widths
+/// for the headline traffic numbers.
+struct AggregatedStats {
+  std::string algorithm;
+  int runs = 0;
+  double total_bytes = 0, total_bytes_ci = 0;
+  double base_bytes = 0, base_bytes_ci = 0;
+  double max_node_bytes = 0;
+  double total_messages = 0, total_messages_ci = 0;
+  double base_messages = 0;
+  double max_node_messages = 0;
+  double initiation_bytes = 0;
+  double computation_bytes = 0;
+  double results = 0;
+  double avg_result_delay_cycles = 0;
+  double max_result_delay_cycles = 0;
+  double migrations = 0;
+  double failovers = 0;
+};
+
+/// Builds a fresh workload for a given run seed (topology may be shared or
+/// regenerated inside, caller's choice).
+using WorkloadFactory =
+    std::function<Result<workload::Workload>(uint64_t seed)>;
+
+/// \brief Runs `runs` independent repetitions (seeds seed0, seed0+1, ...)
+/// and aggregates. Any failing repetition fails the whole call.
+Result<AggregatedStats> RunAveraged(const WorkloadFactory& factory,
+                                    const join::ExecutorOptions& options,
+                                    int sampling_cycles, int runs,
+                                    uint64_t seed0 = 1);
+
+}  // namespace core
+}  // namespace aspen
+
+#endif  // ASPEN_CORE_ENGINE_H_

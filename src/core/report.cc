@@ -1,0 +1,76 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace aspen {
+namespace core {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  ASPEN_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto pad = [](const std::string& s, size_t w, bool left) {
+    std::string out;
+    if (left) {
+      out = s + std::string(w - s.size(), ' ');
+    } else {
+      out = std::string(w - s.size(), ' ') + s;
+    }
+    return out;
+  };
+  std::string out;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += pad(headers_[c], width[c], c == 0);
+    out += c + 1 < headers_.size() ? "  " : "";
+  }
+  out += '\n';
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += std::string(width[c], '-');
+    out += c + 1 < headers_.size() ? "  " : "";
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += pad(row[c], width[c], c == 0);
+      out += c + 1 < row.size() ? "  " : "";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string HumanBytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / (1024.0 * 1024.0));
+  } else if (bytes >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+std::string Fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace core
+}  // namespace aspen

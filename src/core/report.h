@@ -1,0 +1,41 @@
+// Fixed-width table formatting shared by the benchmark binaries, so every
+// bench prints paper-figure series the same way.
+
+#ifndef ASPEN_CORE_REPORT_H_
+#define ASPEN_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace aspen {
+namespace core {
+
+/// \brief Accumulates rows and prints an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column alignment (first column left, rest right).
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3 KB" / "1.24 MB" style byte formatting.
+std::string HumanBytes(double bytes);
+
+/// Fixed-precision double ("0.123").
+std::string Fixed(double value, int digits = 2);
+
+}  // namespace core
+}  // namespace aspen
+
+#endif  // ASPEN_CORE_REPORT_H_

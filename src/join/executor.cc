@@ -1,0 +1,654 @@
+#include "join/executor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aspen {
+namespace join {
+
+using net::Message;
+using net::MessageKind;
+using net::NodeId;
+using net::RoutingMode;
+using query::Tuple;
+
+std::string AlgorithmName(Algorithm algo, const InnetFeatures& f) {
+  switch (algo) {
+    case Algorithm::kNaive:
+      return "Naive";
+    case Algorithm::kBase:
+      return "Base";
+    case Algorithm::kYang07:
+      return "Yang+07";
+    case Algorithm::kGht:
+      return "GHT";
+    case Algorithm::kInnet: {
+      std::string name = "Innet";
+      std::string suffix;
+      if (f.combining) suffix += 'c';
+      if (f.multicast) suffix += 'm';
+      if (f.path_collapse) suffix += 'p';
+      if (f.group_opt) suffix += 'g';
+      if (!suffix.empty()) name += "-" + suffix;
+      return name;
+    }
+  }
+  return "?";
+}
+
+JoinExecutor::JoinExecutor(const workload::Workload* workload,
+                           ExecutorOptions options)
+    : workload_(workload), opts_(options) {
+  net::NetworkOptions net_opts;
+  net_opts.loss_prob = opts_.loss_prob;
+  net_opts.max_retries = opts_.max_retries;
+  net_opts.enable_merging = opts_.algorithm == Algorithm::kInnet
+                                ? opts_.features.combining
+                                : false;
+  net_opts.enable_snooping = opts_.algorithm == Algorithm::kInnet &&
+                             opts_.features.path_collapse && !opts_.mesh_mode;
+  net_opts.seed = opts_.seed;
+  owned_net_ =
+      std::make_unique<net::Network>(&workload_->topology(), net_opts);
+  net_ = owned_net_.get();
+  net_->set_delivery_handler(
+      [this](const Message& m, NodeId at) { OnDeliver(m, at); });
+  net_->set_drop_handler([this](const Message& m, NodeId at, NodeId next) {
+    OnDrop(m, at, next);
+  });
+  net_->set_snoop_handler(
+      [this](const Message& m, NodeId snooper, NodeId from, NodeId to) {
+        OnSnoop(m, snooper, from, to);
+      });
+}
+
+JoinExecutor::JoinExecutor(const workload::Workload* workload,
+                           ExecutorOptions options,
+                           net::Network* shared_network, int query_id)
+    : workload_(workload),
+      opts_(options),
+      net_(shared_network),
+      query_id_(query_id) {
+  ASPEN_CHECK(shared_network != nullptr);
+  ASPEN_CHECK(&shared_network->topology() == &workload->topology());
+}
+
+JoinExecutor::~JoinExecutor() {
+  // An owned network holds a raw ParentResolver pointer into the trees;
+  // detach before members destruct in reverse declaration order. A shared
+  // medium owns its own resolver.
+  if (owned_net_ != nullptr) net_->set_parent_resolver(nullptr);
+}
+
+Result<uint64_t> JoinExecutor::SubmitToNet(Message msg) {
+  msg.query_id = query_id_;
+  return net_->Submit(std::move(msg));
+}
+
+Result<uint64_t> JoinExecutor::SubmitMcastToNet(
+    Message msg, std::shared_ptr<const net::MulticastRoute> route) {
+  msg.query_id = query_id_;
+  return net_->SubmitMulticast(std::move(msg), std::move(route));
+}
+
+const routing::RoutingTree& JoinExecutor::primary_tree() const {
+  if (multi_ != nullptr) return multi_->primary();
+  ASPEN_CHECK(single_tree_ != nullptr);
+  return *single_tree_;
+}
+
+int JoinExecutor::DepthOf(NodeId id) const {
+  return primary_tree().DepthOf(id);
+}
+
+opt::PairCostInputs JoinExecutor::AssumedCost() const {
+  opt::PairCostInputs c;
+  c.sigma_s = opts_.assumed.sigma_s;
+  c.sigma_t = opts_.assumed.sigma_t;
+  c.sigma_st = opts_.assumed.sigma_st;
+  c.w = workload_->join_query().window.size;
+  return c;
+}
+
+workload::SelectivityParams JoinExecutor::AssumedFor(
+    const PairKey& pair) const {
+  if (!opts_.oracle) return opts_.assumed;
+  const auto& sp = workload_->ParamsAt(pair.s, 0);
+  const auto& tp = workload_->ParamsAt(pair.t, 0);
+  workload::SelectivityParams out;
+  out.sigma_s = sp.sigma_s;
+  out.sigma_t = tp.sigma_t;
+  // With different u domains, Prob[u_s = u_t] ~ 1/max(domain) — the smaller
+  // of the two per-side join selectivities.
+  out.sigma_st = std::min(sp.sigma_st, tp.sigma_st);
+  return out;
+}
+
+void JoinExecutor::ChargeAlongPath(const std::vector<NodeId>& path, int bytes,
+                                   MessageKind kind) {
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    net_->stats().RecordSend(path[i], kind,
+                             bytes + net::WireFormat::kLinkHeaderBytes);
+    net_->stats().RecordReceive(path[i + 1],
+                                bytes + net::WireFormat::kLinkHeaderBytes);
+  }
+}
+
+int JoinExecutor::HopsOnPath(const PairPlacement& p, bool from_s) {
+  if (p.path_index < 0) return 0;
+  return from_s ? p.path_index
+                : static_cast<int>(p.path.size()) - 1 - p.path_index;
+}
+
+// ---- initiation -------------------------------------------------------------
+
+Status JoinExecutor::InitCommon() {
+  s_nodes_ = workload_->SNodes();
+  t_nodes_ = workload_->TNodes();
+  auto raw_pairs = workload_->AllJoinPairs();
+  pairs_.clear();
+  for (const auto& [s, t] : raw_pairs) {
+    PairKey key{s, t};
+    pairs_.push_back(key);
+    s_pairs_[s].push_back(key);
+    t_pairs_[t].push_back(key);
+    PairPlacement pl;
+    pl.pair = key;
+    pl.at_base = true;
+    pl.join_node = 0;
+    pl.placed_with = opts_.assumed;
+    placements_[key] = pl;
+  }
+  return Status::OK();
+}
+
+Status JoinExecutor::Initiate() {
+  if (initiated_) {
+    return Status::FailedPrecondition("Initiate called twice");
+  }
+  ASPEN_RETURN_NOT_OK(InitCommon());
+  Status st;
+  switch (opts_.algorithm) {
+    case Algorithm::kNaive:
+      st = InitNaive();
+      break;
+    case Algorithm::kBase:
+      st = InitBase();
+      break;
+    case Algorithm::kYang07:
+      st = InitYang07();
+      break;
+    case Algorithm::kGht:
+      st = InitGht();
+      break;
+    case Algorithm::kInnet:
+      st = InitInnet();
+      break;
+  }
+  ASPEN_RETURN_NOT_OK(st);
+  // On a shared medium the SharedMedium owns the resolver (all primary
+  // trees are the identical deterministic BFS from the base).
+  if (owned_net_ != nullptr) net_->set_parent_resolver(&primary_tree());
+  initiated_ = true;
+  return Status::OK();
+}
+
+Status JoinExecutor::InitNaive() {
+  // No per-query setup beyond the (sunk) initial routing-tree construction.
+  single_tree_ = std::make_unique<routing::RoutingTree>(
+      routing::RoutingTree::Build(workload_->topology(), 0));
+  init_latency_ = 0;
+  return Status::OK();
+}
+
+Status JoinExecutor::InitBase() {
+  single_tree_ = std::make_unique<routing::RoutingTree>(
+      routing::RoutingTree::Build(workload_->topology(), 0));
+  // Static pre-computation round (Table 3, Base row): every
+  // selection-eligible node reports its static join attributes to the base;
+  // the base replies to the nodes that participate in at least one pair.
+  const int report_bytes = 8;  // a few 16-bit attributes + node id
+  const int reply_bytes = 4;
+  int max_depth = 0;
+  for (NodeId u = 1; u < workload_->topology().num_nodes(); ++u) {
+    if (!workload_->SEligible(u) && !workload_->TEligible(u)) continue;
+    ChargeAlongPath(single_tree_->PathToRoot(u), report_bytes,
+                    MessageKind::kExploration);
+    max_depth = std::max(max_depth, single_tree_->DepthOf(u));
+  }
+  for (NodeId u = 1; u < workload_->topology().num_nodes(); ++u) {
+    if (s_pairs_.count(u) || t_pairs_.count(u)) {
+      ChargeAlongPath(single_tree_->PathFromRoot(u), reply_bytes,
+                      MessageKind::kExplorationReply);
+    }
+  }
+  init_latency_ = 2 * max_depth;
+  return Status::OK();
+}
+
+Status JoinExecutor::InitYang07() {
+  // Through-the-base needs no setup (Table 3: initiation 0); join nodes are
+  // the T producers themselves.
+  single_tree_ = std::make_unique<routing::RoutingTree>(
+      routing::RoutingTree::Build(workload_->topology(), 0));
+  for (auto& [key, pl] : placements_) {
+    pl.at_base = false;
+    pl.join_node = key.t;
+  }
+  init_latency_ = 0;
+  return Status::OK();
+}
+
+Status JoinExecutor::InitGht() {
+  single_tree_ = std::make_unique<routing::RoutingTree>(
+      routing::RoutingTree::Build(workload_->topology(), 0));
+  const auto& topo = workload_->topology();
+  if (opts_.mesh_mode) {
+    dht_ = std::make_unique<routing::DhtRing>(&topo, opts_.seed);
+  } else {
+    geo_ = std::make_unique<routing::GeoHash>(&topo, opts_.seed);
+  }
+  const auto& primary = workload_->analysis().primary;
+  auto node_for_key = [&](int32_t key) {
+    return opts_.mesh_mode ? dht_->NodeForKey(key) : geo_->NodeForKey(key);
+  };
+  for (auto& [key, pl] : placements_) {
+    int32_t hash_key = 0;
+    if (primary.has_value() && primary->region_radius_dm.has_value()) {
+      // Region join: rendezvous at the home node of the pair-midpoint cell
+      // (cell side = region radius, so covered pairs always share a cell
+      // neighborhood; the midpoint canonicalizes the assignment).
+      const auto& st = workload_->statics().tuple(key.s);
+      const auto& tt = workload_->statics().tuple(key.t);
+      int radius = *primary->region_radius_dm;
+      int cx = (st[query::kAttrPosX] + tt[query::kAttrPosX]) / 2 / radius;
+      int cy = (st[query::kAttrPosY] + tt[query::kAttrPosY]) / 2 / radius;
+      hash_key = cx * 4096 + cy;
+    } else {
+      auto k = workload_->SJoinKey(key.s);
+      if (!k.has_value()) {
+        return Status::FailedPrecondition(
+            "GHT requires a routable equality or region join key");
+      }
+      hash_key = *k;
+    }
+    pl.at_base = false;
+    pl.join_node = node_for_key(hash_key);
+  }
+  // Initiation: producers register with each of their rendezvous nodes
+  // (Table 3: >= sigma_s*Dsj + sigma_t*Dtj — one announce per path).
+  int max_len = 0;
+  auto announce = [&](NodeId p, NodeId j) {
+    std::vector<NodeId> path = opts_.mesh_mode
+                                   ? topo.ShortestPath(p, j)
+                                   : geo_->GreedyPath(p, j);
+    ChargeAlongPath(path, 6, MessageKind::kExploration);
+    max_len = std::max(max_len, static_cast<int>(path.size()));
+  };
+  std::set<std::pair<NodeId, NodeId>> announced;
+  for (const auto& key : pairs_) {
+    const auto& pl = placements_[key];
+    if (announced.insert({key.s, pl.join_node}).second) {
+      announce(key.s, pl.join_node);
+    }
+    if (announced.insert({key.t, pl.join_node}).second) {
+      announce(key.t, pl.join_node);
+    }
+  }
+  init_latency_ = max_len;
+  return Status::OK();
+}
+
+// ---- data plane ---------------------------------------------------------------
+
+std::shared_ptr<DataPayload> JoinExecutor::MakeData(NodeId p, const Tuple& t,
+                                                    int cycle, bool as_s,
+                                                    bool as_t) {
+  auto d = std::make_shared<DataPayload>();
+  d->producer = p;
+  d->tuple = t;
+  d->sample_cycle = cycle;
+  d->as_s = as_s;
+  d->as_t = as_t;
+  return d;
+}
+
+void JoinExecutor::SampleAndSend(int cycle) {
+  const bool naive = opts_.algorithm == Algorithm::kNaive;
+  const int n = workload_->topology().num_nodes();
+  const int w = workload_->join_query().window.size;
+  for (NodeId p = 0; p < n; ++p) {
+    if (net_->IsFailed(p)) continue;
+    const bool s_role = naive ? workload_->SEligible(p) : s_pairs_.count(p) > 0;
+    const bool t_role = naive ? workload_->TEligible(p) : t_pairs_.count(p) > 0;
+    if (!s_role && !t_role) continue;
+    Tuple tuple = workload_->Sample(p, cycle);
+    bool send_s = s_role && workload_->PassSFilter(p, tuple, cycle);
+    bool send_t = t_role && workload_->PassTFilter(p, tuple, cycle);
+    if (!send_s && !send_t) continue;
+    // Producers remember their last w sent tuples per role so a join window
+    // can be reconstructed at the base after a join-node failure.
+    auto remember = [&](bool as_s) {
+      auto& dq = recent_sent_[{p, as_s}];
+      if (static_cast<int>(dq.size()) == w) dq.pop_front();
+      dq.push_back(tuple);
+    };
+    if (send_s) remember(true);
+    if (send_t) remember(false);
+    switch (opts_.algorithm) {
+      case Algorithm::kNaive:
+      case Algorithm::kBase:
+        SendToBase(p, tuple, cycle, send_s, send_t);
+        break;
+      case Algorithm::kYang07:
+        SendYang(p, tuple, cycle, send_s, send_t);
+        break;
+      case Algorithm::kGht:
+        SendGht(p, tuple, cycle, send_s, send_t);
+        break;
+      case Algorithm::kInnet:
+        SendInnet(p, tuple, cycle, send_s, send_t);
+        break;
+    }
+  }
+}
+
+void JoinExecutor::SendToBase(NodeId p, const Tuple& t, int cycle, bool as_s,
+                              bool as_t) {
+  Message msg;
+  msg.kind = MessageKind::kData;
+  msg.mode = RoutingMode::kTreeToRoot;
+  msg.origin = p;
+  msg.dest = 0;
+  msg.size_bytes = workload_->DataBytes();
+  msg.payload = MakeData(p, t, cycle, as_s, as_t);
+  (void)SubmitToNet(std::move(msg));
+}
+
+void JoinExecutor::SendYang(NodeId p, const Tuple& t, int cycle, bool as_s,
+                            bool as_t) {
+  if (as_s && s_pairs_.count(p)) {
+    // Up to the root; the root re-routes to the T partners on delivery.
+    Message msg;
+    msg.kind = MessageKind::kData;
+    msg.mode = RoutingMode::kTreeToRoot;
+    msg.origin = p;
+    msg.dest = 0;
+    msg.size_bytes = workload_->DataBytes();
+    msg.payload = MakeData(p, t, cycle, /*as_s=*/true, /*as_t=*/false);
+    (void)SubmitToNet(std::move(msg));
+  }
+  if (as_t && t_pairs_.count(p)) {
+    // T producers never transmit their samples: they buffer them locally
+    // and join arriving S tuples against them. Model the local buffering as
+    // a zero-cost arrival at the node itself.
+    Message local;
+    local.kind = MessageKind::kData;
+    local.origin = p;
+    local.dest = p;
+    local.payload = MakeData(p, t, cycle, /*as_s=*/false, /*as_t=*/true);
+    arrivals_.push_back(Arrival{std::move(local), p});
+  }
+}
+
+void JoinExecutor::SendGht(NodeId p, const Tuple& t, int cycle, bool as_s,
+                           bool as_t) {
+  // One message per distinct rendezvous node over this producer's pairs.
+  std::map<NodeId, std::pair<bool, bool>> dests;  // j -> (as_s, as_t)
+  if (as_s) {
+    for (const auto& key : s_pairs_[p]) {
+      dests[placements_[key].join_node].first = true;
+    }
+  }
+  if (as_t) {
+    for (const auto& key : t_pairs_[p]) {
+      dests[placements_[key].join_node].second = true;
+    }
+  }
+  for (const auto& [j, flags] : dests) {
+    Message msg;
+    msg.kind = MessageKind::kData;
+    msg.origin = p;
+    msg.dest = j;
+    msg.size_bytes = workload_->DataBytes();
+    msg.payload = MakeData(p, t, cycle, flags.first, flags.second);
+    if (opts_.mesh_mode) {
+      msg.mode = RoutingMode::kSourcePath;
+      msg.path = workload_->topology().ShortestPath(p, j);
+    } else {
+      msg.mode = RoutingMode::kGeoGreedy;
+    }
+    (void)SubmitToNet(std::move(msg));
+  }
+}
+
+// ---- arrivals -------------------------------------------------------------------
+
+void JoinExecutor::OnDeliver(const Message& msg, NodeId at) {
+  switch (msg.kind) {
+    case MessageKind::kData: {
+      const auto* data = static_cast<const DataPayload*>(msg.payload.get());
+      ASPEN_CHECK(data != nullptr);
+      // Yang+07: the root relays S data down to every T partner.
+      if (opts_.algorithm == Algorithm::kYang07 && at == 0 && data->as_s) {
+        for (const auto& key : s_pairs_[data->producer]) {
+          if (placements_[key].at_base) continue;  // failed over: join here
+          Message down;
+          down.kind = MessageKind::kData;
+          down.mode = RoutingMode::kSourcePath;
+          down.origin = 0;
+          down.dest = key.t;
+          down.path = primary_tree().PathFromRoot(key.t);
+          down.size_bytes = workload_->DataBytes();
+          down.payload = msg.payload;
+          (void)SubmitToNet(std::move(down));
+        }
+        // Fall through to buffering: failed-over pairs join at the base.
+      }
+      arrivals_.push_back(Arrival{msg, at});
+      break;
+    }
+    case MessageKind::kJoinResult: {
+      const auto* res = static_cast<const ResultPayload*>(msg.payload.get());
+      ASPEN_CHECK(res != nullptr);
+      DeliverResultAtBase(1, res->sample_cycle);
+      break;
+    }
+    case MessageKind::kWindowTransfer: {
+      const auto* wt =
+          static_cast<const WindowTransferPayload*>(msg.payload.get());
+      ASPEN_CHECK(wt != nullptr);
+      PairState& st = StateAt(at, wt->pair);
+      // Tuples carry their sampling cycle in the seq attribute.
+      for (const auto& t : wt->s_window) {
+        st.s_window.Push(t, t[query::kAttrSeq]);
+      }
+      for (const auto& t : wt->t_window) {
+        st.t_window.Push(t, t[query::kAttrSeq]);
+      }
+      break;
+    }
+    default:
+      break;  // control traffic needs no handling
+  }
+}
+
+void JoinExecutor::DeliverResultAtBase(int count, int sample_cycle) {
+  results_ += count;
+  double delay = static_cast<double>(cycle_ - sample_cycle);
+  delay_sum_ += delay * count;
+  delay_max_ = std::max(delay_max_, delay);
+}
+
+PairState& JoinExecutor::StateAt(NodeId at, const PairKey& pair) {
+  auto key = std::make_pair(at, pair);
+  auto it = states_.find(key);
+  if (it == states_.end()) {
+    const auto& window = workload_->join_query().window;
+    it = states_
+             .emplace(key, PairState(pair, window.size, window.time_based))
+             .first;
+  }
+  return it->second;
+}
+
+PairState* JoinExecutor::FindState(NodeId at, const PairKey& pair) {
+  auto it = states_.find(std::make_pair(at, pair));
+  return it == states_.end() ? nullptr : &it->second;
+}
+
+void JoinExecutor::ProcessArrivals(int cycle) {
+  // Deterministic ordering: all S-side applications first, then T-side,
+  // each sorted by (producer, location). A tuple joins the opposite window
+  // as of its own insertion; same-cycle (s, t) pairs match exactly once —
+  // when the T side is applied.
+  std::stable_sort(arrivals_.begin(), arrivals_.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     const auto* da =
+                         static_cast<const DataPayload*>(a.msg.payload.get());
+                     const auto* db =
+                         static_cast<const DataPayload*>(b.msg.payload.get());
+                     if (da->producer != db->producer) {
+                       return da->producer < db->producer;
+                     }
+                     return a.at < b.at;
+                   });
+  auto apply_side = [&](bool s_phase) {
+    for (const Arrival& a : arrivals_) {
+      const auto* data = static_cast<const DataPayload*>(a.msg.payload.get());
+      if (s_phase && data->as_s) {
+        const auto it = s_pairs_.find(data->producer);
+        if (it == s_pairs_.end()) continue;
+        for (const auto& key : it->second) {
+          const PairPlacement& pl = placements_[key];
+          NodeId expect = pl.at_base ? 0 : pl.join_node;
+          if (expect != a.at) continue;
+          PairState& st = StateAt(a.at, key);
+          st.t_window.EvictExpired(data->sample_cycle);
+          int matches = 0;
+          for (const auto& e : st.t_window.entries()) {
+            if (workload_->TuplesJoin(data->tuple, e.tuple)) ++matches;
+          }
+          st.estimator.RecordS(matches);
+          st.s_window.Push(data->tuple, data->sample_cycle);
+          if (matches > 0) EmitResults(a.at, key, matches, data->sample_cycle);
+        }
+      } else if (!s_phase && data->as_t) {
+        const auto it = t_pairs_.find(data->producer);
+        if (it == t_pairs_.end()) continue;
+        for (const auto& key : it->second) {
+          const PairPlacement& pl = placements_[key];
+          NodeId expect = pl.at_base ? 0 : pl.join_node;
+          if (expect != a.at) continue;
+          PairState& st = StateAt(a.at, key);
+          st.s_window.EvictExpired(data->sample_cycle);
+          int matches = 0;
+          for (const auto& e : st.s_window.entries()) {
+            if (workload_->TuplesJoin(e.tuple, data->tuple)) ++matches;
+          }
+          st.estimator.RecordT(matches);
+          st.t_window.Push(data->tuple, data->sample_cycle);
+          if (matches > 0) EmitResults(a.at, key, matches, data->sample_cycle);
+        }
+      }
+    }
+  };
+  apply_side(/*s_phase=*/true);
+  apply_side(/*s_phase=*/false);
+  arrivals_.clear();
+  (void)cycle;
+}
+
+void JoinExecutor::EmitResults(NodeId at, const PairKey& pair, int count,
+                               int sample_cycle) {
+  if (at == 0) {
+    DeliverResultAtBase(count, sample_cycle);
+    return;
+  }
+  for (int i = 0; i < count; ++i) {
+    auto res = std::make_shared<ResultPayload>();
+    res->s = pair.s;
+    res->t = pair.t;
+    res->sample_cycle = sample_cycle;
+    Message msg;
+    msg.kind = MessageKind::kJoinResult;
+    msg.mode = RoutingMode::kTreeToRoot;
+    msg.origin = at;
+    msg.dest = 0;
+    msg.size_bytes = workload_->ResultBytes();
+    msg.payload = std::move(res);
+    (void)SubmitToNet(std::move(msg));
+  }
+}
+
+// ---- run loop -----------------------------------------------------------------
+
+Status JoinExecutor::StepCycleBegin() {
+  if (!initiated_) {
+    return Status::FailedPrecondition("StepCycleBegin before Initiate");
+  }
+  SampleAndSend(cycle_);
+  return Status::OK();
+}
+
+Status JoinExecutor::StepCycleEnd() {
+  if (!initiated_) {
+    return Status::FailedPrecondition("StepCycleEnd before Initiate");
+  }
+  ProcessArrivals(cycle_);
+  for (auto& [key, st] : states_) st.estimator.Tick();
+  if (opts_.learning) RunLearning(cycle_);
+  ++cycle_;
+  return Status::OK();
+}
+
+Status JoinExecutor::RunCycles(int n) {
+  if (!initiated_) {
+    return Status::FailedPrecondition("RunCycles before Initiate");
+  }
+  if (owned_net_ == nullptr) {
+    return Status::FailedPrecondition(
+        "RunCycles on a shared medium: drive cycles via SharedMedium");
+  }
+  const int interval = workload_->join_query().window.sample_interval;
+  for (int i = 0; i < n; ++i) {
+    ASPEN_RETURN_NOT_OK(StepCycleBegin());
+    for (int k = 0; k < interval; ++k) {
+      net_->Step();
+      if (!net_->HasTrafficInFlight()) break;
+    }
+    ASPEN_RETURN_NOT_OK(StepCycleEnd());
+  }
+  // Drain stragglers (e.g. results emitted at the last cycle's end) so the
+  // reported result counts and traffic cover everything this run caused.
+  net_->StepUntilQuiet(/*max_steps=*/16 * interval);
+  ProcessArrivals(cycle_);
+  return Status::OK();
+}
+
+RunStats JoinExecutor::Stats() const {
+  RunStats out;
+  out.algorithm = AlgorithmName(opts_.algorithm, opts_.features);
+  const auto& s = net_->stats();
+  out.total_bytes = s.TotalBytesSent();
+  out.base_bytes = s.BaseStationBytes();
+  out.max_node_bytes = s.MaxNodeBytes();
+  out.total_messages = s.TotalMessagesSent();
+  out.base_messages = s.BaseStationMessages();
+  out.max_node_messages = s.MaxNodeMessages();
+  out.initiation_bytes = s.InitiationBytes();
+  out.computation_bytes = s.ComputationBytes();
+  out.top_node_loads = s.TopLoadedNodes(15);
+  out.results = results_;
+  out.avg_result_delay_cycles = results_ > 0 ? delay_sum_ / results_ : 0.0;
+  out.max_result_delay_cycles = delay_max_;
+  out.migrations = migrations_;
+  out.failovers = failovers_;
+  out.init_latency_cycles = init_latency_;
+  out.sampling_cycles = cycle_;
+  return out;
+}
+
+}  // namespace join
+}  // namespace aspen

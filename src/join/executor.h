@@ -1,0 +1,239 @@
+// The join executor: initiates (explores, optimizes, places join nodes) and
+// then drives windowed join execution over the simulated network for any of
+// the paper's algorithms. One executor = one query on one workload.
+//
+// All node-local state (join windows, counters, multicast trees) lives in
+// maps keyed by the node that owns it; the executor is the single-process
+// embodiment of the distributed protocol, with every message the protocol
+// would send charged through the network simulator.
+
+#ifndef ASPEN_JOIN_EXECUTOR_H_
+#define ASPEN_JOIN_EXECUTOR_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "join/pair_state.h"
+#include "join/payloads.h"
+#include "join/types.h"
+#include "net/network.h"
+#include "opt/cost_model.h"
+#include "opt/group.h"
+#include "routing/content_address.h"
+#include "routing/multi_tree.h"
+#include "routing/routing_tree.h"
+#include "workload/workload.h"
+
+namespace aspen {
+namespace join {
+
+/// \brief Runs one join query with one algorithm over one workload.
+class JoinExecutor {
+ public:
+  /// `workload` must outlive the executor. Owns its own network.
+  JoinExecutor(const workload::Workload* workload, ExecutorOptions options);
+
+  /// \brief Attaches to a shared radio medium (see SharedMedium) instead of
+  /// owning a network: messages are stamped with `query_id` and the medium
+  /// dispatches deliveries back. The medium drives the cycle phases;
+  /// RunCycles is unavailable on attached executors.
+  JoinExecutor(const workload::Workload* workload, ExecutorOptions options,
+               net::Network* shared_network, int query_id);
+
+  ~JoinExecutor();
+
+  JoinExecutor(const JoinExecutor&) = delete;
+  JoinExecutor& operator=(const JoinExecutor&) = delete;
+
+  /// \brief Runs initiation: routing substrate construction, exploration,
+  /// cost-based placement, group optimization, multicast setup. Must be
+  /// called exactly once before RunCycles.
+  Status Initiate();
+
+  /// \brief Executes `n` sampling cycles (each = window.sample_interval
+  /// transmission cycles). May be called repeatedly to continue a run.
+  /// Only valid on executors that own their network.
+  Status RunCycles(int n);
+
+  /// \brief Cycle phases for externally-driven execution (SharedMedium):
+  /// Begin samples and submits producer data; the driver then steps the
+  /// network; End applies arrivals, runs learning and advances the cycle.
+  Status StepCycleBegin();
+  Status StepCycleEnd();
+
+  /// \brief Snapshot of the run's metrics so far.
+  RunStats Stats() const;
+
+  // ---- introspection & fault injection ------------------------------------
+
+  net::Network& network() { return *net_; }
+  const net::Network& network() const { return *net_; }
+  int current_cycle() const { return cycle_; }
+  uint64_t results() const { return results_; }
+  uint64_t migrations() const { return migrations_; }
+
+  /// All statically-joining pairs this executor serves.
+  const std::vector<PairKey>& pairs() const { return pairs_; }
+
+  /// \brief Placement of one pair (join node / at-base and the path used).
+  struct PairPlacement {
+    PairKey pair;
+    bool at_base = true;
+    net::NodeId join_node = 0;
+    /// Exploration path s..t (empty for algorithms that do not explore).
+    std::vector<net::NodeId> path;
+    /// Index of join_node within path (-1 if not path-based).
+    int path_index = -1;
+    /// Estimates the current placement was computed with (learning compares
+    /// fresh estimates against these).
+    workload::SelectivityParams placed_with;
+    /// The pairwise cost-model decision, before any group (MPO) override.
+    bool pairwise_at_base = true;
+    bool failed_over = false;
+  };
+  const std::map<PairKey, PairPlacement>& placements() const {
+    return placements_;
+  }
+
+  /// Kills a node (it stops forwarding/acking); Section 7's recovery logic
+  /// reacts through the drop handler.
+  void FailNode(net::NodeId id) { net_->FailNode(id); }
+
+ private:
+  struct Arrival {
+    net::Message msg;
+    net::NodeId at;
+  };
+
+  // -- initiation ------------------------------------------------------------
+  Status InitCommon();
+  Status InitNaive();
+  Status InitBase();
+  Status InitYang07();
+  Status InitGht();
+  Status InitInnet();
+  /// Explores from every S producer and returns placements per pair.
+  Status ExplorePairs();
+  void EnsureGroups();
+  void DecideGroupFor(const opt::JoinGroup& group, bool charge_traffic);
+  void RunGroupOpt(bool charge_traffic);
+  void BuildMulticastRoutes(bool charge_traffic);
+
+  // -- per-cycle data plane ----------------------------------------------------
+  void SampleAndSend(int cycle);
+  void SendToBase(net::NodeId p, const query::Tuple& t, int cycle, bool as_s,
+                  bool as_t);
+  void SendInnet(net::NodeId p, const query::Tuple& t, int cycle, bool as_s,
+                 bool as_t);
+  void SendGht(net::NodeId p, const query::Tuple& t, int cycle, bool as_s,
+               bool as_t);
+  void SendYang(net::NodeId p, const query::Tuple& t, int cycle, bool as_s,
+                bool as_t);
+
+  std::shared_ptr<DataPayload> MakeData(net::NodeId p, const query::Tuple& t,
+                                        int cycle, bool as_s, bool as_t);
+
+  // -- arrival processing -------------------------------------------------------
+  void OnDeliver(const net::Message& msg, net::NodeId at);
+  void OnDrop(const net::Message& msg, net::NodeId at, net::NodeId next);
+  void OnSnoop(const net::Message& msg, net::NodeId snooper, net::NodeId from,
+               net::NodeId to);
+  /// Applies buffered arrivals with deterministic ordering (S side first).
+  void ProcessArrivals(int cycle);
+  void ApplyData(net::NodeId at, const DataPayload& data, int cycle);
+  void EmitResults(net::NodeId at, const PairKey& pair, int count,
+                   int sample_cycle);
+  void DeliverResultAtBase(int count, int sample_cycle);
+
+  PairState& StateAt(net::NodeId at, const PairKey& pair);
+  PairState* FindState(net::NodeId at, const PairKey& pair);
+
+  // -- learning & failure -------------------------------------------------------
+  void RunLearning(int cycle);
+  /// Moves a pair's windows between join locations, charging the transfer.
+  void MoveState(const PairKey& pair, net::NodeId from, net::NodeId to,
+                 bool charge);
+  void MigratePair(PairPlacement* placement, bool new_at_base,
+                   net::NodeId new_join, int new_index);
+  void FailoverPairToBase(const PairKey& pair, net::NodeId producer);
+
+  // -- helpers -------------------------------------------------------------------
+  const routing::RoutingTree& primary_tree() const;
+  int DepthOf(net::NodeId id) const;
+  opt::PairCostInputs AssumedCost() const;
+  /// Estimates the optimizer uses for one pair: `assumed`, or the true
+  /// per-node parameters in oracle mode.
+  workload::SelectivityParams AssumedFor(const PairKey& pair) const;
+  /// Charges a control message of `bytes` along `path` (computed plane).
+  void ChargeAlongPath(const std::vector<net::NodeId>& path, int bytes,
+                       net::MessageKind kind);
+  /// Producer's hop distance to its pair's join node along the stored path.
+  static int HopsOnPath(const PairPlacement& p, bool from_s);
+  double ComputeDeltaCp(net::NodeId member, bool as_s,
+                        const workload::SelectivityParams& est) const;
+  void ApplyGroupDecision(const opt::JoinGroup& group, bool in_network);
+  void RebuildProducerRoute(net::NodeId p, bool as_s, bool charge_traffic);
+
+  /// Stamps the executor's query id and submits (unicast / multicast).
+  Result<uint64_t> SubmitToNet(net::Message msg);
+  Result<uint64_t> SubmitMcastToNet(
+      net::Message msg, std::shared_ptr<const net::MulticastRoute> route);
+
+  friend class SharedMedium;
+
+  const workload::Workload* workload_;
+  ExecutorOptions opts_;
+  std::unique_ptr<net::Network> owned_net_;
+  net::Network* net_ = nullptr;
+  int query_id_ = 0;
+  std::unique_ptr<routing::RoutingTree> single_tree_;  // non-Innet algorithms
+  std::unique_ptr<routing::MultiTree> multi_;          // Innet substrate
+  std::unique_ptr<routing::GeoHash> geo_;
+  std::unique_ptr<routing::DhtRing> dht_;
+  int routed_attr_ = -1;  ///< MultiTree index of the derived join attribute
+
+  std::vector<net::NodeId> s_nodes_, t_nodes_;
+  std::vector<PairKey> pairs_;
+  std::map<net::NodeId, std::vector<PairKey>> s_pairs_, t_pairs_;
+  std::map<PairKey, PairPlacement> placements_;
+  std::map<std::pair<net::NodeId, PairKey>, PairState> states_;
+  std::vector<opt::JoinGroup> groups_;
+  std::map<PairKey, size_t> pair_group_;  ///< pair -> index into groups_
+  int group_decision_seq_ = 0;
+
+  /// Last w tuples each producer sent per role (window reconstruction on
+  /// failover, Section 7).
+  std::map<std::pair<net::NodeId, bool>, std::deque<query::Tuple>>
+      recent_sent_;
+
+  /// Multicast routes per (producer, role).
+  std::map<std::pair<net::NodeId, bool>,
+           std::shared_ptr<const net::MulticastRoute>>
+      mcast_;
+  /// Links discovered by path-collapse snooping, per producer.
+  std::map<net::NodeId, std::set<std::pair<net::NodeId, net::NodeId>>>
+      extra_links_;
+  /// node -> producers whose data paths the node forwards (flow buffer).
+  std::map<net::NodeId, std::set<net::NodeId>> flows_through_;
+
+  std::vector<Arrival> arrivals_;
+  /// Pairs already counted in this step (dedup for multi-role messages).
+  int cycle_ = 0;
+  uint64_t results_ = 0;
+  double delay_sum_ = 0.0;
+  double delay_max_ = 0.0;
+  uint64_t migrations_ = 0;
+  uint64_t failovers_ = 0;
+  int init_latency_ = 0;
+  bool initiated_ = false;
+};
+
+}  // namespace join
+}  // namespace aspen
+
+#endif  // ASPEN_JOIN_EXECUTOR_H_

@@ -1,0 +1,690 @@
+// Innet strategy: multi-tree exploration, cost-based join-node placement
+// (Section 3), multi-pair optimization (Section 5), adaptive learning and
+// migration (Section 6), and failure recovery (Section 7).
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+#include "join/executor.h"
+
+namespace aspen {
+namespace join {
+
+using net::Message;
+using net::MessageKind;
+using net::NodeId;
+using net::RoutingMode;
+using query::Tuple;
+
+namespace {
+
+/// Best join-node position on a path plus the at-base alternative.
+struct OnPathChoice {
+  int index = 0;
+  double innet_cost = 0.0;
+  double base_cost = 0.0;
+  bool base_cheaper() const { return base_cost <= innet_cost; }
+};
+
+OnPathChoice BestOnPath(const opt::PairCostInputs& params,
+                        const std::vector<NodeId>& path,
+                        const std::function<int(NodeId)>& depth_of) {
+  ASPEN_CHECK(!path.empty());
+  OnPathChoice best;
+  best.base_cost =
+      opt::BasePairCost(params, depth_of(path.front()), depth_of(path.back()));
+  best.innet_cost = 1e300;
+  for (size_t i = 0; i < path.size(); ++i) {
+    double c = opt::InnetPairCost(params, static_cast<int>(i),
+                                  static_cast<int>(path.size() - 1 - i),
+                                  depth_of(path[i]));
+    if (c < best.innet_cost) {
+      best.innet_cost = c;
+      best.index = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+opt::PairCostInputs ToCost(const workload::SelectivityParams& p, int w) {
+  opt::PairCostInputs c;
+  c.sigma_s = p.sigma_s;
+  c.sigma_t = p.sigma_t;
+  c.sigma_st = p.sigma_st;
+  c.w = w;
+  return c;
+}
+
+constexpr int kNominationBytes = 6;
+constexpr int kCostReportBytes = 6;
+constexpr int kDecisionBytes = 4;
+constexpr int kHintBytes = 6;
+constexpr int kMcastUpdateBytesPerEdge = 4;
+
+}  // namespace
+
+Status JoinExecutor::InitInnet() {
+  routing::MultiTreeOptions mt_opts;
+  mt_opts.num_trees = opts_.num_trees;
+  // Substrate construction (trees, beacon floods, summary aggregation over
+  // the Table 1 static attributes) happens once at deployment and is shared
+  // by every query, exactly like the initial routing tree that Naive/Base
+  // get for free (Appendix C). It is therefore not charged to this query;
+  // MultiTree::construction_bytes() still reports it for diagnostics.
+  // Query-specific initiation — exploration, replies, nominations — is
+  // charged below (Table 3's ">= sum Dst").
+  multi_ = std::make_unique<routing::MultiTree>(&workload_->topology(),
+                                                mt_opts, nullptr);
+  const auto& primary = workload_->analysis().primary;
+  if (!primary.has_value()) {
+    // No routable static join clause: the only consistent strategy is a
+    // grouped join at the base (Section 2), which the default placements
+    // already encode.
+    return Status::OK();
+  }
+  if (primary->region_radius_dm.has_value()) {
+    multi_->IndexPositions(nullptr);
+  } else {
+    routing::IndexedAttribute attr;
+    attr.name = "primary_join_key";
+    attr.summary_type = opts_.summary_type;
+    const workload::Workload* w = workload_;
+    query::ExprPtr target = primary->target_expr;
+    attr.value_fn = [w, target](NodeId id) {
+      const query::Tuple& t = w->statics().tuple(id);
+      return target->Eval(&t, nullptr);
+    };
+    ASPEN_ASSIGN_OR_RETURN(routed_attr_,
+                           multi_->IndexAttribute(attr, nullptr));
+  }
+  ASPEN_RETURN_NOT_OK(ExplorePairs());
+  if (opts_.features.group_opt) RunGroupOpt(/*charge_traffic=*/true);
+  if (opts_.features.multicast) BuildMulticastRoutes(/*charge_traffic=*/true);
+  // Flow tables for opportunistic snooping (path collapsing).
+  if (opts_.features.path_collapse) {
+    for (const auto& [key, pl] : placements_) {
+      if (pl.path.empty()) continue;
+      for (int i = 1; i <= pl.path_index; ++i) {
+        flows_through_[pl.path[i]].insert(key.s);
+      }
+      for (int i = pl.path_index;
+           i < static_cast<int>(pl.path.size()) - 1; ++i) {
+        flows_through_[pl.path[i]].insert(key.t);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status JoinExecutor::ExplorePairs() {
+  const auto& primary = *workload_->analysis().primary;
+  const int w = workload_->join_query().window.size;
+  auto depth_of = [this](NodeId id) { return DepthOf(id); };
+
+  for (NodeId s : s_nodes_) {
+    if (s_pairs_.find(s) == s_pairs_.end()) continue;
+    auto accept = [this, s](NodeId t) {
+      return t != s && workload_->StaticPairJoins(s, t);
+    };
+    routing::SearchStats ss;
+    std::vector<routing::FoundPath> found;
+    if (primary.region_radius_dm.has_value()) {
+      // Positions are decimeters in tuples but meters in the topology; a
+      // small slack absorbs the rounding (accept() re-checks exactly).
+      double radius_m = *primary.region_radius_dm / 10.0 + 0.1;
+      found = multi_->FindWithinRadius(s, radius_m, accept, &net_->stats(),
+                                       &ss);
+    } else {
+      const query::Tuple& st = workload_->statics().tuple(s);
+      int32_t probe = primary.probe_expr->Eval(&st, nullptr);
+      found = multi_->FindMatches(s, routed_attr_, probe, accept,
+                                  &net_->stats(), &ss);
+    }
+    init_latency_ = std::max(init_latency_, ss.max_hops);
+    // Keep, per target, the path whose best placement is cheapest.
+    for (const auto& fp : found) {
+      PairKey key{s, fp.target};
+      auto it = placements_.find(key);
+      ASPEN_CHECK(it != placements_.end());  // accept() is exact
+      PairPlacement& pl = it->second;
+      const workload::SelectivityParams pair_params = AssumedFor(key);
+      const opt::PairCostInputs assumed = ToCost(pair_params, w);
+      OnPathChoice choice = BestOnPath(assumed, fp.path, depth_of);
+      bool better = pl.path.empty();
+      if (!better) {
+        OnPathChoice current = BestOnPath(assumed, pl.path, depth_of);
+        better = std::min(choice.innet_cost, choice.base_cost) <
+                 std::min(current.innet_cost, current.base_cost);
+      }
+      if (better) {
+        pl.path = fp.path;
+        pl.path_index = choice.index;
+        pl.join_node = fp.path[choice.index];
+        pl.pairwise_at_base = choice.base_cheaper();
+        pl.at_base = pl.pairwise_at_base;
+        pl.placed_with = pair_params;
+      }
+    }
+  }
+  // Nomination: t tells j, and j tells s (footnote 4). Charged along the
+  // chosen path segments.
+  for (const auto& [key, pl] : placements_) {
+    if (pl.path.empty()) continue;
+    std::vector<NodeId> t_to_j(pl.path.begin() + pl.path_index,
+                               pl.path.end());
+    std::reverse(t_to_j.begin(), t_to_j.end());
+    std::vector<NodeId> j_to_s(pl.path.begin(),
+                               pl.path.begin() + pl.path_index + 1);
+    std::reverse(j_to_s.begin(), j_to_s.end());
+    ChargeAlongPath(t_to_j, kNominationBytes, MessageKind::kNomination);
+    ChargeAlongPath(j_to_s, kNominationBytes, MessageKind::kNomination);
+  }
+  return Status::OK();
+}
+
+// ---- data plane ----------------------------------------------------------------
+
+void JoinExecutor::SendInnet(NodeId p, const Tuple& t, int cycle, bool as_s,
+                             bool as_t) {
+  bool base_s = false, base_t = false;
+  std::map<NodeId, std::pair<bool, bool>> dests;           // j -> role flags
+  std::map<NodeId, std::vector<NodeId>> dest_paths;        // j -> p..j
+  auto collect = [&](const std::vector<PairKey>& keys, bool role_s) {
+    for (const PairKey& key : keys) {
+      const PairPlacement& pl = placements_[key];
+      if (pl.at_base || pl.path.empty()) {
+        (role_s ? base_s : base_t) = true;
+        continue;
+      }
+      auto& flags = dests[pl.join_node];
+      (role_s ? flags.first : flags.second) = true;
+      if (dest_paths.find(pl.join_node) == dest_paths.end()) {
+        std::vector<NodeId> seg;
+        if (role_s) {
+          seg.assign(pl.path.begin(), pl.path.begin() + pl.path_index + 1);
+        } else {
+          seg.assign(pl.path.begin() + pl.path_index, pl.path.end());
+          std::reverse(seg.begin(), seg.end());
+        }
+        dest_paths[pl.join_node] = std::move(seg);
+      }
+    }
+  };
+  if (as_s) {
+    auto it = s_pairs_.find(p);
+    if (it != s_pairs_.end()) collect(it->second, true);
+  }
+  if (as_t) {
+    auto it = t_pairs_.find(p);
+    if (it != t_pairs_.end()) collect(it->second, false);
+  }
+
+  if (!dests.empty()) {
+    auto route_it = mcast_.find({p, true});
+    if (opts_.features.multicast && route_it != mcast_.end() &&
+        route_it->second != nullptr) {
+      Message msg;
+      msg.kind = MessageKind::kData;
+      msg.origin = p;
+      msg.dest = p;  // multicast delivery is target-driven
+      msg.size_bytes = workload_->DataBytes();
+      msg.payload = MakeData(p, t, cycle, as_s, as_t);
+      (void)SubmitMcastToNet(std::move(msg), route_it->second);
+    } else {
+      for (const auto& [j, flags] : dests) {
+        Message msg;
+        msg.kind = MessageKind::kData;
+        msg.mode = RoutingMode::kSourcePath;
+        msg.origin = p;
+        msg.dest = j;
+        msg.path = dest_paths[j];
+        msg.size_bytes = workload_->DataBytes();
+        msg.payload = MakeData(p, t, cycle, flags.first, flags.second);
+        (void)SubmitToNet(std::move(msg));
+      }
+    }
+  }
+  if (base_s || base_t) SendToBase(p, t, cycle, base_s, base_t);
+}
+
+// ---- group optimization (MPO) -----------------------------------------------
+
+double JoinExecutor::ComputeDeltaCp(
+    NodeId member, bool as_s, const workload::SelectivityParams& est) const {
+  const int w = workload_->join_query().window.size;
+  const auto& role_pairs = as_s ? s_pairs_ : t_pairs_;
+  auto it = role_pairs.find(member);
+  if (it == role_pairs.end()) return 0.0;
+  // Group the member's pairs by candidate join node.
+  std::map<NodeId, opt::ProducerJoinNode> per_join;
+  for (const PairKey& key : it->second) {
+    const auto pit = placements_.find(key);
+    if (pit == placements_.end() || pit->second.path.empty()) continue;
+    const PairPlacement& pl = pit->second;
+    auto [jit, inserted] =
+        per_join.try_emplace(pl.join_node, opt::ProducerJoinNode{});
+    if (inserted) {
+      jit->second.d_pj = HopsOnPath(pl, as_s);
+      jit->second.d_jr = DepthOf(pl.join_node);
+      jit->second.n_pairs = 1;
+    } else {
+      ++jit->second.n_pairs;
+    }
+  }
+  std::vector<opt::ProducerJoinNode> join_nodes;
+  join_nodes.reserve(per_join.size());
+  for (const auto& [j, pj] : per_join) join_nodes.push_back(pj);
+  double sigma_p = as_s ? est.sigma_s : est.sigma_t;
+  return opt::GroupDeltaCp(sigma_p, est.sigma_st, w, join_nodes,
+                           DepthOf(member));
+}
+
+void JoinExecutor::ApplyGroupDecision(const opt::JoinGroup& group,
+                                      bool in_network) {
+  for (const auto& [s, t] : group.pairs) {
+    PairKey key{s, t};
+    auto it = placements_.find(key);
+    if (it == placements_.end()) continue;
+    PairPlacement& pl = it->second;
+    if (pl.failed_over || pl.path.empty()) continue;
+    bool new_at_base = in_network ? pl.pairwise_at_base : true;
+    if (new_at_base != pl.at_base) {
+      NodeId from = pl.at_base ? 0 : pl.join_node;
+      NodeId to = new_at_base ? 0 : pl.join_node;
+      MoveState(key, from, to, /*charge=*/true);
+      pl.at_base = new_at_base;
+      if (initiated_) ++migrations_;  // adaptive relocation, not setup
+    }
+  }
+}
+
+void JoinExecutor::EnsureGroups() {
+  if (!groups_.empty()) return;
+  std::vector<std::pair<NodeId, NodeId>> raw;
+  raw.reserve(pairs_.size());
+  for (const PairKey& key : pairs_) raw.emplace_back(key.s, key.t);
+  groups_ = opt::DiscoverGroups(raw);
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    for (const auto& [s, t] : groups_[g].pairs) {
+      pair_group_[PairKey{s, t}] = g;
+    }
+  }
+}
+
+void JoinExecutor::RunGroupOpt(bool charge_traffic) {
+  EnsureGroups();
+  ++group_decision_seq_;
+  for (const auto& group : groups_) DecideGroupFor(group, charge_traffic);
+}
+
+void JoinExecutor::DecideGroupFor(const opt::JoinGroup& group,
+                                  bool charge_traffic) {
+  {
+    std::vector<double> deltas;
+    auto report = [&](NodeId member, bool as_s) {
+      // Members use the estimates their placements were computed with; with
+      // learning on these are the learned values.
+      workload::SelectivityParams est = opts_.assumed;
+      const auto& role_pairs = as_s ? s_pairs_ : t_pairs_;
+      auto it = role_pairs.find(member);
+      if (it != role_pairs.end() && !it->second.empty()) {
+        est = placements_[it->second.front()].placed_with;
+      }
+      deltas.push_back(ComputeDeltaCp(member, as_s, est));
+      if (charge_traffic && member != group.coordinator) {
+        ChargeAlongPath(primary_tree().TreePath(member, group.coordinator),
+                        kCostReportBytes, MessageKind::kCostReport);
+      }
+    };
+    for (NodeId s : group.s_members) report(s, true);
+    for (NodeId t : group.t_members) report(t, false);
+    bool in_network =
+        opt::DecideGroup(deltas) == opt::GroupDecision::kInNetwork;
+    if (charge_traffic) {
+      for (NodeId m : group.s_members) {
+        if (m != group.coordinator) {
+          ChargeAlongPath(primary_tree().TreePath(group.coordinator, m),
+                          kDecisionBytes, MessageKind::kGroupDecision);
+        }
+      }
+      for (NodeId m : group.t_members) {
+        if (m != group.coordinator) {
+          ChargeAlongPath(primary_tree().TreePath(group.coordinator, m),
+                          kDecisionBytes, MessageKind::kGroupDecision);
+        }
+      }
+    }
+    ApplyGroupDecision(group, in_network);
+  }
+}
+
+// ---- multicast trees ----------------------------------------------------------
+
+void JoinExecutor::RebuildProducerRoute(NodeId p, bool /*as_s*/,
+                                        bool charge_traffic) {
+  // Collect the path segments from p to each of its in-network join nodes
+  // (both roles), plus any snoop-discovered shortcut links.
+  std::set<NodeId> targets;
+  std::set<std::pair<NodeId, NodeId>> edges;
+  auto add_segment = [&](const std::vector<NodeId>& seg) {
+    for (size_t i = 0; i + 1 < seg.size(); ++i) {
+      edges.insert({seg[i], seg[i + 1]});
+      edges.insert({seg[i + 1], seg[i]});
+    }
+  };
+  auto collect = [&](const std::vector<PairKey>& keys, bool role_s) {
+    for (const PairKey& key : keys) {
+      const PairPlacement& pl = placements_[key];
+      if (pl.at_base || pl.path.empty()) continue;
+      targets.insert(pl.join_node);
+      std::vector<NodeId> seg;
+      if (role_s) {
+        seg.assign(pl.path.begin(), pl.path.begin() + pl.path_index + 1);
+      } else {
+        seg.assign(pl.path.begin() + pl.path_index, pl.path.end());
+        std::reverse(seg.begin(), seg.end());
+      }
+      add_segment(seg);
+    }
+  };
+  auto sit = s_pairs_.find(p);
+  if (sit != s_pairs_.end()) collect(sit->second, true);
+  auto tit = t_pairs_.find(p);
+  if (tit != t_pairs_.end()) collect(tit->second, false);
+
+  auto key = std::make_pair(p, true);
+  if (targets.empty()) {
+    mcast_.erase(key);
+    return;
+  }
+  auto lit = extra_links_.find(p);
+  if (lit != extra_links_.end()) {
+    for (const auto& [a, b] : lit->second) {
+      edges.insert({a, b});
+      edges.insert({b, a});
+    }
+  }
+  // BFS from p over the collected edges; prune to the union of p->target
+  // paths.
+  std::map<NodeId, std::vector<NodeId>> adj;
+  for (const auto& [a, b] : edges) adj[a].push_back(b);
+  std::map<NodeId, NodeId> parent;
+  std::queue<NodeId> frontier;
+  parent[p] = p;
+  frontier.push(p);
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : adj[u]) {
+      if (parent.find(v) == parent.end()) {
+        parent[v] = u;
+        frontier.push(v);
+      }
+    }
+  }
+  auto route = std::make_shared<net::MulticastRoute>();
+  std::set<std::pair<NodeId, NodeId>> tree_edges;
+  for (NodeId t : targets) {
+    if (parent.find(t) == parent.end()) continue;  // unreachable: stale link
+    route->targets.push_back(t);
+    for (NodeId u = t; u != p; u = parent[u]) {
+      tree_edges.insert({parent[u], u});
+    }
+  }
+  for (const auto& [u, v] : tree_edges) route->children[u].push_back(v);
+
+  // 10%-improvement rule (Appendix E): only push an updated tree when it is
+  // meaningfully smaller than the one currently cached in the network.
+  auto existing = mcast_.find(key);
+  size_t old_edges = existing != mcast_.end() && existing->second != nullptr
+                         ? [&] {
+                             size_t n = 0;
+                             for (const auto& [u, kids] :
+                                  existing->second->children) {
+                               n += kids.size();
+                             }
+                             return n;
+                           }()
+                         : SIZE_MAX;
+  bool adopt = existing == mcast_.end() || existing->second == nullptr ||
+               tree_edges.size() * 10 <= old_edges * 9;
+  // A placement change (targets moved) always forces adoption: the cached
+  // tree no longer covers the right targets.
+  if (!adopt && existing->second != nullptr) {
+    std::set<NodeId> old_targets(existing->second->targets.begin(),
+                                 existing->second->targets.end());
+    if (old_targets != targets) adopt = true;
+  }
+  if (!adopt) return;
+  if (charge_traffic) {
+    for (const auto& [u, v] : tree_edges) {
+      net_->stats().RecordSend(u, MessageKind::kMulticastUpdate,
+                               kMcastUpdateBytesPerEdge +
+                                   net::WireFormat::kLinkHeaderBytes);
+      net_->stats().RecordReceive(v, kMcastUpdateBytesPerEdge +
+                                         net::WireFormat::kLinkHeaderBytes);
+    }
+  }
+  mcast_[key] = std::move(route);
+}
+
+void JoinExecutor::BuildMulticastRoutes(bool charge_traffic) {
+  std::set<NodeId> producers;
+  for (const auto& [p, keys] : s_pairs_) producers.insert(p);
+  for (const auto& [p, keys] : t_pairs_) producers.insert(p);
+  for (NodeId p : producers) RebuildProducerRoute(p, true, charge_traffic);
+}
+
+// ---- snooping / path collapse --------------------------------------------------
+
+void JoinExecutor::OnSnoop(const Message& msg, NodeId snooper, NodeId from,
+                           NodeId to) {
+  if (msg.kind != MessageKind::kData || !opts_.features.path_collapse ||
+      !opts_.features.multicast) {
+    return;
+  }
+  const auto* data = static_cast<const DataPayload*>(msg.payload.get());
+  if (data == nullptr) return;
+  NodeId p = data->producer;
+  if (snooper == p || from == p || to == p) return;
+  auto fit = flows_through_.find(snooper);
+  if (fit == flows_through_.end() || fit->second.count(p) == 0) return;
+  auto ffrom = flows_through_.find(from);
+  if (ffrom == flows_through_.end() || ffrom->second.count(p) == 0) return;
+  auto link = std::minmax(snooper, from);
+  auto& links = extra_links_[p];
+  if (!links.insert({link.first, link.second}).second) return;
+  // Notify the producer (Algorithm 2's optimization tuple).
+  ChargeAlongPath(primary_tree().TreePath(snooper, p), kHintBytes,
+                  MessageKind::kCollapseHint);
+  RebuildProducerRoute(p, true, /*charge_traffic=*/true);
+}
+
+// ---- learning & migration (Section 6) ------------------------------------------
+
+void JoinExecutor::MoveState(const PairKey& pair, NodeId from, NodeId to,
+                             bool charge) {
+  if (from == to) return;
+  auto it = states_.find(std::make_pair(from, pair));
+  if (it == states_.end()) return;  // nothing buffered yet
+  PairState moving = std::move(it->second);
+  states_.erase(it);
+  if (charge) {
+    int tuples = moving.s_window.size() + moving.t_window.size();
+    int bytes = 4 + tuples * workload_->DataBytes();
+    ChargeAlongPath(primary_tree().TreePath(from, to), bytes,
+                    MessageKind::kWindowTransfer);
+  }
+  states_.emplace(std::make_pair(to, pair), std::move(moving));
+}
+
+void JoinExecutor::MigratePair(PairPlacement* pl, bool new_at_base,
+                               NodeId new_join, int new_index) {
+  NodeId from = pl->at_base ? 0 : pl->join_node;
+  NodeId to = new_at_base ? 0 : new_join;
+  if (from != to) {
+    MoveState(pl->pair, from, to, /*charge=*/true);
+    // Producers must learn the new join point (new path indices).
+    if (!pl->path.empty()) {
+      std::vector<NodeId> to_s(pl->path.begin(),
+                               pl->path.begin() + std::max(new_index, 0) + 1);
+      std::reverse(to_s.begin(), to_s.end());
+      ChargeAlongPath(to_s, 4, MessageKind::kControl);
+      std::vector<NodeId> to_t(
+          pl->path.begin() + std::max(new_index, 0), pl->path.end());
+      ChargeAlongPath(to_t, 4, MessageKind::kControl);
+    }
+    ++migrations_;
+  }
+  pl->at_base = new_at_base;
+  if (!new_at_base) {
+    pl->join_node = new_join;
+    pl->path_index = new_index;
+  }
+}
+
+void JoinExecutor::RunLearning(int cycle) {
+  const int w = workload_->join_query().window.size;
+  if ((cycle + 1) % opts_.reestimate_interval == 0) {
+    auto depth_of = [this](NodeId id) { return DepthOf(id); };
+    bool any_moved = false;
+    // Collect first: MigratePair mutates states_.
+    struct Planned {
+      PairKey pair;
+      workload::SelectivityParams est;
+    };
+    std::vector<Planned> planned;
+    for (auto& [loc_pair, st] : states_) {
+      const auto& [loc, pair] = loc_pair;
+      auto pit = placements_.find(pair);
+      if (pit == placements_.end()) continue;
+      PairPlacement& pl = pit->second;
+      if (pl.failed_over || pl.path.empty()) continue;
+      if ((pl.at_base ? 0 : pl.join_node) != loc) continue;  // stale
+      workload::SelectivityParams est =
+          st.estimator.Estimate(w, pl.placed_with);
+      if (adapt::SelectivityEstimator::Diverged(est, pl.placed_with,
+                                                opts_.divergence_threshold)) {
+        planned.push_back({pair, est});
+      }
+    }
+    std::set<size_t> affected_groups;
+    for (const auto& plan : planned) {
+      PairPlacement& pl = placements_[plan.pair];
+      const opt::PairCostInputs est_cost = ToCost(plan.est, w);
+      OnPathChoice choice = BestOnPath(est_cost, pl.path, depth_of);
+      // Hysteresis: relocating pays a window transfer and producer
+      // notifications, so only move for a meaningful (>=10%) modeled
+      // improvement over staying put under the fresh estimates.
+      double current_cost =
+          pl.at_base
+              ? choice.base_cost
+              : opt::InnetPairCost(
+                    est_cost, pl.path_index,
+                    static_cast<int>(pl.path.size()) - 1 - pl.path_index,
+                    DepthOf(pl.join_node));
+      double best_cost = std::min(choice.innet_cost, choice.base_cost);
+      pl.placed_with = plan.est;
+      if (best_cost > current_cost * 0.9) continue;
+      pl.pairwise_at_base = choice.base_cheaper();
+      bool new_at_base =
+          opts_.features.group_opt ? pl.at_base : pl.pairwise_at_base;
+      // Without group optimization the pairwise decision applies directly;
+      // with it, the group pass below reconciles at_base.
+      NodeId new_join = pl.path[choice.index];
+      if (opts_.features.group_opt && pl.at_base) {
+        // Stay at base for now; the group decision may move the group.
+        pl.join_node = new_join;
+        pl.path_index = choice.index;
+      } else {
+        NodeId old_join = pl.at_base ? 0 : pl.join_node;
+        MigratePair(&pl, new_at_base, new_join, choice.index);
+        if ((pl.at_base ? 0 : pl.join_node) != old_join) any_moved = true;
+      }
+      if (opts_.features.group_opt) {
+        auto git = pair_group_.find(plan.pair);
+        if (git != pair_group_.end()) affected_groups.insert(git->second);
+      }
+    }
+    if (!affected_groups.empty() && opts_.features.group_opt) {
+      // Re-decide only the groups whose members' estimates changed; a full
+      // network-wide re-optimization would charge every group's reports.
+      for (size_t g : affected_groups) {
+        DecideGroupFor(groups_[g], /*charge_traffic=*/true);
+      }
+      any_moved = true;
+    }
+    if (any_moved && opts_.features.multicast) {
+      BuildMulticastRoutes(/*charge_traffic=*/true);
+    }
+  }
+  if ((cycle + 1) % opts_.counter_reset_interval == 0) {
+    for (auto& [loc_pair, st] : states_) st.estimator.Reset();
+  }
+}
+
+// ---- failure recovery (Section 7) ----------------------------------------------
+
+void JoinExecutor::FailoverPairToBase(const PairKey& pair, NodeId producer) {
+  auto it = placements_.find(pair);
+  if (it == placements_.end()) return;
+  PairPlacement& pl = it->second;
+  if (pl.at_base) return;
+  pl.at_base = true;
+  pl.failed_over = true;
+  ++failovers_;
+  // Forward the last w tuples so the base can reconstruct the join window.
+  bool as_s = producer == pair.s;
+  auto rit = recent_sent_.find({producer, as_s});
+  auto wt = std::make_shared<WindowTransferPayload>();
+  wt->pair = pair;
+  if (rit != recent_sent_.end()) {
+    auto& dst = as_s ? wt->s_window : wt->t_window;
+    dst.assign(rit->second.begin(), rit->second.end());
+  }
+  int tuples =
+      static_cast<int>(wt->s_window.size() + wt->t_window.size());
+  Message msg;
+  msg.kind = MessageKind::kWindowTransfer;
+  msg.mode = RoutingMode::kTreeToRoot;
+  msg.origin = producer;
+  msg.dest = 0;
+  msg.size_bytes = 4 + tuples * workload_->DataBytes();
+  msg.payload = std::move(wt);
+  (void)SubmitToNet(std::move(msg));
+  if (opts_.features.multicast) {
+    RebuildProducerRoute(producer, true, /*charge_traffic=*/true);
+  }
+}
+
+void JoinExecutor::OnDrop(const Message& msg, NodeId at, NodeId next) {
+  (void)at;
+  (void)next;
+  if (msg.kind != MessageKind::kData) return;
+  const auto* data = static_cast<const DataPayload*>(msg.payload.get());
+  if (data == nullptr) return;
+  NodeId j = msg.dest;
+  if (j < 0 || !net_->IsFailed(j)) return;  // congestion loss, not death
+  NodeId p = data->producer;
+  auto fail_role = [&](const std::vector<PairKey>& keys) {
+    for (const PairKey& key : keys) {
+      const auto it = placements_.find(key);
+      if (it != placements_.end() && !it->second.at_base &&
+          it->second.join_node == j) {
+        FailoverPairToBase(key, p);
+      }
+    }
+  };
+  if (data->as_s) {
+    auto it = s_pairs_.find(p);
+    if (it != s_pairs_.end()) fail_role(it->second);
+  }
+  if (data->as_t) {
+    auto it = t_pairs_.find(p);
+    if (it != t_pairs_.end()) fail_role(it->second);
+  }
+}
+
+}  // namespace join
+}  // namespace aspen

@@ -1,0 +1,80 @@
+#include "join/medium.h"
+
+#include "common/logging.h"
+
+namespace aspen {
+namespace join {
+
+SharedMedium::SharedMedium(const net::Topology* topology,
+                           net::NetworkOptions options)
+    : topology_(topology),
+      net_(topology, options),
+      primary_(routing::RoutingTree::Build(*topology, 0)) {
+  net_.set_parent_resolver(&primary_);
+  net_.set_delivery_handler([this](const net::Message& m, net::NodeId at) {
+    auto it = executors_.find(m.query_id);
+    if (it != executors_.end()) it->second->OnDeliver(m, at);
+  });
+  net_.set_drop_handler(
+      [this](const net::Message& m, net::NodeId at, net::NodeId next) {
+        auto it = executors_.find(m.query_id);
+        if (it != executors_.end()) it->second->OnDrop(m, at, next);
+      });
+  net_.set_snoop_handler([this](const net::Message& m, net::NodeId snooper,
+                                net::NodeId from, net::NodeId to) {
+    auto it = executors_.find(m.query_id);
+    if (it != executors_.end()) it->second->OnSnoop(m, snooper, from, to);
+  });
+}
+
+JoinExecutor* SharedMedium::AddQuery(const workload::Workload* workload,
+                                     ExecutorOptions options) {
+  ASPEN_CHECK(&workload->topology() == topology_);
+  int interval = workload->join_query().window.sample_interval;
+  if (sample_interval_ < 0) {
+    sample_interval_ = interval;
+  } else {
+    ASPEN_CHECK_EQ(sample_interval_, interval);
+  }
+  int id = next_query_id_++;
+  auto exec = std::make_unique<JoinExecutor>(workload, options, &net_, id);
+  JoinExecutor* out = exec.get();
+  executors_.emplace(id, std::move(exec));
+  return out;
+}
+
+Status SharedMedium::InitiateAll() {
+  for (auto& [id, exec] : executors_) {
+    ASPEN_RETURN_NOT_OK(exec->Initiate());
+  }
+  // Executors must not leave a dangling resolver behind.
+  net_.set_parent_resolver(&primary_);
+  return Status::OK();
+}
+
+Status SharedMedium::RunCycles(int n) {
+  if (executors_.empty()) {
+    return Status::FailedPrecondition("SharedMedium has no queries");
+  }
+  for (int i = 0; i < n; ++i) {
+    for (auto& [id, exec] : executors_) {
+      ASPEN_RETURN_NOT_OK(exec->StepCycleBegin());
+    }
+    for (int k = 0; k < sample_interval_; ++k) {
+      net_.Step();
+      if (!net_.HasTrafficInFlight()) break;
+    }
+    for (auto& [id, exec] : executors_) {
+      ASPEN_RETURN_NOT_OK(exec->StepCycleEnd());
+    }
+  }
+  net_.StepUntilQuiet(16 * sample_interval_);
+  // Apply straggler deliveries (e.g. results emitted at the last cycle).
+  for (auto& [id, exec] : executors_) {
+    exec->ProcessArrivals(exec->cycle_);
+  }
+  return Status::OK();
+}
+
+}  // namespace join
+}  // namespace aspen

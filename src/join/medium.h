@@ -1,0 +1,61 @@
+// Shared radio medium for multiple concurrent queries.
+//
+// The paper's introduction motivates minimizing resource consumption
+// "in case of multiple concurrent queries". SharedMedium owns one Network
+// and dispatches deliveries/drops/snoops to the owning executor by the
+// query id stamped on every message. Traffic accounting is medium-wide, so
+// the combined load of concurrent queries — including cross-query packet
+// merging at relay nodes — is measured exactly once.
+
+#ifndef ASPEN_JOIN_MEDIUM_H_
+#define ASPEN_JOIN_MEDIUM_H_
+
+#include <map>
+#include <memory>
+
+#include "join/executor.h"
+#include "net/network.h"
+#include "routing/routing_tree.h"
+#include "workload/workload.h"
+
+namespace aspen {
+namespace join {
+
+/// \brief One network shared by several concurrently-executing queries.
+class SharedMedium {
+ public:
+  /// `topology` must outlive the medium.
+  SharedMedium(const net::Topology* topology, net::NetworkOptions options);
+
+  /// \brief Creates an executor for `workload` attached to this medium.
+  /// The workload must be over the medium's topology and must outlive the
+  /// returned executor; the executor is owned by the medium.
+  JoinExecutor* AddQuery(const workload::Workload* workload,
+                         ExecutorOptions options);
+
+  /// \brief Initiates every registered query (in registration order; their
+  /// initiation traffic accumulates on the shared stats).
+  Status InitiateAll();
+
+  /// \brief Runs `n` sampling cycles with all queries interleaved on the
+  /// medium. Every workload must use the same sample_interval.
+  Status RunCycles(int n);
+
+  net::Network& network() { return net_; }
+  const net::TrafficStats& stats() const { return net_.stats(); }
+  int num_queries() const { return static_cast<int>(executors_.size()); }
+  JoinExecutor& executor(int query_id) { return *executors_.at(query_id); }
+
+ private:
+  const net::Topology* topology_;
+  net::Network net_;
+  routing::RoutingTree primary_;
+  std::map<int, std::unique_ptr<JoinExecutor>> executors_;
+  int next_query_id_ = 1;
+  int sample_interval_ = -1;
+};
+
+}  // namespace join
+}  // namespace aspen
+
+#endif  // ASPEN_JOIN_MEDIUM_H_

@@ -1,0 +1,30 @@
+// Per-(s, t)-pair execution state held at a join node: the two windows plus
+// the learning estimator of Section 6.
+
+#ifndef ASPEN_JOIN_PAIR_STATE_H_
+#define ASPEN_JOIN_PAIR_STATE_H_
+
+#include "adapt/estimator.h"
+#include "join/types.h"
+#include "query/window.h"
+
+namespace aspen {
+namespace join {
+
+/// \brief Windows + selectivity estimator for one producer pair.
+struct PairState {
+  PairKey pair;
+  query::JoinWindow s_window;
+  query::JoinWindow t_window;
+  adapt::SelectivityEstimator estimator;
+
+  PairState(PairKey key, int window, bool time_based)
+      : pair(key),
+        s_window(window, time_based),
+        t_window(window, time_based) {}
+};
+
+}  // namespace join
+}  // namespace aspen
+
+#endif  // ASPEN_JOIN_PAIR_STATE_H_

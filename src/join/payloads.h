@@ -1,0 +1,65 @@
+// Typed message payloads exchanged by the join executors.
+
+#ifndef ASPEN_JOIN_PAYLOADS_H_
+#define ASPEN_JOIN_PAYLOADS_H_
+
+#include <vector>
+
+#include "join/types.h"
+#include "net/message.h"
+#include "query/schema.h"
+
+namespace aspen {
+namespace join {
+
+/// \brief A producer sample en route to one or more join nodes.
+struct DataPayload : net::Payload {
+  net::NodeId producer = -1;
+  query::Tuple tuple;
+  int sample_cycle = 0;
+  /// True when the producer sent this in its S role (it may also send a
+  /// separate message for its T role if its filters differ).
+  bool as_s = false;
+  bool as_t = false;
+};
+
+/// \brief A join result (or a count of results for merged reporting).
+struct ResultPayload : net::Payload {
+  net::NodeId s = -1;
+  net::NodeId t = -1;
+  /// Sampling cycle of the newer of the two joined tuples.
+  int sample_cycle = 0;
+};
+
+/// \brief Join-window snapshot shipped on join-node migration (Section 6)
+/// or base fallback after failure (Section 7).
+struct WindowTransferPayload : net::Payload {
+  PairKey pair;
+  std::vector<query::Tuple> s_window;
+  std::vector<query::Tuple> t_window;
+};
+
+/// \brief MPO cost report: a member's delta-Cp to the group coordinator.
+struct CostReportPayload : net::Payload {
+  net::NodeId member = -1;
+  double delta_cp = 0.0;
+};
+
+/// \brief MPO decision broadcast (Algorithm 1).
+struct GroupDecisionPayload : net::Payload {
+  bool in_network = true;
+  int seq = 0;
+};
+
+/// \brief Path-collapse opportunity: snooper `via` heard a transmission and
+/// knows a link (via, neighbor) that can shortcut two of the producer's
+/// paths (Appendix E, Algorithm 2's output tuple, simplified).
+struct CollapseHintPayload : net::Payload {
+  net::NodeId via = -1;       ///< the snooping node (on one path)
+  net::NodeId neighbor = -1;  ///< the transmitting node (on the other path)
+};
+
+}  // namespace join
+}  // namespace aspen
+
+#endif  // ASPEN_JOIN_PAYLOADS_H_

@@ -1,0 +1,107 @@
+#include "net/geo_routing.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aspen {
+namespace net {
+
+namespace {
+
+/// Angle of the vector from `a` to `b` in [0, 2*pi).
+double AngleOf(const Point& a, const Point& b) {
+  double ang = std::atan2(b.y - a.y, b.x - a.x);
+  if (ang < 0) ang += 2.0 * M_PI;
+  return ang;
+}
+
+/// Right-hand rule: the first planar neighbor of `v` counterclockwise from
+/// the reference direction `ref_angle` (exclusive, so the packet does not
+/// immediately bounce back along the incoming edge unless it is the only
+/// option).
+NodeId FirstCcwNeighbor(const Topology& topo, NodeId v, double ref_angle) {
+  const auto& planar = topo.GabrielNeighbors(v);
+  if (planar.empty()) return -1;
+  NodeId best = -1;
+  double best_delta = 2.0 * M_PI + 1.0;
+  for (NodeId w : planar) {
+    double delta = AngleOf(topo.position(v), topo.position(w)) - ref_angle;
+    while (delta <= 1e-12) delta += 2.0 * M_PI;  // strictly ccw
+    if (delta < best_delta) {
+      best_delta = delta;
+      best = w;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+NodeId GeoNextHop(const Topology& topology, GeoRouteState* state, NodeId at,
+                  NodeId dest) {
+  ASPEN_DCHECK(state != nullptr);
+  if (at == dest) return -1;
+  ++state->hops;
+  // TTL fallback: a perimeter walk that orbits an interior face makes no
+  // progress; after 4|V| hops route along the connectivity graph directly.
+  if (state->hops > 4 * topology.num_nodes()) {
+    auto path = topology.ShortestPath(at, dest);
+    return path.size() < 2 ? -1 : path[1];
+  }
+  const Point& target = topology.position(dest);
+  double here = Distance(topology.position(at), target);
+  // Perimeter -> greedy transition: strictly closer than the entry point.
+  if (state->escape_dist >= 0.0 && here < state->escape_dist) {
+    state->escape_dist = -1.0;
+  }
+  if (state->escape_dist < 0.0) {
+    NodeId best = -1;
+    double best_d = here;
+    for (NodeId nb : topology.neighbors(at)) {
+      double d = Distance(topology.position(nb), target);
+      if (d < best_d) {
+        best_d = d;
+        best = nb;
+      }
+    }
+    if (best >= 0) {
+      state->prev = at;
+      return best;
+    }
+    // Local minimum: enter perimeter mode.
+    state->escape_dist = here;
+    state->prev = -1;  // first perimeter edge references the target bearing
+  }
+  // Perimeter mode: right-hand rule on the Gabriel planarization. The
+  // reference direction is the incoming edge (or the target bearing when
+  // entering perimeter mode).
+  double ref_angle =
+      state->prev >= 0
+          ? AngleOf(topology.position(at), topology.position(state->prev))
+          : AngleOf(topology.position(at), target);
+  NodeId next = FirstCcwNeighbor(topology, at, ref_angle);
+  if (next < 0) {
+    auto path = topology.ShortestPath(at, dest);
+    return path.size() < 2 ? -1 : path[1];
+  }
+  state->prev = at;
+  return next;
+}
+
+std::vector<NodeId> GeoRoute(const Topology& topology, NodeId from,
+                             NodeId to) {
+  std::vector<NodeId> path{from};
+  GeoRouteState state;
+  NodeId cur = from;
+  while (cur != to) {
+    NodeId next = GeoNextHop(topology, &state, cur, to);
+    if (next < 0) break;
+    path.push_back(next);
+    cur = next;
+  }
+  return path;
+}
+
+}  // namespace net
+}  // namespace aspen

@@ -1,0 +1,47 @@
+// GPSR-style geographic routing (Karp & Kung), used by the GHT baseline.
+//
+// Greedy mode forwards to the neighbor strictly closest to the target.
+// At a local minimum the packet enters *perimeter mode*: it traverses the
+// Gabriel-graph planarization of the connectivity graph with the
+// right-hand rule, hugging the face boundary, until it reaches a node
+// strictly closer to the target than where perimeter mode began — the
+// behavior that gives GPSR its characteristically long detours around
+// connectivity gaps (Figure 16). A TTL fallback to a shortest-path hop
+// guards against the rare face traversals that orbit an interior face.
+
+#ifndef ASPEN_NET_GEO_ROUTING_H_
+#define ASPEN_NET_GEO_ROUTING_H_
+
+#include "net/topology.h"
+
+namespace aspen {
+namespace net {
+
+/// \brief Per-packet geographic routing state (carried by the frame).
+struct GeoRouteState {
+  /// Distance to the target when perimeter mode began; < 0 in greedy mode.
+  double escape_dist = -1.0;
+  /// Node the packet arrived from (for the right-hand rule); -1 initially.
+  NodeId prev = -1;
+  /// Hops travelled so far (TTL fallback).
+  int hops = 0;
+};
+
+/// \brief One GPSR forwarding decision from `at` toward `dest`.
+///
+/// Updates `state` (mode transitions, hop count). Returns -1 when no
+/// forwarding is possible at all (isolated node). Guaranteed to terminate:
+/// after 4·|V| hops it falls back to shortest-path steps.
+NodeId GeoNextHop(const Topology& topology, GeoRouteState* state, NodeId at,
+                  NodeId dest);
+
+/// \brief The full hop sequence GPSR takes from `from` to `to` (both
+/// endpoints included). Used by path-quality benches and rendezvous cost
+/// estimation.
+std::vector<NodeId> GeoRoute(const Topology& topology, NodeId from,
+                             NodeId to);
+
+}  // namespace net
+}  // namespace aspen
+
+#endif  // ASPEN_NET_GEO_ROUTING_H_

@@ -1,0 +1,272 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace aspen {
+namespace net {
+
+Network::Network(const Topology* topology, NetworkOptions options)
+    : topology_(topology),
+      options_(options),
+      rng_(options.seed),
+      stats_(topology->num_nodes()),
+      failed_(topology->num_nodes(), false) {}
+
+void Network::FailNode(NodeId id) {
+  ASPEN_CHECK(id >= 0 && id < topology_->num_nodes());
+  failed_[id] = true;
+}
+
+void Network::ReviveNode(NodeId id) {
+  ASPEN_CHECK(id >= 0 && id < topology_->num_nodes());
+  failed_[id] = false;
+}
+
+NodeId Network::ResolveNextHop(Frame* frame) const {
+  const Message& msg = frame->msg;
+  if (frame->at == msg.dest) return -2;
+  switch (msg.mode) {
+    case RoutingMode::kSourcePath:
+    case RoutingMode::kLocalHop: {
+      if (frame->path_idx + 1 >= msg.path.size()) return -1;
+      return msg.path[frame->path_idx + 1];
+    }
+    case RoutingMode::kTreeToRoot: {
+      if (parent_resolver_ == nullptr) return -1;
+      return parent_resolver_->ParentOf(frame->at);
+    }
+    case RoutingMode::kGeoGreedy:
+      return GeoNextHop(*topology_, &frame->geo, frame->at, msg.dest);
+  }
+  return -1;
+}
+
+Result<uint64_t> Network::Submit(Message msg) {
+  if (msg.origin < 0 || msg.origin >= topology_->num_nodes() ||
+      msg.dest < 0 || msg.dest >= topology_->num_nodes()) {
+    return Status::InvalidArgument("Submit: origin/dest out of range");
+  }
+  if (failed_[msg.origin]) {
+    return Status::FailedPrecondition("Submit: origin node has failed");
+  }
+  msg.id = next_id_++;
+  if (msg.origin == msg.dest) {
+    DeliverLocal(msg, msg.dest);
+    return msg.id;
+  }
+  if (msg.mode == RoutingMode::kSourcePath ||
+      msg.mode == RoutingMode::kLocalHop) {
+    if (msg.path.size() < 2 || msg.path.front() != msg.origin ||
+        msg.path.back() != msg.dest) {
+      return Status::InvalidArgument(
+          "Submit: path must run from origin to dest");
+    }
+  }
+  if (msg.mode == RoutingMode::kTreeToRoot && parent_resolver_ == nullptr) {
+    return Status::FailedPrecondition("Submit: no parent resolver installed");
+  }
+  Frame frame;
+  frame.msg = std::move(msg);
+  frame.at = frame.msg.origin;
+  frame.path_idx = 0;
+  frame.submit_time = now_;
+  NodeId next = ResolveNextHop(&frame);
+  if (next < 0) {
+    return Status::Unreachable("Submit: no route from origin");
+  }
+  frame.next = next;
+  uint64_t id = frame.msg.id;
+  pending_.push_back(std::move(frame));
+  return id;
+}
+
+Result<uint64_t> Network::SubmitMulticast(
+    Message msg, std::shared_ptr<const MulticastRoute> route) {
+  if (msg.origin < 0 || msg.origin >= topology_->num_nodes()) {
+    return Status::InvalidArgument("SubmitMulticast: origin out of range");
+  }
+  if (failed_[msg.origin]) {
+    return Status::FailedPrecondition("SubmitMulticast: origin has failed");
+  }
+  if (route == nullptr) {
+    return Status::InvalidArgument("SubmitMulticast: null route");
+  }
+  msg.id = next_id_++;
+  uint64_t id = msg.id;
+  // Deliver locally if the origin itself is a target.
+  for (NodeId t : route->targets) {
+    if (t == msg.origin) DeliverLocal(msg, msg.origin);
+  }
+  auto it = route->children.find(msg.origin);
+  if (it != route->children.end()) {
+    for (NodeId child : it->second) {
+      Frame frame;
+      frame.msg = msg;
+      frame.msg.dest = child;  // per-edge destination; fan-out continues
+      frame.route = route;
+      frame.at = msg.origin;
+      frame.next = child;
+      frame.submit_time = now_;
+      pending_.push_back(std::move(frame));
+    }
+  }
+  return id;
+}
+
+void Network::DeliverLocal(const Message& msg, NodeId at) {
+  if (on_deliver_) on_deliver_(msg, at);
+}
+
+void Network::Arrive(Frame frame) {
+  frame.at = frame.next;
+  frame.attempts = 0;
+  if (frame.route != nullptr) {
+    // Multicast: deliver at targets, then fan out to children.
+    const MulticastRoute& route = *frame.route;
+    bool is_target = std::find(route.targets.begin(), route.targets.end(),
+                               frame.at) != route.targets.end();
+    if (is_target) DeliverLocal(frame.msg, frame.at);
+    auto it = route.children.find(frame.at);
+    if (it != route.children.end()) {
+      for (NodeId child : it->second) {
+        Frame next_frame = frame;
+        next_frame.next = child;
+        next_frame.msg.dest = child;
+        pending_.push_back(std::move(next_frame));
+      }
+    }
+    return;
+  }
+  if (frame.at == frame.msg.dest) {
+    DeliverLocal(frame.msg, frame.at);
+    return;
+  }
+  if (frame.msg.mode == RoutingMode::kSourcePath ||
+      frame.msg.mode == RoutingMode::kLocalHop) {
+    ++frame.path_idx;
+    // Guard against corrupted paths where the arrival node disagrees with
+    // the path vector.
+    if (frame.path_idx >= frame.msg.path.size() ||
+        frame.msg.path[frame.path_idx] != frame.at) {
+      if (on_drop_) on_drop_(frame.msg, frame.at, -1);
+      return;
+    }
+  }
+  NodeId next = ResolveNextHop(&frame);
+  if (next == -2) {
+    DeliverLocal(frame.msg, frame.at);
+    return;
+  }
+  if (next < 0) {
+    if (on_drop_) on_drop_(frame.msg, frame.at, -1);
+    return;
+  }
+  frame.next = next;
+  pending_.push_back(std::move(frame));
+}
+
+void Network::Step() {
+  ASPEN_CHECK(!in_step_);
+  in_step_ = true;
+  in_flight_.swap(pending_);
+  // Group frames into physical packets. Key:
+  //   (0, at, msg.id, 0, 0)        multicast broadcast (one radio tx covers
+  //                                 all children of `at` for this message)
+  //   (1, at, next, dest, kind)    merge-eligible unicast data
+  //   (2, at, index, 0, 0)         everything else: one packet per frame
+  using Key = std::tuple<int, int64_t, int64_t, int64_t, int>;
+  std::map<Key, std::vector<size_t>> groups;
+  for (size_t i = 0; i < in_flight_.size(); ++i) {
+    const Frame& f = in_flight_[i];
+    Key key;
+    if (f.route != nullptr) {
+      key = {0, f.at, static_cast<int64_t>(f.msg.id), 0, 0};
+    } else if (options_.enable_merging &&
+               (f.msg.kind == MessageKind::kData ||
+                f.msg.kind == MessageKind::kJoinResult)) {
+      key = {1, f.at, f.next, f.msg.dest, static_cast<int>(f.msg.kind)};
+    } else {
+      key = {2, f.at, static_cast<int64_t>(i), 0, 0};
+    }
+    groups[key].push_back(i);
+  }
+
+  for (auto& [key, members] : groups) {
+    const bool is_multicast = std::get<0>(key) == 0;
+    Frame& first = in_flight_[members[0]];
+    NodeId sender = first.at;
+    if (failed_[sender]) continue;  // frames die with their holder
+
+    if (is_multicast) {
+      // One broadcast transmission reaches every child; receptions are
+      // independent.
+      int bytes = first.msg.size_bytes + WireFormat::kLinkHeaderBytes;
+      stats_.RecordSend(sender, first.msg.kind, bytes);
+      for (size_t idx : members) {
+        Frame& f = in_flight_[idx];
+        bool lost = failed_[f.next] || rng_.Bernoulli(options_.loss_prob);
+        if (lost) {
+          ++f.attempts;
+          if (f.attempts > options_.max_retries) {
+            if (on_drop_) on_drop_(f.msg, f.at, f.next);
+          } else {
+            pending_.push_back(std::move(f));
+          }
+        } else {
+          stats_.RecordReceive(f.next, bytes);
+          Arrive(std::move(f));
+        }
+      }
+      continue;
+    }
+
+    // Unicast physical packet (possibly several merged logical frames).
+    NodeId next = first.next;
+    bool lost = failed_[next] || rng_.Bernoulli(options_.loss_prob);
+    bool charged_header = false;
+    for (size_t idx : members) {
+      Frame& f = in_flight_[idx];
+      int bytes = f.msg.size_bytes;
+      if (!charged_header) {
+        bytes += WireFormat::kLinkHeaderBytes;
+        charged_header = true;
+      }
+      stats_.RecordSend(sender, f.msg.kind, bytes);
+      if (options_.enable_snooping && on_snoop_) {
+        for (NodeId w : topology_->neighbors(sender)) {
+          if (w != next && !failed_[w]) on_snoop_(f.msg, w, sender, next);
+        }
+      }
+      if (lost) {
+        ++f.attempts;
+        if (f.attempts > options_.max_retries) {
+          if (on_drop_) on_drop_(f.msg, f.at, f.next);
+        } else {
+          pending_.push_back(std::move(f));
+        }
+      } else {
+        stats_.RecordReceive(next, bytes);
+        Arrive(std::move(f));
+      }
+    }
+  }
+  in_flight_.clear();
+  ++now_;
+  in_step_ = false;
+}
+
+int Network::StepUntilQuiet(int max_steps) {
+  int steps = 0;
+  while (HasTrafficInFlight() && steps < max_steps) {
+    Step();
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace net
+}  // namespace aspen

@@ -1,0 +1,167 @@
+// Cycle-driven multi-hop wireless network simulator.
+//
+// This replaces the paper's TOSSIM substrate (see DESIGN.md substitutions):
+// time advances in *transmission cycles*; each in-flight frame moves one hop
+// per cycle. Links drop frames with a configurable Bernoulli probability and
+// senders retransmit up to a bound — every attempt is charged to the
+// sender's traffic counters, like real radio airtime. Failed (dead) nodes
+// never acknowledge, so frames addressed to them exhaust their retries and
+// surface through the drop handler, which the failure-recovery logic
+// (Section 7) uses to detect dead join nodes.
+
+#ifndef ASPEN_NET_NETWORK_H_
+#define ASPEN_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/geo_routing.h"
+#include "net/message.h"
+#include "net/topology.h"
+#include "net/traffic_stats.h"
+
+namespace aspen {
+namespace net {
+
+/// \brief Supplies tree-parent pointers for RoutingMode::kTreeToRoot.
+/// Implemented by routing::RoutingTree; injected to avoid a layering cycle.
+class ParentResolver {
+ public:
+  virtual ~ParentResolver() = default;
+  /// Next hop from `at` toward the root, or -1 at the root.
+  virtual NodeId ParentOf(NodeId at) const = 0;
+};
+
+/// \brief Explicit multicast route: a tree rooted at the origin. Delivery
+/// fires at every node listed in `targets`.
+struct MulticastRoute {
+  /// children[u] = downstream hops of u in the tree.
+  std::unordered_map<NodeId, std::vector<NodeId>> children;
+  std::vector<NodeId> targets;
+};
+
+struct NetworkOptions {
+  /// Per-transmission loss probability (TOSSIM-style radio error).
+  double loss_prob = 0.0;
+  /// Retransmissions before a frame is dropped (total attempts =
+  /// max_retries + 1).
+  int max_retries = 3;
+  /// Enables the opportunistic packet-merging optimization (Appendix E,
+  /// "other opportunistic techniques"): frames queued at the same node for
+  /// the same next hop and same final destination share one link header.
+  bool enable_merging = false;
+  /// Enables promiscuous overhearing callbacks (used by path collapsing).
+  bool enable_snooping = false;
+  uint64_t seed = 1;
+};
+
+/// \brief The simulator. Owns frame queues, traffic stats and the clock.
+class Network {
+ public:
+  /// Delivery at the message's final destination (or a multicast target).
+  /// `at` is the delivering node (differs per target for multicast).
+  using DeliveryHandler = std::function<void(const Message&, NodeId at)>;
+  /// A frame was abandoned after exhausting retries; `at` held the frame,
+  /// `next_hop` was unreachable.
+  using DropHandler =
+      std::function<void(const Message&, NodeId at, NodeId next_hop)>;
+  /// `snooper` overheard a frame from `from` to `to` (no traffic charged).
+  using SnoopHandler = std::function<void(const Message&, NodeId snooper,
+                                          NodeId from, NodeId to)>;
+
+  /// `topology` must outlive the network.
+  Network(const Topology* topology, NetworkOptions options);
+
+  void set_delivery_handler(DeliveryHandler h) { on_deliver_ = std::move(h); }
+  void set_drop_handler(DropHandler h) { on_drop_ = std::move(h); }
+  void set_snoop_handler(SnoopHandler h) { on_snoop_ = std::move(h); }
+  /// `resolver` must outlive the network (or be reset before destruction).
+  void set_parent_resolver(const ParentResolver* resolver) {
+    parent_resolver_ = resolver;
+  }
+
+  /// \brief Injects a message at its origin. Returns the assigned id.
+  ///
+  /// If origin == dest the message is delivered immediately at zero cost.
+  /// Invalid routes (empty path, missing resolver) return an error.
+  Result<uint64_t> Submit(Message msg);
+
+  /// \brief Injects a multicast message rooted at msg.origin following
+  /// `route`. One frame per tree edge; shared prefixes are transmitted once.
+  Result<uint64_t> SubmitMulticast(Message msg,
+                                   std::shared_ptr<const MulticastRoute> route);
+
+  /// Advances one transmission cycle.
+  void Step();
+
+  /// Steps until no frames are in flight or `max_steps` elapse; returns the
+  /// number of steps taken.
+  int StepUntilQuiet(int max_steps = 1 << 20);
+
+  bool HasTrafficInFlight() const {
+    return !in_flight_.empty() || !pending_.empty();
+  }
+  int64_t now() const { return now_; }
+
+  TrafficStats& stats() { return stats_; }
+  const TrafficStats& stats() const { return stats_; }
+  const Topology& topology() const { return *topology_; }
+  const NetworkOptions& options() const { return options_; }
+
+  /// Marks a node dead: it stops forwarding, acking and originating.
+  void FailNode(NodeId id);
+  /// Brings a dead node back (used by repair experiments).
+  void ReviveNode(NodeId id);
+  bool IsFailed(NodeId id) const { return failed_[id]; }
+
+ private:
+  struct Frame {
+    Message msg;
+    std::shared_ptr<const MulticastRoute> route;  // null for unicast
+    NodeId at = -1;
+    NodeId next = -1;
+    int attempts = 0;
+    size_t path_idx = 0;  // index of `at` within msg.path (kSourcePath)
+    int64_t submit_time = 0;
+    /// GPSR greedy/perimeter routing state (kGeoGreedy frames).
+    GeoRouteState geo;
+  };
+
+  /// Computes the hop after `frame->at`, updating geo escape state;
+  /// returns -1 when no progress is possible (caller drops) and -2 when
+  /// `frame->at` is the final dest.
+  NodeId ResolveNextHop(Frame* frame) const;
+
+  /// Called when a frame arrives at `frame.next`; handles delivery,
+  /// multicast fan-out and re-queuing toward the next hop.
+  void Arrive(Frame frame);
+
+  void DeliverLocal(const Message& msg, NodeId at);
+
+  const Topology* topology_;
+  NetworkOptions options_;
+  Rng rng_;
+  TrafficStats stats_;
+  const ParentResolver* parent_resolver_ = nullptr;
+
+  DeliveryHandler on_deliver_;
+  DropHandler on_drop_;
+  SnoopHandler on_snoop_;
+
+  std::vector<Frame> in_flight_;  // frames transmitting this cycle
+  std::vector<Frame> pending_;    // frames queued for the next cycle
+  std::vector<bool> failed_;
+  int64_t now_ = 0;
+  uint64_t next_id_ = 1;
+  bool in_step_ = false;
+};
+
+}  // namespace net
+}  // namespace aspen
+
+#endif  // ASPEN_NET_NETWORK_H_

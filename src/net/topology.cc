@@ -1,0 +1,301 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace aspen {
+namespace net {
+
+double Distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+const char* TopologyKindName(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kSparseRandom:
+      return "Sparse Random";
+    case TopologyKind::kModerateRandom:
+      return "Moderate Random";
+    case TopologyKind::kMediumRandom:
+      return "Medium Random";
+    case TopologyKind::kDenseRandom:
+      return "Dense Random";
+    case TopologyKind::kGrid:
+      return "Grid";
+    case TopologyKind::kIntelLab:
+      return "Intel Lab";
+  }
+  return "unknown";
+}
+
+double TargetDegree(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kSparseRandom:
+      return 6.0;
+    case TopologyKind::kModerateRandom:
+      return 7.0;
+    case TopologyKind::kMediumRandom:
+      return 8.0;
+    case TopologyKind::kDenseRandom:
+      return 13.0;
+    case TopologyKind::kGrid:
+      return 7.0;
+    case TopologyKind::kIntelLab:
+      return 7.0;
+  }
+  return 7.0;
+}
+
+Topology::Topology(std::vector<Point> positions, double radio_range)
+    : positions_(std::move(positions)), radio_range_(radio_range) {
+  BuildAdjacency();
+}
+
+void Topology::BuildAdjacency() {
+  const int n = num_nodes();
+  adjacency_.assign(n, {});
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (Distance(positions_[i], positions_[j]) <= radio_range_) {
+        adjacency_[i].push_back(j);
+        adjacency_[j].push_back(i);
+      }
+    }
+  }
+}
+
+const std::vector<NodeId>& Topology::GabrielNeighbors(NodeId id) const {
+  if (!gabriel_built_) {
+    const int n = num_nodes();
+    gabriel_.assign(n, {});
+    for (int u = 0; u < n; ++u) {
+      for (NodeId v : adjacency_[u]) {
+        if (v < u) continue;  // handle each edge once
+        // Keep (u, v) iff no witness w lies inside the circle whose
+        // diameter is the segment uv: d(u,w)^2 + d(w,v)^2 < d(u,v)^2.
+        const double duv2 = std::pow(DistanceBetween(u, v), 2);
+        bool witness = false;
+        for (NodeId w : adjacency_[u]) {
+          if (w == v) continue;
+          double a = std::pow(DistanceBetween(u, w), 2);
+          double b = std::pow(DistanceBetween(w, v), 2);
+          if (a + b < duv2) {
+            witness = true;
+            break;
+          }
+        }
+        if (!witness) {
+          gabriel_[u].push_back(v);
+          gabriel_[v].push_back(static_cast<NodeId>(u));
+        }
+      }
+    }
+    for (auto& adj : gabriel_) std::sort(adj.begin(), adj.end());
+    gabriel_built_ = true;
+  }
+  return gabriel_[id];
+}
+
+bool Topology::AreNeighbors(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  const auto& adj = adjacency_[a];
+  return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+double Topology::AverageDegree() const {
+  if (num_nodes() == 0) return 0.0;
+  size_t total = 0;
+  for (const auto& adj : adjacency_) total += adj.size();
+  return static_cast<double>(total) / num_nodes();
+}
+
+bool Topology::IsConnected() const {
+  if (num_nodes() == 0) return true;
+  auto hops = HopDistancesFrom(0);
+  return std::none_of(hops.begin(), hops.end(),
+                      [](int h) { return h < 0; });
+}
+
+std::vector<int> Topology::HopDistancesFrom(NodeId src) const {
+  std::vector<int> dist(num_nodes(), -1);
+  std::queue<NodeId> frontier;
+  dist[src] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : adjacency_[u]) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> Topology::ShortestPath(NodeId src, NodeId dst) const {
+  std::vector<NodeId> parent(num_nodes(), -1);
+  std::vector<bool> seen(num_nodes(), false);
+  std::queue<NodeId> frontier;
+  seen[src] = true;
+  frontier.push(src);
+  while (!frontier.empty() && !seen[dst]) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : adjacency_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        parent[v] = u;
+        frontier.push(v);
+      }
+    }
+  }
+  if (!seen[dst]) return {};
+  std::vector<NodeId> path;
+  for (NodeId u = dst; u != -1; u = parent[u]) path.push_back(u);
+  std::reverse(path.begin(), path.end());
+  ASPEN_DCHECK(path.front() == src);
+  return path;
+}
+
+NodeId Topology::NearestNode(const Point& p) const {
+  NodeId best = 0;
+  double best_d = Distance(positions_[0], p);
+  for (int i = 1; i < num_nodes(); ++i) {
+    double d = Distance(positions_[i], p);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Result<Topology> Topology::Random(int num_nodes, double target_degree,
+                                  uint64_t seed, double field_size) {
+  if (num_nodes < 2) {
+    return Status::InvalidArgument("Random topology needs >= 2 nodes");
+  }
+  if (target_degree <= 0 || target_degree >= num_nodes) {
+    return Status::InvalidArgument("target_degree out of range");
+  }
+  Rng rng(seed);
+  // Retry placements until a connected graph at (close to) the target degree
+  // is found; each retry re-draws all positions.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::vector<Point> pts(num_nodes);
+    pts[0] = {field_size / 2.0, field_size / 2.0};  // base at field center
+    for (int i = 1; i < num_nodes; ++i) {
+      pts[i] = {rng.UniformDouble() * field_size,
+                rng.UniformDouble() * field_size};
+    }
+    // Binary-search the radio range for the target average degree.
+    double lo = 1.0, hi = field_size * std::sqrt(2.0);
+    Topology best(pts, hi);
+    for (int iter = 0; iter < 48; ++iter) {
+      double mid = 0.5 * (lo + hi);
+      Topology t(pts, mid);
+      if (t.AverageDegree() < target_degree) {
+        lo = mid;
+      } else {
+        hi = mid;
+        best = std::move(t);
+      }
+    }
+    // Accept if connected and close enough; otherwise grow range until
+    // connected, then check the degree tolerance (dense targets tolerate
+    // more slack because degree moves fast with range).
+    Topology t = std::move(best);
+    double range = t.radio_range();
+    while (!t.IsConnected() && range < field_size * 2) {
+      range *= 1.05;
+      t = Topology(t.positions_, range);
+    }
+    if (t.IsConnected() &&
+        std::abs(t.AverageDegree() - target_degree) <= 1.0) {
+      return t;
+    }
+  }
+  return Status::Internal("could not generate connected topology at degree");
+}
+
+Result<Topology> Topology::Grid(int rows, int cols, double field_size) {
+  if (rows < 2 || cols < 2) {
+    return Status::InvalidArgument("Grid needs rows, cols >= 2");
+  }
+  std::vector<Point> pts;
+  pts.reserve(static_cast<size_t>(rows) * cols);
+  const double dx = field_size / cols;
+  const double dy = field_size / rows;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      pts.push_back({(c + 0.5) * dx, (r + 0.5) * dy});
+    }
+  }
+  // Range covering the 8-neighborhood: just over the diagonal spacing.
+  const double range = std::hypot(dx, dy) * 1.01;
+  // Base station should be the node nearest the center: swap it to index 0.
+  Point center{field_size / 2.0, field_size / 2.0};
+  size_t best = 0;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    if (Distance(pts[i], center) < Distance(pts[best], center)) best = i;
+  }
+  std::swap(pts[0], pts[best]);
+  Topology t(std::move(pts), range);
+  if (!t.IsConnected()) {
+    return Status::Internal("grid topology unexpectedly disconnected");
+  }
+  return t;
+}
+
+Topology Topology::IntelLab() {
+  // 54 nodes on an elongated floor plan (the lab is roughly 40m x 30m with
+  // nodes along walls and desks). Deterministic synthesized layout: three
+  // horizontal bands with jitter from a fixed-seed generator, scaled to a
+  // 48m x 32m footprint. Base station (node 0) near the middle of the
+  // south wall, as in the original deployment.
+  Rng rng(0xA5C3E1);
+  std::vector<Point> pts;
+  pts.reserve(54);
+  pts.push_back({24.0, 2.0});  // base
+  int placed = 1;
+  for (int band = 0; band < 3 && placed < 54; ++band) {
+    double y0 = 6.0 + band * 10.0;
+    for (int k = 0; k < 18 && placed < 54; ++k) {
+      double x = 2.0 + k * (44.0 / 17.0) + (rng.UniformDouble() - 0.5) * 2.0;
+      double y = y0 + (rng.UniformDouble() - 0.5) * 4.0;
+      pts.push_back({x, y});
+      ++placed;
+    }
+  }
+  // Choose the smallest range (in 0.25m steps) giving a connected graph with
+  // degree >= 6.
+  double range = 6.0;
+  Topology t(pts, range);
+  while ((!t.IsConnected() || t.AverageDegree() < 6.0) && range < 60.0) {
+    range += 0.25;
+    t = Topology(pts, range);
+  }
+  return t;
+}
+
+Result<Topology> Topology::Make(TopologyKind kind, int num_nodes,
+                                uint64_t seed) {
+  switch (kind) {
+    case TopologyKind::kGrid: {
+      int side = static_cast<int>(std::lround(std::sqrt(num_nodes)));
+      return Grid(side, side);
+    }
+    case TopologyKind::kIntelLab:
+      return IntelLab();
+    default:
+      return Random(num_nodes, TargetDegree(kind), seed);
+  }
+}
+
+}  // namespace net
+}  // namespace aspen

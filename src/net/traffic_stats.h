@@ -1,0 +1,93 @@
+// Per-node traffic accounting: the paper's evaluation metrics (total
+// traffic, base-station load, per-node load ranking) all derive from the
+// counters collected here.
+
+#ifndef ASPEN_NET_TRAFFIC_STATS_H_
+#define ASPEN_NET_TRAFFIC_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/message.h"
+
+namespace aspen {
+namespace net {
+
+/// \brief Counters for one node.
+struct NodeTraffic {
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t messages_sent = 0;
+  uint64_t messages_received = 0;
+};
+
+/// \brief Accumulates per-node, per-kind traffic over a run.
+///
+/// "Sent" counters include retransmissions (every radio transmission costs
+/// energy and airtime whether or not it is received).
+class TrafficStats {
+ public:
+  explicit TrafficStats(int num_nodes)
+      : per_node_(num_nodes),
+        bytes_by_kind_{},
+        messages_by_kind_{} {}
+
+  void RecordSend(NodeId node, MessageKind kind, int bytes) {
+    per_node_[node].bytes_sent += bytes;
+    per_node_[node].messages_sent += 1;
+    bytes_by_kind_[static_cast<size_t>(kind)] += bytes;
+    messages_by_kind_[static_cast<size_t>(kind)] += 1;
+  }
+
+  void RecordReceive(NodeId node, int bytes) {
+    per_node_[node].bytes_received += bytes;
+    per_node_[node].messages_received += 1;
+  }
+
+  int num_nodes() const { return static_cast<int>(per_node_.size()); }
+  const NodeTraffic& node(NodeId id) const { return per_node_[id]; }
+
+  /// Sum of bytes transmitted by all nodes (each hop counted once).
+  uint64_t TotalBytesSent() const;
+  /// Sum of messages transmitted by all nodes.
+  uint64_t TotalMessagesSent() const;
+  /// Traffic through the base station (node 0): bytes sent plus received,
+  /// i.e. the radio airtime the base participates in.
+  uint64_t BaseStationBytes() const;
+  uint64_t BaseStationMessages() const;
+  /// Highest per-node sent+received byte count.
+  uint64_t MaxNodeBytes() const;
+  uint64_t MaxNodeMessages() const;
+
+  uint64_t BytesByKind(MessageKind kind) const {
+    return bytes_by_kind_[static_cast<size_t>(kind)];
+  }
+  uint64_t MessagesByKind(MessageKind kind) const {
+    return messages_by_kind_[static_cast<size_t>(kind)];
+  }
+
+  /// Bytes for all initiation kinds (see IsInitiationKind).
+  uint64_t InitiationBytes() const;
+  /// Bytes for all non-initiation kinds.
+  uint64_t ComputationBytes() const;
+
+  /// Node loads (sent+received bytes), sorted descending; `k` entries
+  /// (fewer if the network is smaller). Used for Figure 5.
+  std::vector<uint64_t> TopLoadedNodes(int k) const;
+
+  /// Zeroes every counter (used between experiment phases).
+  void Reset();
+
+ private:
+  std::vector<NodeTraffic> per_node_;
+  std::array<uint64_t, static_cast<size_t>(MessageKind::kNumKinds)>
+      bytes_by_kind_;
+  std::array<uint64_t, static_cast<size_t>(MessageKind::kNumKinds)>
+      messages_by_kind_;
+};
+
+}  // namespace net
+}  // namespace aspen
+
+#endif  // ASPEN_NET_TRAFFIC_STATS_H_

@@ -1,0 +1,82 @@
+#include "opt/centralized.h"
+
+#include <algorithm>
+
+#include "net/message.h"
+
+namespace aspen {
+namespace opt {
+
+InitiationCosts CentralizedInitiation(
+    const net::Topology& topology, const routing::RoutingTree& primary,
+    int static_attrs, const std::vector<net::NodeId>& participants) {
+  InitiationCosts out;
+  const int n = topology.num_nodes();
+  int max_depth = 0;
+  int64_t report_frames_at_base = 0;
+  for (net::NodeId u = 1; u < n; ++u) {
+    const int report_bytes =
+        net::WireFormat::kLinkHeaderBytes + net::WireFormat::kNodeIdBytes +
+        static_cast<int>(topology.neighbors(u).size()) *
+            net::WireFormat::kNodeIdBytes +
+        static_attrs * net::WireFormat::kAttributeBytes;
+    const int depth = primary.DepthOf(u);
+    out.total_bytes += static_cast<int64_t>(report_bytes) * depth;
+    out.base_bytes += report_bytes;  // every report is received by the base
+    report_frames_at_base += 1;
+    max_depth = std::max(max_depth, depth);
+  }
+  // Plan distribution: a path-vector plan to each participant, routed down
+  // the tree.
+  for (net::NodeId p : participants) {
+    const int depth = primary.DepthOf(p);
+    const int plan_bytes = net::WireFormat::kLinkHeaderBytes +
+                           net::WireFormat::kNodeIdBytes +
+                           depth * net::WireFormat::kPathEntryBytes;
+    out.plan_bytes += static_cast<int64_t>(plan_bytes) * depth;
+    out.base_bytes += plan_bytes;  // the base transmits each plan
+  }
+  out.total_bytes += out.plan_bytes;
+  // The base receives one frame per transmission cycle, so the report
+  // in-gathering serializes there; plan distribution pipelines afterwards.
+  out.latency_cycles = max_depth + static_cast<int>(report_frames_at_base) +
+                       static_cast<int>(participants.size()) + max_depth;
+  return out;
+}
+
+Placement OptimalPlacement(const net::Topology& topology,
+                           const PairCostInputs& params, net::NodeId s,
+                           net::NodeId t) {
+  auto d_s = topology.HopDistancesFrom(s);
+  auto d_t = topology.HopDistancesFrom(t);
+  auto d_r = topology.HopDistancesFrom(0);
+  Placement best;
+  best.at_base = true;
+  best.cost = BasePairCost(params, d_s[0], d_t[0]);
+  for (net::NodeId j = 0; j < topology.num_nodes(); ++j) {
+    double c = InnetPairCost(params, d_s[j], d_t[j], d_r[j]);
+    if (c < best.cost) {
+      best.cost = c;
+      best.at_base = false;
+      best.join_node = j;
+      best.path_index = -1;
+    }
+  }
+  return best;
+}
+
+double PlacementTraffic(const net::Topology& topology,
+                        const PairCostInputs& params, net::NodeId s,
+                        net::NodeId t, const Placement& placement) {
+  auto d_s = topology.HopDistancesFrom(s);
+  auto d_t = topology.HopDistancesFrom(t);
+  auto d_r = topology.HopDistancesFrom(0);
+  if (placement.at_base) {
+    return BasePairCost(params, d_s[0], d_t[0]);
+  }
+  net::NodeId j = placement.join_node;
+  return InnetPairCost(params, d_s[j], d_t[j], d_r[j]);
+}
+
+}  // namespace opt
+}  // namespace aspen

@@ -1,0 +1,56 @@
+// Centralized-optimization baseline (Section 4.3, Figures 6 and 7).
+//
+// The centralized scheme ships every node's connectivity list and static
+// attribute values to the base station, computes placements there with full
+// knowledge, and distributes the plan back. It is the foil for the paper's
+// decentralized initiation: correct but congested at the base and slow.
+
+#ifndef ASPEN_OPT_CENTRALIZED_H_
+#define ASPEN_OPT_CENTRALIZED_H_
+
+#include <vector>
+
+#include "net/topology.h"
+#include "opt/cost_model.h"
+#include "routing/routing_tree.h"
+
+namespace aspen {
+namespace opt {
+
+/// \brief Initiation cost estimate for one optimization round.
+struct InitiationCosts {
+  int64_t total_bytes = 0;
+  /// Bytes sent or received by the base station.
+  int64_t base_bytes = 0;
+  /// Bytes of plan distribution (included in total_bytes).
+  int64_t plan_bytes = 0;
+  /// Completion latency in transmission cycles. The base can receive one
+  /// frame per cycle, so collecting n reports serializes at the base.
+  int latency_cycles = 0;
+};
+
+/// \brief Cost of centralized initiation: every node reports its neighbor
+/// list plus `static_attrs` attribute values up the tree; the base replies
+/// with a path-vector plan to each of `participants`.
+InitiationCosts CentralizedInitiation(const net::Topology& topology,
+                                      const routing::RoutingTree& primary,
+                                      int static_attrs,
+                                      const std::vector<net::NodeId>& participants);
+
+/// \brief Optimal join-node placement with full-graph knowledge: minimizes
+/// the pairwise cost over *all* nodes j using true shortest-path distances.
+/// This is the oracle the decentralized scheme is compared against (Fig 7).
+Placement OptimalPlacement(const net::Topology& topology,
+                           const PairCostInputs& params, net::NodeId s,
+                           net::NodeId t);
+
+/// Per-cycle expected data traffic (tuple-hops) of serving a pair under a
+/// placement with true distances — used to score oracle vs distributed.
+double PlacementTraffic(const net::Topology& topology,
+                        const PairCostInputs& params, net::NodeId s,
+                        net::NodeId t, const Placement& placement);
+
+}  // namespace opt
+}  // namespace aspen
+
+#endif  // ASPEN_OPT_CENTRALIZED_H_

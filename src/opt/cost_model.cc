@@ -1,0 +1,105 @@
+#include "opt/cost_model.h"
+
+#include "common/logging.h"
+
+namespace aspen {
+namespace opt {
+
+double InnetPairCost(const PairCostInputs& p, int d_sj, int d_tj, int d_jr) {
+  return p.sigma_s * d_sj + p.sigma_t * d_tj +
+         (p.sigma_s + p.sigma_t) * p.w * p.sigma_st * d_jr;
+}
+
+double BasePairCost(const PairCostInputs& p, int d_sr, int d_tr) {
+  return p.sigma_s * d_sr + p.sigma_t * d_tr;
+}
+
+double ThroughBasePairCost(const PairCostInputs& p, int d_sr, int d_tr) {
+  return p.sigma_s * d_sr +
+         (p.sigma_s + (p.sigma_s + p.sigma_t) * p.w * p.sigma_st) * d_tr;
+}
+
+double GhtPairCost(const PairCostInputs& p, int d_sj, int d_tj, int d_jr) {
+  return InnetPairCost(p, d_sj, d_tj, d_jr);
+}
+
+Placement PlaceOnPath(const PairCostInputs& p,
+                      const std::vector<net::NodeId>& path,
+                      const std::function<int(net::NodeId)>& depth_of) {
+  ASPEN_CHECK(!path.empty());
+  Placement best;
+  best.at_base = true;
+  best.cost = BasePairCost(p, depth_of(path.front()), depth_of(path.back()));
+  for (size_t i = 0; i < path.size(); ++i) {
+    double c = InnetPairCost(p, static_cast<int>(i),
+                             static_cast<int>(path.size() - 1 - i),
+                             depth_of(path[i]));
+    // Strict improvement keeps ties at the base: "never more expensive than
+    // joining at the base station".
+    if (c < best.cost) {
+      best.cost = c;
+      best.at_base = false;
+      best.join_node = path[i];
+      best.path_index = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+double GroupDeltaCp(double sigma_p, double sigma_st, int w,
+                    const std::vector<ProducerJoinNode>& join_nodes,
+                    int d_pr) {
+  double innet = 0.0;
+  for (const auto& j : join_nodes) {
+    innet += j.d_pj + w * sigma_st * j.n_pairs * j.d_jr;
+  }
+  return sigma_p * innet - sigma_p * d_pr;
+}
+
+// ---- Table 3 ---------------------------------------------------------------
+
+namespace {
+double Sum(const std::vector<int>& v, double scale) {
+  double acc = 0.0;
+  for (int x : v) acc += x;
+  return acc * scale;
+}
+}  // namespace
+
+double NaiveComputationCost(const AlgorithmCostInputs& in) {
+  return Sum(in.d_sr, in.pair.sigma_s) + Sum(in.d_tr, in.pair.sigma_t);
+}
+
+double BaseComputationCost(const AlgorithmCostInputs& in) {
+  return Sum(in.d_sr, in.pair.sigma_s * in.phi_s_to_t) +
+         Sum(in.d_tr, in.pair.sigma_t * in.phi_t_to_s);
+}
+
+double Yang07ComputationCost(const AlgorithmCostInputs& in) {
+  // sigma_s*Sum_s Dsr + (sigma_s*|S|/|T| + (sigma_s+sigma_t)*w*sigma_st) *
+  // Sum_t Dtr (Table 3).
+  double down_rate =
+      in.pair.sigma_s * (in.num_t > 0 ? static_cast<double>(in.num_s) / in.num_t
+                                      : 0.0) +
+      (in.pair.sigma_s + in.pair.sigma_t) * in.pair.w * in.pair.sigma_st;
+  return Sum(in.d_sr, in.pair.sigma_s) + Sum(in.d_tr, down_rate);
+}
+
+double GhtComputationCost(const AlgorithmCostInputs& in) {
+  double acc = 0.0;
+  for (const auto& pd : in.pairs) {
+    acc += GhtPairCost(in.pair, pd.d_sj, pd.d_tj, pd.d_jr);
+  }
+  return acc;
+}
+
+double InnetComputationCost(const AlgorithmCostInputs& in) {
+  double acc = 0.0;
+  for (const auto& pd : in.pairs) {
+    acc += InnetPairCost(in.pair, pd.d_sj, pd.d_tj, pd.d_jr);
+  }
+  return acc;
+}
+
+}  // namespace opt
+}  // namespace aspen

@@ -1,0 +1,106 @@
+// The join cost model (Section 3.1 and Appendix D, Table 3).
+//
+// Costs are expected message-transmission counts weighted by tuple rates;
+// the unit is "tuple-hops" (multiply by wire bytes to get bytes). The
+// optimizer is agnostic to the unit because only comparisons matter.
+
+#ifndef ASPEN_OPT_COST_MODEL_H_
+#define ASPEN_OPT_COST_MODEL_H_
+
+#include <functional>
+#include <vector>
+
+#include "net/topology.h"
+#include "workload/selectivity.h"
+
+namespace aspen {
+namespace opt {
+
+/// \brief Cost-model inputs for one (s, t) pair. Distances are hop counts.
+struct PairCostInputs {
+  double sigma_s = 1.0;
+  double sigma_t = 1.0;
+  double sigma_st = 0.2;
+  int w = 1;
+};
+
+/// Pairwise in-network cost of joining at node j (Section 3.1):
+///   sigma_s*Dsj + sigma_t*Dtj + (sigma_s + sigma_t)*w*sigma_st*Djr
+double InnetPairCost(const PairCostInputs& p, int d_sj, int d_tj, int d_jr);
+
+/// Pairwise cost of joining this pair at the base station:
+///   sigma_s*Dsr + sigma_t*Dtr
+/// (results are already at the base, so no result-forwarding term).
+double BasePairCost(const PairCostInputs& p, int d_sr, int d_tr);
+
+/// Through-the-base (Yang+07) pairwise cost (Section 3.1):
+///   sigma_s*Dsr + (sigma_s + (sigma_s + sigma_t)*w*sigma_st)*Dtr
+double ThroughBasePairCost(const PairCostInputs& p, int d_sr, int d_tr);
+
+/// GHT pairwise cost: both producers route to the hashed join node, and
+/// results flow from there to the base:
+///   sigma_s*Dsj + sigma_t*Dtj + (sigma_s + sigma_t)*w*sigma_st*Djr
+/// (same expression as in-network, but j is fixed by the hash).
+double GhtPairCost(const PairCostInputs& p, int d_sj, int d_tj, int d_jr);
+
+/// \brief Result of optimizing one pair's join-node placement.
+struct Placement {
+  /// Chosen join node, or the base (node 0) when at_base.
+  net::NodeId join_node = 0;
+  /// Index of join_node within the candidate path (-1 when at_base).
+  int path_index = -1;
+  bool at_base = false;
+  double cost = 0.0;
+};
+
+/// \brief Picks the cheapest join node on `path` (from s to t), comparing
+/// against joining at the base. `depth_of` maps a node to its hop count to
+/// the base station (primary-tree depth).
+Placement PlaceOnPath(const PairCostInputs& p,
+                      const std::vector<net::NodeId>& path,
+                      const std::function<int(net::NodeId)>& depth_of);
+
+/// \brief MPO per-producer cost difference (Section 5.2):
+///   dCp = sigma_p * sum_j (Dpj + w*sigma_st*Npj*Djr) - sigma_p*Dpr
+/// where the sum ranges over the join nodes handling this producer's pairs
+/// and Npj is the number of pairs node j handles for p.
+struct ProducerJoinNode {
+  int d_pj = 0;    ///< hops from producer to join node j
+  int d_jr = 0;    ///< hops from j to the base
+  int n_pairs = 1; ///< Npj
+};
+double GroupDeltaCp(double sigma_p, double sigma_st, int w,
+                    const std::vector<ProducerJoinNode>& join_nodes, int d_pr);
+
+// ---- whole-algorithm analytic costs (Table 3) ------------------------------
+// Used by bench_table3 to validate simulated traffic against the formulas.
+
+struct AlgorithmCostInputs {
+  PairCostInputs pair;
+  /// Hops to base for every eligible S producer (resp. T).
+  std::vector<int> d_sr;
+  std::vector<int> d_tr;
+  /// For GHT / In-Net: per-pair (Dsj, Dtj, Djr).
+  struct PairDistances {
+    int d_sj, d_tj, d_jr;
+  };
+  std::vector<PairDistances> pairs;
+  /// Pre-filter selectivities phi_{s->t}: fraction of selection-passing S
+  /// nodes that also satisfy some static join clause (Table 3, Base row).
+  double phi_s_to_t = 1.0;
+  double phi_t_to_s = 1.0;
+  int num_s = 0;  ///< |S| after selection push-down
+  int num_t = 0;
+};
+
+/// Per-cycle computation cost of each algorithm, in expected tuple-hops.
+double NaiveComputationCost(const AlgorithmCostInputs& in);
+double BaseComputationCost(const AlgorithmCostInputs& in);
+double Yang07ComputationCost(const AlgorithmCostInputs& in);
+double GhtComputationCost(const AlgorithmCostInputs& in);
+double InnetComputationCost(const AlgorithmCostInputs& in);
+
+}  // namespace opt
+}  // namespace aspen
+
+#endif  // ASPEN_OPT_COST_MODEL_H_

@@ -1,0 +1,89 @@
+#include "opt/group.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace aspen {
+namespace opt {
+
+namespace {
+
+/// Union-find over node ids appearing in the pair list. S and T occurrences
+/// of the same physical node are distinct endpoints (a node may be in both
+/// relations), so S ids are mapped to 2*id and T ids to 2*id + 1.
+class UnionFind {
+ public:
+  int Find(int x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) {
+      parent_[x] = x;
+      return x;
+    }
+    int root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      int next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+  void Union(int a, int b) {
+    int ra = Find(a), rb = Find(b);
+    if (ra != rb) parent_[std::max(ra, rb)] = std::min(ra, rb);
+  }
+
+ private:
+  std::map<int, int> parent_;
+};
+
+}  // namespace
+
+std::vector<JoinGroup> DiscoverGroups(
+    const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs) {
+  UnionFind uf;
+  for (const auto& [s, t] : pairs) {
+    uf.Union(2 * s, 2 * t + 1);
+  }
+  std::map<int, JoinGroup> groups;
+  std::map<int, std::set<net::NodeId>> s_seen, t_seen;
+  for (const auto& [s, t] : pairs) {
+    int root = uf.Find(2 * s);
+    JoinGroup& g = groups[root];
+    g.pairs.emplace_back(s, t);
+    if (s_seen[root].insert(s).second) g.s_members.push_back(s);
+    if (t_seen[root].insert(t).second) g.t_members.push_back(t);
+  }
+  std::vector<JoinGroup> out;
+  out.reserve(groups.size());
+  for (auto& [root, g] : groups) {
+    std::sort(g.s_members.begin(), g.s_members.end());
+    std::sort(g.t_members.begin(), g.t_members.end());
+    net::NodeId min_s = g.s_members.front();
+    net::NodeId min_t = g.t_members.front();
+    g.coordinator = std::min(min_s, min_t);
+    out.push_back(std::move(g));
+  }
+  // Deterministic order: by coordinator id.
+  std::sort(out.begin(), out.end(), [](const JoinGroup& a, const JoinGroup& b) {
+    return a.coordinator < b.coordinator;
+  });
+  return out;
+}
+
+bool IsCompleteBipartite(const JoinGroup& group) {
+  std::set<std::pair<net::NodeId, net::NodeId>> edges(group.pairs.begin(),
+                                                      group.pairs.end());
+  return edges.size() ==
+         group.s_members.size() * group.t_members.size();
+}
+
+GroupDecision DecideGroup(const std::vector<double>& member_delta_cp) {
+  double total = 0.0;
+  for (double d : member_delta_cp) total += d;
+  return total < 0.0 ? GroupDecision::kInNetwork : GroupDecision::kAtBase;
+}
+
+}  // namespace opt
+}  // namespace aspen

@@ -1,0 +1,218 @@
+#include "query/expr.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aspen {
+namespace query {
+
+int32_t HashValue16(int32_t value) {
+  uint32_t z = static_cast<uint32_t>(value) * 0x9E3779B9u;
+  z ^= z >> 16;
+  z *= 0x85EBCA6Bu;
+  z ^= z >> 13;
+  return static_cast<int32_t>(z & 0x7FFF);
+}
+
+ExprPtr Expr::Const(int32_t value) {
+  auto e = std::shared_ptr<Expr>(new Expr(ExprOp::kConst, {}));
+  e->const_value_ = value;
+  return e;
+}
+
+ExprPtr Expr::Attr(Side side, int attr) {
+  ASPEN_CHECK(attr >= 0 && attr < kNumAttrs);
+  auto e = std::shared_ptr<Expr>(new Expr(ExprOp::kAttr, {}));
+  e->side_ = side;
+  e->attr_ = attr;
+  return e;
+}
+
+#define ASPEN_BINARY_FACTORY(Name, Op)            \
+  ExprPtr Expr::Name(ExprPtr a, ExprPtr b) {      \
+    ASPEN_CHECK(a != nullptr && b != nullptr);    \
+    return std::shared_ptr<Expr>(                 \
+        new Expr(ExprOp::Op, {std::move(a), std::move(b)})); \
+  }
+
+ASPEN_BINARY_FACTORY(Add, kAdd)
+ASPEN_BINARY_FACTORY(Sub, kSub)
+ASPEN_BINARY_FACTORY(Mul, kMul)
+ASPEN_BINARY_FACTORY(Div, kDiv)
+ASPEN_BINARY_FACTORY(Mod, kMod)
+ASPEN_BINARY_FACTORY(Eq, kEq)
+ASPEN_BINARY_FACTORY(Ne, kNe)
+ASPEN_BINARY_FACTORY(Lt, kLt)
+ASPEN_BINARY_FACTORY(Le, kLe)
+ASPEN_BINARY_FACTORY(Gt, kGt)
+ASPEN_BINARY_FACTORY(Ge, kGe)
+ASPEN_BINARY_FACTORY(And, kAnd)
+ASPEN_BINARY_FACTORY(Or, kOr)
+
+#undef ASPEN_BINARY_FACTORY
+
+ExprPtr Expr::Abs(ExprPtr a) {
+  ASPEN_CHECK(a != nullptr);
+  return std::shared_ptr<Expr>(new Expr(ExprOp::kAbs, {std::move(a)}));
+}
+
+ExprPtr Expr::Hash(ExprPtr a) {
+  ASPEN_CHECK(a != nullptr);
+  return std::shared_ptr<Expr>(new Expr(ExprOp::kHash, {std::move(a)}));
+}
+
+ExprPtr Expr::Not(ExprPtr a) {
+  ASPEN_CHECK(a != nullptr);
+  return std::shared_ptr<Expr>(new Expr(ExprOp::kNot, {std::move(a)}));
+}
+
+ExprPtr Expr::Dist() {
+  return std::shared_ptr<Expr>(new Expr(ExprOp::kDist, {}));
+}
+
+ExprPtr Expr::AndAll(const std::vector<ExprPtr>& clauses) {
+  if (clauses.empty()) return Const(1);
+  ExprPtr acc = clauses[0];
+  for (size_t i = 1; i < clauses.size(); ++i) acc = And(acc, clauses[i]);
+  return acc;
+}
+
+int32_t Expr::Eval(const Tuple* s, const Tuple* t) const {
+  switch (op_) {
+    case ExprOp::kConst:
+      return const_value_;
+    case ExprOp::kAttr: {
+      const Tuple* tup = side_ == Side::kS ? s : t;
+      ASPEN_CHECK(tup != nullptr);
+      return (*tup)[attr_];
+    }
+    case ExprOp::kAdd:
+      return children_[0]->Eval(s, t) + children_[1]->Eval(s, t);
+    case ExprOp::kSub:
+      return children_[0]->Eval(s, t) - children_[1]->Eval(s, t);
+    case ExprOp::kMul:
+      return children_[0]->Eval(s, t) * children_[1]->Eval(s, t);
+    case ExprOp::kDiv: {
+      int32_t d = children_[1]->Eval(s, t);
+      return d == 0 ? 0 : children_[0]->Eval(s, t) / d;
+    }
+    case ExprOp::kMod: {
+      int32_t d = children_[1]->Eval(s, t);
+      if (d == 0) return 0;
+      int32_t m = children_[0]->Eval(s, t) % d;
+      return m < 0 ? m + std::abs(d) : m;
+    }
+    case ExprOp::kAbs:
+      return std::abs(children_[0]->Eval(s, t));
+    case ExprOp::kHash:
+      return HashValue16(children_[0]->Eval(s, t));
+    case ExprOp::kEq:
+      return children_[0]->Eval(s, t) == children_[1]->Eval(s, t);
+    case ExprOp::kNe:
+      return children_[0]->Eval(s, t) != children_[1]->Eval(s, t);
+    case ExprOp::kLt:
+      return children_[0]->Eval(s, t) < children_[1]->Eval(s, t);
+    case ExprOp::kLe:
+      return children_[0]->Eval(s, t) <= children_[1]->Eval(s, t);
+    case ExprOp::kGt:
+      return children_[0]->Eval(s, t) > children_[1]->Eval(s, t);
+    case ExprOp::kGe:
+      return children_[0]->Eval(s, t) >= children_[1]->Eval(s, t);
+    case ExprOp::kAnd:
+      return children_[0]->EvalBool(s, t) && children_[1]->EvalBool(s, t);
+    case ExprOp::kOr:
+      return children_[0]->EvalBool(s, t) || children_[1]->EvalBool(s, t);
+    case ExprOp::kNot:
+      return !children_[0]->EvalBool(s, t);
+    case ExprOp::kDist: {
+      ASPEN_CHECK(s != nullptr && t != nullptr);
+      double dx = (*s)[kAttrPosX] - (*t)[kAttrPosX];
+      double dy = (*s)[kAttrPosY] - (*t)[kAttrPosY];
+      return static_cast<int32_t>(std::lround(std::hypot(dx, dy)));
+    }
+  }
+  return 0;
+}
+
+bool Expr::ReferencesSide(Side side) const {
+  if (op_ == ExprOp::kAttr) return side_ == side;
+  if (op_ == ExprOp::kDist) return true;
+  for (const auto& c : children_) {
+    if (c->ReferencesSide(side)) return true;
+  }
+  return false;
+}
+
+bool Expr::IsStatic() const {
+  if (op_ == ExprOp::kAttr) return Schema::Sensor().is_static(attr_);
+  if (op_ == ExprOp::kDist) return true;  // positions are static
+  for (const auto& c : children_) {
+    if (!c->IsStatic()) return false;
+  }
+  return true;
+}
+
+void Expr::CollectAttrs(std::vector<std::pair<Side, int>>* out) const {
+  if (op_ == ExprOp::kAttr) {
+    out->emplace_back(side_, attr_);
+  } else if (op_ == ExprOp::kDist) {
+    out->emplace_back(Side::kS, kAttrPosX);
+    out->emplace_back(Side::kS, kAttrPosY);
+    out->emplace_back(Side::kT, kAttrPosX);
+    out->emplace_back(Side::kT, kAttrPosY);
+  }
+  for (const auto& c : children_) c->CollectAttrs(out);
+}
+
+std::string Expr::ToString() const {
+  auto binary = [&](const char* sym) {
+    return "(" + children_[0]->ToString() + " " + sym + " " +
+           children_[1]->ToString() + ")";
+  };
+  switch (op_) {
+    case ExprOp::kConst:
+      return std::to_string(const_value_);
+    case ExprOp::kAttr:
+      return std::string(side_ == Side::kS ? "S." : "T.") +
+             Schema::Sensor().name(attr_);
+    case ExprOp::kAdd:
+      return binary("+");
+    case ExprOp::kSub:
+      return binary("-");
+    case ExprOp::kMul:
+      return binary("*");
+    case ExprOp::kDiv:
+      return binary("/");
+    case ExprOp::kMod:
+      return binary("%");
+    case ExprOp::kAbs:
+      return "abs(" + children_[0]->ToString() + ")";
+    case ExprOp::kHash:
+      return "hash(" + children_[0]->ToString() + ")";
+    case ExprOp::kEq:
+      return binary("=");
+    case ExprOp::kNe:
+      return binary("<>");
+    case ExprOp::kLt:
+      return binary("<");
+    case ExprOp::kLe:
+      return binary("<=");
+    case ExprOp::kGt:
+      return binary(">");
+    case ExprOp::kGe:
+      return binary(">=");
+    case ExprOp::kAnd:
+      return binary("AND");
+    case ExprOp::kOr:
+      return binary("OR");
+    case ExprOp::kNot:
+      return "NOT " + children_[0]->ToString();
+    case ExprOp::kDist:
+      return "Dst";
+  }
+  return "?";
+}
+
+}  // namespace query
+}  // namespace aspen

@@ -1,0 +1,127 @@
+// Expression trees over pairs of sensor tuples.
+//
+// Supports the predicate language of Appendix B: comparisons, boolean
+// connectives, integer arithmetic, and the utility functions hash() and
+// abs(), plus the Dst(s,t) Euclidean-distance primitive used by
+// region-based queries (Query 3 / Query R).
+
+#ifndef ASPEN_QUERY_EXPR_H_
+#define ASPEN_QUERY_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/schema.h"
+
+namespace aspen {
+namespace query {
+
+/// Which relation an attribute reference binds to.
+enum class Side : uint8_t { kS = 0, kT = 1 };
+
+enum class ExprOp : uint8_t {
+  kConst,
+  kAttr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kAbs,
+  kHash,  ///< 16-bit output of the standard mote hash function
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+  kDist,  ///< Euclidean distance (decimeters) between S and T positions
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// \brief Immutable expression node. Build via the static factories; shared
+/// subtrees are safe because nodes are never mutated.
+class Expr {
+ public:
+  static ExprPtr Const(int32_t value);
+  static ExprPtr Attr(Side side, int attr);
+  static ExprPtr Add(ExprPtr a, ExprPtr b);
+  static ExprPtr Sub(ExprPtr a, ExprPtr b);
+  static ExprPtr Mul(ExprPtr a, ExprPtr b);
+  static ExprPtr Div(ExprPtr a, ExprPtr b);
+  static ExprPtr Mod(ExprPtr a, ExprPtr b);
+  static ExprPtr Abs(ExprPtr a);
+  static ExprPtr Hash(ExprPtr a);
+  static ExprPtr Eq(ExprPtr a, ExprPtr b);
+  static ExprPtr Ne(ExprPtr a, ExprPtr b);
+  static ExprPtr Lt(ExprPtr a, ExprPtr b);
+  static ExprPtr Le(ExprPtr a, ExprPtr b);
+  static ExprPtr Gt(ExprPtr a, ExprPtr b);
+  static ExprPtr Ge(ExprPtr a, ExprPtr b);
+  static ExprPtr And(ExprPtr a, ExprPtr b);
+  static ExprPtr Or(ExprPtr a, ExprPtr b);
+  static ExprPtr Not(ExprPtr a);
+  /// Distance between the S tuple's and T tuple's (pos_x, pos_y).
+  static ExprPtr Dist();
+
+  /// Conjunction over a clause list (returns Const(1) when empty).
+  static ExprPtr AndAll(const std::vector<ExprPtr>& clauses);
+
+  ExprOp op() const { return op_; }
+  int32_t const_value() const { return const_value_; }
+  Side side() const { return side_; }
+  int attr() const { return attr_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  /// \brief Evaluates against an (s, t) tuple pair. Selection predicates
+  /// over a single relation pass the other tuple as nullptr. Booleans are
+  /// 0/1. Division/modulo by zero yields 0 (motes saturate rather than
+  /// trap).
+  int32_t Eval(const Tuple* s, const Tuple* t) const;
+
+  /// Convenience for predicates: nonzero == satisfied.
+  bool EvalBool(const Tuple* s, const Tuple* t) const {
+    return Eval(s, t) != 0;
+  }
+
+  /// True if any kAttr node under this expression binds to `side` (kDist
+  /// references both sides).
+  bool ReferencesSide(Side side) const;
+
+  /// True if every referenced attribute is static in the sensor schema
+  /// (kDist counts as static: positions are static attributes).
+  bool IsStatic() const;
+
+  /// All (side, attr) pairs referenced.
+  void CollectAttrs(std::vector<std::pair<Side, int>>* out) const;
+
+  /// Parseable human-readable rendering (for logs and tests).
+  std::string ToString() const;
+
+ private:
+  Expr(ExprOp op, std::vector<ExprPtr> children)
+      : op_(op), children_(std::move(children)) {}
+
+  ExprOp op_;
+  int32_t const_value_ = 0;
+  Side side_ = Side::kS;
+  int attr_ = 0;
+  std::vector<ExprPtr> children_;
+};
+
+/// The standard 16-bit mote hash used by hash() predicates. Deterministic
+/// across the whole system (producers, join nodes, the optimizer's
+/// selectivity math all agree).
+int32_t HashValue16(int32_t value);
+
+}  // namespace query
+}  // namespace aspen
+
+#endif  // ASPEN_QUERY_EXPR_H_

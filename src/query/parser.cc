@@ -1,0 +1,470 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace aspen {
+namespace query {
+
+namespace {
+
+enum class TokKind {
+  kEnd,
+  kIdent,    // bare identifier / keyword
+  kNumber,   // integer literal
+  kAttr,     // S.xxx or T.xxx (side + attr resolved)
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kEq,       // =
+  kNe,       // <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAssign,   // = inside [windowsize=3] (same token as kEq)
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // identifier text, upper-cased keywords preserved raw
+  int32_t number = 0;
+  Side side = Side::kS;
+  int attr = -1;
+  size_t pos = 0;
+};
+
+/// Case-insensitive keyword comparison.
+bool KeywordIs(const Token& t, const char* kw) {
+  if (t.kind != TokKind::kIdent) return false;
+  const std::string& s = t.text;
+  size_t i = 0;
+  for (; kw[i] != '\0'; ++i) {
+    if (i >= s.size() ||
+        std::toupper(static_cast<unsigned char>(s[i])) != kw[i]) {
+      return false;
+    }
+  }
+  return i == s.size();
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      Token t;
+      t.pos = pos_;
+      if (pos_ >= input_.size()) {
+        t.kind = TokKind::kEnd;
+        out.push_back(t);
+        return out;
+      }
+      char c = input_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t start = pos_;
+        while (pos_ < input_.size() &&
+               std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+          ++pos_;
+        }
+        t.kind = TokKind::kNumber;
+        t.number = static_cast<int32_t>(
+            std::stol(input_.substr(start, pos_ - start)));
+        out.push_back(t);
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '_')) {
+          ++pos_;
+        }
+        std::string word = input_.substr(start, pos_ - start);
+        // S.attr / T.attr?
+        if ((word == "S" || word == "s" || word == "T" || word == "t") &&
+            pos_ < input_.size() && input_[pos_] == '.') {
+          ++pos_;  // '.'
+          size_t astart = pos_;
+          while (pos_ < input_.size() &&
+                 (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                  input_[pos_] == '_')) {
+            ++pos_;
+          }
+          std::string attr_name = input_.substr(astart, pos_ - astart);
+          int attr = Schema::Sensor().IndexOf(attr_name);
+          if (attr < 0 && attr_name == "time") attr = kAttrLocalTime;
+          if (attr < 0) {
+            return Status::InvalidArgument("unknown attribute '" + attr_name +
+                                           "' at position " +
+                                           std::to_string(astart));
+          }
+          t.kind = TokKind::kAttr;
+          t.side = (word == "S" || word == "s") ? Side::kS : Side::kT;
+          t.attr = attr;
+          out.push_back(t);
+          continue;
+        }
+        t.kind = TokKind::kIdent;
+        t.text = word;
+        out.push_back(t);
+        continue;
+      }
+      switch (c) {
+        case '(':
+          t.kind = TokKind::kLParen;
+          break;
+        case ')':
+          t.kind = TokKind::kRParen;
+          break;
+        case '[':
+          t.kind = TokKind::kLBracket;
+          break;
+        case ']':
+          t.kind = TokKind::kRBracket;
+          break;
+        case ',':
+          t.kind = TokKind::kComma;
+          break;
+        case '+':
+          t.kind = TokKind::kPlus;
+          break;
+        case '-':
+          t.kind = TokKind::kMinus;
+          break;
+        case '*':
+          t.kind = TokKind::kStar;
+          break;
+        case '/':
+          t.kind = TokKind::kSlash;
+          break;
+        case '%':
+          t.kind = TokKind::kPercent;
+          break;
+        case '=':
+          t.kind = TokKind::kEq;
+          break;
+        case '<':
+          if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '>') {
+            t.kind = TokKind::kNe;
+            ++pos_;
+          } else if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+            t.kind = TokKind::kLe;
+            ++pos_;
+          } else {
+            t.kind = TokKind::kLt;
+          }
+          break;
+        case '>':
+          if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+            t.kind = TokKind::kGe;
+            ++pos_;
+          } else {
+            t.kind = TokKind::kGt;
+          }
+          break;
+        case '!':
+          if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+            t.kind = TokKind::kNe;
+            ++pos_;
+            break;
+          }
+          return Status::InvalidArgument("unexpected '!' at position " +
+                                         std::to_string(pos_));
+        default:
+          return Status::InvalidArgument(std::string("unexpected character '") +
+                                         c + "' at position " +
+                                         std::to_string(pos_));
+      }
+      ++pos_;
+      out.push_back(t);
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+/// Recursive-descent parser with the precedence chain
+/// or < and < not < comparison < additive < multiplicative < unary.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<ExprPtr> ParseExpression() { return ParseOr(); }
+
+  Result<JoinQuery> ParseFullQuery() {
+    JoinQuery q;
+    ASPEN_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    ASPEN_ASSIGN_OR_RETURN(q.projected_attrs, ParseSelectList());
+    ASPEN_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    ASPEN_RETURN_NOT_OK(ParseFromClause(&q.window));
+    ASPEN_RETURN_NOT_OK(ExpectKeyword("WHERE"));
+    ASPEN_ASSIGN_OR_RETURN(q.where, ParseOr());
+    if (Peek().kind != TokKind::kEnd) {
+      return Err("trailing input after WHERE clause");
+    }
+    return q;
+  }
+
+  const Token& Peek() const { return toks_[idx_]; }
+
+ private:
+  Token Next() { return toks_[idx_++]; }
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " at position " +
+                                   std::to_string(Peek().pos));
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!KeywordIs(Peek(), kw)) {
+      return Err(std::string("expected ") + kw);
+    }
+    Next();
+    return Status::OK();
+  }
+
+  Status Expect(TokKind kind, const char* what) {
+    if (Peek().kind != kind) return Err(std::string("expected ") + what);
+    Next();
+    return Status::OK();
+  }
+
+  /// SELECT list: attribute references (possibly S.time); returns count.
+  Result<int> ParseSelectList() {
+    int count = 0;
+    while (true) {
+      if (Peek().kind == TokKind::kStar) {
+        Next();
+        count += kNumAttrs;
+      } else if (Peek().kind == TokKind::kAttr) {
+        Next();
+        ++count;
+      } else {
+        return Err("expected projection (S.attr, T.attr or *)");
+      }
+      if (Peek().kind == TokKind::kComma) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    return count;
+  }
+
+  /// FROM S, T [windowsize=3 sampleinterval=100]
+  Status ParseFromClause(WindowSpec* window) {
+    // Relation names are fixed: S and T (any order, either may repeat for
+    // self-joins — membership is defined by the predicates).
+    for (int i = 0; i < 2; ++i) {
+      if (Peek().kind != TokKind::kIdent ||
+          (!KeywordIs(Peek(), "S") && !KeywordIs(Peek(), "T"))) {
+        return Err("expected relation name S or T");
+      }
+      Next();
+      if (i == 0) ASPEN_RETURN_NOT_OK(Expect(TokKind::kComma, "','"));
+    }
+    if (Peek().kind == TokKind::kLBracket) {
+      Next();
+      while (Peek().kind != TokKind::kRBracket) {
+        if (Peek().kind != TokKind::kIdent) return Err("expected window option");
+        Token opt = Next();
+        ASPEN_RETURN_NOT_OK(Expect(TokKind::kEq, "'='"));
+        if (Peek().kind != TokKind::kNumber) return Err("expected number");
+        int32_t value = Next().number;
+        if (KeywordIs(opt, "WINDOWSIZE")) {
+          window->size = value;
+        } else if (KeywordIs(opt, "SAMPLEINTERVAL")) {
+          window->sample_interval = value;
+        } else if (KeywordIs(opt, "TIMEWINDOW")) {
+          window->size = value;
+          window->time_based = true;
+        } else {
+          return Status::InvalidArgument("unknown window option '" + opt.text +
+                                         "'");
+        }
+      }
+      Next();  // ']'
+    }
+    return Status::OK();
+  }
+
+  Result<ExprPtr> ParseOr() {
+    ASPEN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (KeywordIs(Peek(), "OR")) {
+      Next();
+      ASPEN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Or(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    ASPEN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (KeywordIs(Peek(), "AND")) {
+      Next();
+      ASPEN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::And(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (KeywordIs(Peek(), "NOT")) {
+      Next();
+      ASPEN_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      return Expr::Not(inner);
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    ASPEN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    switch (Peek().kind) {
+      case TokKind::kEq:
+        Next();
+        return BindCmp(&Expr::Eq, lhs);
+      case TokKind::kNe:
+        Next();
+        return BindCmp(&Expr::Ne, lhs);
+      case TokKind::kLt:
+        Next();
+        return BindCmp(&Expr::Lt, lhs);
+      case TokKind::kLe:
+        Next();
+        return BindCmp(&Expr::Le, lhs);
+      case TokKind::kGt:
+        Next();
+        return BindCmp(&Expr::Gt, lhs);
+      case TokKind::kGe:
+        Next();
+        return BindCmp(&Expr::Ge, lhs);
+      default:
+        return lhs;  // bare value used as a truth value
+    }
+  }
+
+  Result<ExprPtr> BindCmp(ExprPtr (*op)(ExprPtr, ExprPtr), ExprPtr lhs) {
+    ASPEN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return op(std::move(lhs), std::move(rhs));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    ASPEN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (Peek().kind == TokKind::kPlus || Peek().kind == TokKind::kMinus) {
+      TokKind k = Next().kind;
+      ASPEN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = k == TokKind::kPlus ? Expr::Add(lhs, rhs) : Expr::Sub(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    ASPEN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Peek().kind == TokKind::kStar || Peek().kind == TokKind::kSlash ||
+           Peek().kind == TokKind::kPercent) {
+      TokKind k = Next().kind;
+      ASPEN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = k == TokKind::kStar    ? Expr::Mul(lhs, rhs)
+            : k == TokKind::kSlash ? Expr::Div(lhs, rhs)
+                                   : Expr::Mod(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Peek().kind == TokKind::kMinus) {
+      Next();
+      ASPEN_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      return Expr::Sub(Expr::Const(0), inner);
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokKind::kNumber: {
+        int32_t v = Next().number;
+        return Expr::Const(v);
+      }
+      case TokKind::kAttr: {
+        Token a = Next();
+        return Expr::Attr(a.side, a.attr);
+      }
+      case TokKind::kLParen: {
+        Next();
+        ASPEN_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+        ASPEN_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+        return inner;
+      }
+      case TokKind::kIdent: {
+        if (KeywordIs(t, "HASH") || KeywordIs(t, "ABS")) {
+          bool is_hash = KeywordIs(t, "HASH");
+          Next();
+          ASPEN_RETURN_NOT_OK(Expect(TokKind::kLParen, "'('"));
+          ASPEN_ASSIGN_OR_RETURN(ExprPtr arg, ParseOr());
+          ASPEN_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+          return is_hash ? Expr::Hash(arg) : Expr::Abs(arg);
+        }
+        if (KeywordIs(t, "DST")) {
+          Next();
+          if (Peek().kind == TokKind::kLParen) {
+            Next();
+            ASPEN_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+          }
+          return Expr::Dist();
+        }
+        return Err("unexpected identifier '" + t.text + "'");
+      }
+      default:
+        return Err("expected expression");
+    }
+  }
+
+  std::vector<Token> toks_;
+  size_t idx_ = 0;
+};
+
+}  // namespace
+
+Result<JoinQuery> ParseQuery(const std::string& sql) {
+  Lexer lexer(sql);
+  ASPEN_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseFullQuery();
+}
+
+Result<ExprPtr> ParsePredicate(const std::string& text) {
+  Lexer lexer(text);
+  ASPEN_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  ASPEN_ASSIGN_OR_RETURN(ExprPtr expr, parser.ParseExpression());
+  if (parser.Peek().kind != TokKind::kEnd) {
+    return Status::InvalidArgument("trailing input after predicate");
+  }
+  return expr;
+}
+
+}  // namespace query
+}  // namespace aspen

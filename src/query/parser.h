@@ -1,0 +1,36 @@
+// StreamSQL-style query parser (Appendix B). Parses the paper's
+// select-project-single-join dialect:
+//
+//   SELECT S.id, T.id, S.time
+//   FROM S, T [windowsize=3 sampleinterval=100]
+//   WHERE S.id < 25 AND hash(S.u) % 2 = 0
+//     AND T.id > 50 AND S.x = T.y + 5 AND S.u = T.u
+//
+// Supported predicate language: comparisons (=, <>, <, <=, >, >=), integer
+// arithmetic (+, -, *, /, %), the utility functions hash(e), abs(e), the
+// region primitive dst() (Euclidean distance between the S and T
+// positions), boolean AND/OR/NOT, and parentheses. Attribute references are
+// S.<name> / T.<name> over the 28-attribute sensor schema.
+
+#ifndef ASPEN_QUERY_PARSER_H_
+#define ASPEN_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/analyzer.h"
+
+namespace aspen {
+namespace query {
+
+/// \brief Parses a full query. Errors carry the offending position.
+Result<JoinQuery> ParseQuery(const std::string& sql);
+
+/// \brief Parses just a predicate expression (the WHERE body). Useful for
+/// tests and for composing queries programmatically from text fragments.
+Result<ExprPtr> ParsePredicate(const std::string& text);
+
+}  // namespace query
+}  // namespace aspen
+
+#endif  // ASPEN_QUERY_PARSER_H_

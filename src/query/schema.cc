@@ -1,0 +1,37 @@
+#include "query/schema.h"
+
+#include "common/logging.h"
+#include "net/message.h"
+
+namespace aspen {
+namespace query {
+
+Schema::Schema()
+    : names_{"id",       "x",      "y",        "cid",     "rid",
+             "pos_x",    "pos_y",  "role",     "room",    "floor",
+             "group_id", "caps",   "loc_z",    "name_id", "u",
+             "v",        "temp",   "light",    "humidity", "battery",
+             "rfid",     "adc0",   "adc1",     "mem_free", "local_time",
+             "seq",      "noise",  "volt"} {
+  ASPEN_CHECK_EQ(static_cast<int>(names_.size()), kNumAttrs);
+}
+
+const Schema& Schema::Sensor() {
+  static const Schema schema;
+  return schema;
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Schema::WireBytes(int num_attrs) {
+  return net::WireFormat::kNodeIdBytes + net::WireFormat::kSeqBytes +
+         num_attrs * net::WireFormat::kAttributeBytes;
+}
+
+}  // namespace query
+}  // namespace aspen

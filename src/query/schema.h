@@ -1,0 +1,87 @@
+// The sensor relation schema.
+//
+// Appendix B: sensor relations share a pre-defined 28-attribute schema — 18
+// populated from physical measurements or soft readings, the rest static
+// identifiers that can be assigned from the base station (role, room,
+// coordinates...). Attribute values are 16-bit integers on the wire
+// (Section 4); we compute in int32 and charge 2 bytes per attribute.
+
+#ifndef ASPEN_QUERY_SCHEMA_H_
+#define ASPEN_QUERY_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aspen {
+namespace query {
+
+/// Attribute indexes into the sensor schema. Order is part of the wire
+/// format; append only.
+enum AttrId : int {
+  // -- static attributes (identity & placement; set at deployment or by
+  //    base-station flooding) --
+  kAttrId = 0,     ///< unique node identifier
+  kAttrX,          ///< synthetic static attr; [7,60] exponential (Table 1)
+  kAttrY,          ///< synthetic static attr; [0,10) uniform (Table 1)
+  kAttrCid,        ///< column number in a 4x4 grid (Table 1)
+  kAttrRid,        ///< row number in a 4x4 grid (Table 1)
+  kAttrPosX,       ///< real position, decimeters (256m field)
+  kAttrPosY,       ///< real position, decimeters
+  kAttrRole,       ///< assigned role
+  kAttrRoom,       ///< room number
+  kAttrFloor,      ///< floor number
+  kAttrGroupId,    ///< administrative group
+  kAttrCaps,       ///< capability bitmask
+  kAttrLocZ,       ///< assigned 3D height
+  kAttrNameId,     ///< interned name identifier
+  // -- dynamic attributes (physical sensors & soft readings) --
+  kAttrU,          ///< synthetic join attribute (Table 1)
+  kAttrV,          ///< humidity from the Intel-like trace (Table 1)
+  kAttrTemp,       ///< temperature
+  kAttrLight,      ///< light level
+  kAttrHumidity,   ///< relative humidity
+  kAttrBattery,    ///< battery voltage
+  kAttrRfid,       ///< RFID tag currently detected
+  kAttrAdc0,       ///< raw ADC channel 0
+  kAttrAdc1,       ///< raw ADC channel 1
+  kAttrMemFree,    ///< free RAM at the mote
+  kAttrLocalTime,  ///< local clock (low 16 bits)
+  kAttrSeq,        ///< sample sequence number
+  kAttrNoise,      ///< ambient noise level
+  kAttrVolt,       ///< supply voltage
+  kNumAttrs,       // == 28
+};
+
+/// \brief A sensor reading / static identity record: one int32 per schema
+/// attribute (wire format: 16-bit).
+using Tuple = std::vector<int32_t>;
+
+/// \brief Immutable schema metadata for the sensor relation.
+class Schema {
+ public:
+  /// The process-wide sensor schema instance.
+  static const Schema& Sensor();
+
+  int num_attrs() const { return kNumAttrs; }
+  const std::string& name(int attr) const { return names_[attr]; }
+  bool is_static(int attr) const { return attr < kAttrU; }
+  /// Attribute index by name; -1 if unknown.
+  int IndexOf(const std::string& name) const;
+
+  /// A zero-initialized tuple of the right arity.
+  Tuple MakeTuple() const { return Tuple(kNumAttrs, 0); }
+
+  /// Wire size of a projected tuple carrying `num_attrs` attributes plus a
+  /// node id and sequence number.
+  static int WireBytes(int num_attrs);
+
+ private:
+  Schema();
+  std::vector<std::string> names_;
+};
+
+}  // namespace query
+}  // namespace aspen
+
+#endif  // ASPEN_QUERY_SCHEMA_H_

@@ -1,0 +1,73 @@
+// Join windows (Section 2): the buffered recent tuples from one producer at
+// a join node, against which the opposite stream's arrivals are joined.
+//
+// Two modes, per WindowSpec:
+//  - tuple-based (default): the last `w` tuples, FIFO eviction on insert;
+//  - time-based (footnote 5): every tuple sampled within the last `w`
+//    sampling cycles; the owner evicts expired entries before each use and
+//    capacity is bounded by the maximum expected rate (one per cycle).
+
+#ifndef ASPEN_QUERY_WINDOW_H_
+#define ASPEN_QUERY_WINDOW_H_
+
+#include <deque>
+
+#include "common/logging.h"
+#include "query/schema.h"
+
+namespace aspen {
+namespace query {
+
+/// \brief Bounded buffer of recent tuples from one producer.
+class JoinWindow {
+ public:
+  struct Entry {
+    int cycle = 0;
+    Tuple tuple;
+  };
+
+  explicit JoinWindow(int size, bool time_based = false)
+      : size_(size), time_based_(time_based) {
+    ASPEN_CHECK_GE(size, 1);
+  }
+
+  /// Enqueues a sample taken at `cycle`. In tuple mode the oldest entry is
+  /// evicted when full; in time mode expired entries are evicted lazily via
+  /// EvictExpired.
+  void Push(Tuple tuple, int cycle) {
+    if (!time_based_ && static_cast<int>(buffer_.size()) == size_) {
+      buffer_.pop_front();
+    }
+    buffer_.push_back(Entry{cycle, std::move(tuple)});
+  }
+
+  /// Time mode: drops entries sampled before `now - size + 1`. No-op in
+  /// tuple mode.
+  void EvictExpired(int now) {
+    if (!time_based_) return;
+    const int min_cycle = now - size_ + 1;
+    while (!buffer_.empty() && buffer_.front().cycle < min_cycle) {
+      buffer_.pop_front();
+    }
+  }
+
+  const std::deque<Entry>& entries() const { return buffer_; }
+  int size() const { return static_cast<int>(buffer_.size()); }
+  int window_size() const { return size_; }
+  bool time_based() const { return time_based_; }
+  bool empty() const { return buffer_.empty(); }
+  void Clear() { buffer_.clear(); }
+
+  /// Storage cost in bytes (Table 3's storage rows).
+  int StorageBytes() const { return size() * Schema::WireBytes(kNumAttrs); }
+
+ private:
+  int size_;
+  bool time_based_;
+  std::deque<Entry> buffer_;
+};
+
+}  // namespace query
+}  // namespace aspen
+
+#endif  // ASPEN_QUERY_WINDOW_H_

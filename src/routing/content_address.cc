@@ -1,0 +1,71 @@
+#include "routing/content_address.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "net/geo_routing.h"
+
+namespace aspen {
+namespace routing {
+
+uint64_t HashKey(int32_t key, uint64_t salt) {
+  uint64_t z = static_cast<uint64_t>(static_cast<uint32_t>(key)) ^
+               (salt * 0xD1B54A32D192ED03ULL + 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+GeoHash::GeoHash(const net::Topology* topology, uint64_t salt)
+    : topology_(topology), salt_(salt) {
+  ASPEN_CHECK(topology_->num_nodes() > 0);
+  min_x_ = max_x_ = topology_->position(0).x;
+  min_y_ = max_y_ = topology_->position(0).y;
+  for (int i = 1; i < topology_->num_nodes(); ++i) {
+    const auto& p = topology_->position(i);
+    min_x_ = std::min(min_x_, p.x);
+    max_x_ = std::max(max_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_y_ = std::max(max_y_, p.y);
+  }
+}
+
+net::Point GeoHash::PointForKey(int32_t key) const {
+  uint64_t h = HashKey(key, salt_);
+  double fx = static_cast<double>(h & 0xFFFFFFFFULL) / 4294967296.0;
+  double fy = static_cast<double>(h >> 32) / 4294967296.0;
+  return {min_x_ + fx * (max_x_ - min_x_), min_y_ + fy * (max_y_ - min_y_)};
+}
+
+net::NodeId GeoHash::NodeForKey(int32_t key) const {
+  return topology_->NearestNode(PointForKey(key));
+}
+
+std::vector<net::NodeId> GeoHash::GreedyPath(net::NodeId from,
+                                             net::NodeId to) const {
+  // Full GPSR forwarding: greedy with Gabriel-planarized perimeter escape.
+  return net::GeoRoute(*topology_, from, to);
+}
+
+DhtRing::DhtRing(const net::Topology* topology, uint64_t salt)
+    : topology_(topology), salt_(salt) {
+  ring_.reserve(topology_->num_nodes());
+  for (net::NodeId u = 0; u < topology_->num_nodes(); ++u) {
+    ring_.emplace_back(HashKey(u, salt_ ^ 0xABCDEF), u);
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+net::NodeId DhtRing::NodeForKey(int32_t key) const {
+  uint64_t h = HashKey(key, salt_);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<uint64_t, net::NodeId>& e, uint64_t v) {
+        return e.first < v;
+      });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+}  // namespace routing
+}  // namespace aspen

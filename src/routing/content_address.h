@@ -1,0 +1,64 @@
+// Content-addressable routing baselines: GHT (geographic hash table, mote
+// networks) and a DHT ring (802.11 mesh networks). Both map a join-key value
+// to a single, locality-oblivious rendezvous node — the property that makes
+// grouped joins at hashed locations unpredictable in cost (Section 2.2).
+
+#ifndef ASPEN_ROUTING_CONTENT_ADDRESS_H_
+#define ASPEN_ROUTING_CONTENT_ADDRESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace aspen {
+namespace routing {
+
+/// \brief GHT: hashes a key to a point in the deployment's bounding box;
+/// the rendezvous node is the deployed node nearest that point (the "home
+/// node" in GHT terms). Packets travel by greedy geographic forwarding.
+class GeoHash {
+ public:
+  /// `topology` must outlive this object. `salt` varies the hash function.
+  explicit GeoHash(const net::Topology* topology, uint64_t salt = 0);
+
+  /// Hashed location for a key (always inside the bounding box).
+  net::Point PointForKey(int32_t key) const;
+
+  /// Home node for a key: nearest node to the hashed location.
+  net::NodeId NodeForKey(int32_t key) const;
+
+  /// The hop sequence greedy geographic forwarding takes from `from` to
+  /// `to` (matching the simulator's kGeoGreedy mode, including the
+  /// shortest-path escape from local minima). Includes both endpoints.
+  std::vector<net::NodeId> GreedyPath(net::NodeId from, net::NodeId to) const;
+
+ private:
+  const net::Topology* topology_;
+  uint64_t salt_;
+  double min_x_, min_y_, max_x_, max_y_;
+};
+
+/// \brief DHT ring: node ids and keys hash onto a 64-bit ring; the
+/// rendezvous node owns the first node-hash clockwise of the key hash
+/// (consistent hashing, Pastry/Chord-style).
+class DhtRing {
+ public:
+  explicit DhtRing(const net::Topology* topology, uint64_t salt = 0);
+
+  net::NodeId NodeForKey(int32_t key) const;
+
+ private:
+  const net::Topology* topology_;
+  uint64_t salt_;
+  /// (hash, node) pairs sorted by hash.
+  std::vector<std::pair<uint64_t, net::NodeId>> ring_;
+};
+
+/// 64-bit mix used by both schemes (and by query-level hash() predicates).
+uint64_t HashKey(int32_t key, uint64_t salt);
+
+}  // namespace routing
+}  // namespace aspen
+
+#endif  // ASPEN_ROUTING_CONTENT_ADDRESS_H_

@@ -1,0 +1,272 @@
+#include "routing/multi_tree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "net/message.h"
+
+namespace aspen {
+namespace routing {
+
+namespace {
+// Forward exploration message: query id (2), sought value (2), origin (2),
+// plus the growing delta-encoded path vector (1 byte/hop).
+constexpr int kExploreBaseBytes = 6;
+// Reply: query id (2) + target id (2); carries the reversed path vector and
+// the hops-to-base array for join-node placement (1 byte/hop each).
+constexpr int kReplyBaseBytes = 4;
+}  // namespace
+
+MultiTree::MultiTree(const net::Topology* topology, MultiTreeOptions options,
+                     net::TrafficStats* stats)
+    : topology_(topology), options_(options) {
+  ASPEN_CHECK(options_.num_trees >= 1);
+  const int n = topology_->num_nodes();
+  // Tree 0 is rooted at the base station; each further root maximizes the
+  // minimum hop distance to all existing roots (furthest-first).
+  roots_.push_back(0);
+  std::vector<int> min_dist = topology_->HopDistancesFrom(0);
+  for (int t = 1; t < options_.num_trees; ++t) {
+    NodeId best = -1;
+    int best_d = -1;
+    for (NodeId u = 0; u < n; ++u) {
+      if (min_dist[u] > best_d) {
+        best_d = min_dist[u];
+        best = u;
+      }
+    }
+    roots_.push_back(best);
+    auto d = topology_->HopDistancesFrom(best);
+    for (NodeId u = 0; u < n; ++u) min_dist[u] = std::min(min_dist[u], d[u]);
+  }
+  for (NodeId root : roots_) {
+    trees_.push_back(
+        std::make_unique<RoutingTree>(RoutingTree::Build(*topology_, root, stats)));
+    construction_bytes_ += RoutingTree::ConstructionBytes(n);
+  }
+}
+
+Result<int> MultiTree::IndexAttribute(const IndexedAttribute& attr,
+                                      net::TrafficStats* stats) {
+  if (!attr.value_fn) {
+    return Status::InvalidArgument("IndexAttribute: missing value_fn");
+  }
+  const int n = topology_->num_nodes();
+  ScalarIndex index;
+  index.decl = attr;
+  index.per_tree.resize(trees_.size());
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    const RoutingTree& tree = *trees_[t];
+    auto& per_node = index.per_tree[t];
+    per_node.resize(n);
+    // Post-order accumulation: subtree summary = own value + children's.
+    std::vector<std::unique_ptr<ScalarSummary>> subtree(n);
+    // Process nodes deepest-first.
+    std::vector<NodeId> order(n);
+    for (int i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      return tree.DepthOf(a) > tree.DepthOf(b);
+    });
+    for (NodeId u : order) {
+      auto own = ScalarSummary::Make(attr.summary_type);
+      own->Insert(attr.value_fn(u));
+      const auto& children = tree.ChildrenOf(u);
+      per_node[u].reserve(children.size());
+      for (NodeId c : children) {
+        ASPEN_DCHECK(subtree[c] != nullptr);
+        per_node[u].push_back(subtree[c]->Clone());
+        own->Merge(*subtree[c]);
+      }
+      subtree[u] = std::move(own);
+      // Each non-root node ships its merged subtree summary to its parent
+      // during construction.
+      if (tree.ParentOf(u) != -1) {
+        int bytes =
+            subtree[u]->SizeBytes() + net::WireFormat::kLinkHeaderBytes;
+        if (stats != nullptr) {
+          stats->RecordSend(u, net::MessageKind::kBeacon, bytes);
+        }
+        construction_bytes_ += bytes;
+      }
+    }
+  }
+  scalar_indexes_.push_back(std::move(index));
+  return static_cast<int>(scalar_indexes_.size()) - 1;
+}
+
+void MultiTree::IndexPositions(net::TrafficStats* stats) {
+  const int n = topology_->num_nodes();
+  position_index_.built = true;
+  position_index_.per_tree.assign(trees_.size(), {});
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    const RoutingTree& tree = *trees_[t];
+    auto& per_node = position_index_.per_tree[t];
+    per_node.resize(n);
+    std::vector<RTreeSummary> subtree(n, RTreeSummary(options_.rtree_max_rects));
+    std::vector<NodeId> order(n);
+    for (int i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      return tree.DepthOf(a) > tree.DepthOf(b);
+    });
+    for (NodeId u : order) {
+      RTreeSummary own(options_.rtree_max_rects);
+      own.Insert(topology_->position(u));
+      for (NodeId c : tree.ChildrenOf(u)) {
+        per_node[u].push_back(subtree[c]);
+        own.Merge(subtree[c]);
+      }
+      subtree[u] = own;
+      if (tree.ParentOf(u) != -1) {
+        int bytes = own.SizeBytes() + net::WireFormat::kLinkHeaderBytes;
+        if (stats != nullptr) {
+          stats->RecordSend(u, net::MessageKind::kBeacon, bytes);
+        }
+        construction_bytes_ += bytes;
+      }
+    }
+  }
+}
+
+void MultiTree::ChargeExploreHop(NodeId from, int depth,
+                                 net::TrafficStats* stats,
+                                 SearchStats* ss) const {
+  int bytes = net::WireFormat::kLinkHeaderBytes + kExploreBaseBytes +
+              depth * net::WireFormat::kPathEntryBytes;
+  if (stats != nullptr) {
+    stats->RecordSend(from, net::MessageKind::kExploration, bytes);
+  }
+  if (ss != nullptr) {
+    ss->exploration_bytes += bytes;
+    ss->max_hops = std::max(ss->max_hops, depth + 1);
+  }
+}
+
+void MultiTree::ChargeReply(const std::vector<NodeId>& path,
+                            net::TrafficStats* stats, SearchStats* ss) const {
+  // The reply retraces the path target -> source carrying the reversed path
+  // vector plus the hops-to-base array used for join-node placement.
+  const int hops = static_cast<int>(path.size()) - 1;
+  const int bytes = net::WireFormat::kLinkHeaderBytes + kReplyBaseBytes +
+                    2 * hops * net::WireFormat::kPathEntryBytes;
+  for (size_t k = path.size(); k-- > 1;) {
+    if (stats != nullptr) {
+      stats->RecordSend(path[k], net::MessageKind::kExplorationReply, bytes);
+    }
+    if (ss != nullptr) ss->reply_bytes += bytes;
+  }
+  if (ss != nullptr) {
+    ss->max_hops = std::max(ss->max_hops, 2 * hops);
+    ++ss->paths_found;
+  }
+}
+
+std::vector<FoundPath> MultiTree::Search(
+    NodeId source, const std::function<bool(int, NodeId, size_t)>& descend,
+    const std::function<bool(NodeId)>& matches, net::TrafficStats* stats,
+    SearchStats* search_stats) const {
+  std::vector<FoundPath> results;
+  for (int t = 0; t < num_trees(); ++t) {
+    const RoutingTree& tree = *trees_[t];
+    // Downward exploration from `u`; `path` ends with `u`.
+    // Defined recursively via explicit stack to bound stack usage.
+    struct Item {
+      NodeId node;
+      std::vector<NodeId> path;
+    };
+    auto expand_down = [&](std::vector<Item>* stack, const Item& item) {
+      const auto& children = tree.ChildrenOf(item.node);
+      for (size_t ci = 0; ci < children.size(); ++ci) {
+        if (!descend(t, item.node, ci)) continue;
+        ChargeExploreHop(item.node, static_cast<int>(item.path.size()) - 1,
+                         stats, search_stats);
+        Item next;
+        next.node = children[ci];
+        next.path = item.path;
+        next.path.push_back(children[ci]);
+        stack->push_back(std::move(next));
+      }
+    };
+    auto visit = [&](const Item& item) {
+      if (search_stats != nullptr) ++search_stats->nodes_visited;
+      if (item.node != source && matches(item.node)) {
+        ChargeReply(item.path, stats, search_stats);
+        results.push_back(FoundPath{item.node, item.path, t});
+      }
+    };
+
+    std::vector<Item> stack;
+    // Phase 1: descend below the source.
+    expand_down(&stack, Item{source, {source}});
+    // Phase 2: ascend toward the root; at each ancestor, test the ancestor
+    // itself and descend into its other children. Never re-ascend after a
+    // descent.
+    {
+      std::vector<NodeId> up_path{source};
+      NodeId cur = source;
+      while (tree.ParentOf(cur) != -1) {
+        NodeId p = tree.ParentOf(cur);
+        ChargeExploreHop(cur, static_cast<int>(up_path.size()) - 1, stats,
+                         search_stats);
+        up_path.push_back(p);
+        Item at_parent{p, up_path};
+        visit(at_parent);
+        const auto& children = tree.ChildrenOf(p);
+        for (size_t ci = 0; ci < children.size(); ++ci) {
+          if (children[ci] == cur) continue;
+          if (!descend(t, p, ci)) continue;
+          ChargeExploreHop(p, static_cast<int>(up_path.size()) - 1, stats,
+                           search_stats);
+          Item next;
+          next.node = children[ci];
+          next.path = up_path;
+          next.path.push_back(children[ci]);
+          stack.push_back(std::move(next));
+        }
+        cur = p;
+      }
+    }
+    while (!stack.empty()) {
+      Item item = std::move(stack.back());
+      stack.pop_back();
+      visit(item);
+      expand_down(&stack, item);
+    }
+  }
+  return results;
+}
+
+std::vector<FoundPath> MultiTree::FindMatches(
+    NodeId source, int attr_idx, int32_t value,
+    const std::function<bool(NodeId)>& accept, net::TrafficStats* stats,
+    SearchStats* search_stats) const {
+  ASPEN_CHECK(attr_idx >= 0 &&
+              attr_idx < static_cast<int>(scalar_indexes_.size()));
+  const ScalarIndex& index = scalar_indexes_[attr_idx];
+  auto descend = [&](int t, NodeId u, size_t ci) {
+    return index.per_tree[t][u][ci]->MayContain(value);
+  };
+  auto matches = [&](NodeId u) {
+    if (index.decl.value_fn(u) != value) return false;
+    return accept == nullptr || accept(u);
+  };
+  return Search(source, descend, matches, stats, search_stats);
+}
+
+std::vector<FoundPath> MultiTree::FindWithinRadius(
+    NodeId source, double radius, const std::function<bool(NodeId)>& accept,
+    net::TrafficStats* stats, SearchStats* search_stats) const {
+  ASPEN_CHECK(position_index_.built);
+  const net::Point& center = topology_->position(source);
+  auto descend = [&](int t, NodeId u, size_t ci) {
+    return position_index_.per_tree[t][u][ci].MayIntersectCircle(center,
+                                                                 radius);
+  };
+  auto matches = [&](NodeId u) {
+    if (net::Distance(topology_->position(u), center) > radius) return false;
+    return accept == nullptr || accept(u);
+  };
+  return Search(source, descend, matches, stats, search_stats);
+}
+
+}  // namespace routing
+}  // namespace aspen

@@ -1,0 +1,159 @@
+// Multi-tree content-addressable routing substrate ([11], Appendix C).
+//
+// The substrate maintains several overlapping routing trees: the first is
+// rooted at the base station; each further root is the node furthest (in
+// hops) from all existing roots. Static attributes are indexed bottom-up
+// into per-child summaries (semantic routing tables), and exploration
+// queries route toward nodes holding a sought join-key value by descending
+// only into subtrees whose summaries may contain it — ascending toward the
+// root "for completeness", but never re-ascending after a descent.
+//
+// Exploration here is computed rather than simulated message-by-message, but
+// every hop the distributed protocol would transmit is charged to the
+// supplied TrafficStats and the critical-path hop count is reported as
+// latency — the same accounting the paper measures (see DESIGN.md).
+
+#ifndef ASPEN_ROUTING_MULTI_TREE_H_
+#define ASPEN_ROUTING_MULTI_TREE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/network.h"
+#include "routing/routing_tree.h"
+#include "routing/summary.h"
+
+namespace aspen {
+namespace routing {
+
+/// \brief Declaration of a static attribute to index in the routing tables.
+struct IndexedAttribute {
+  std::string name;
+  SummaryType summary_type = SummaryType::kBloom;
+  /// Static value of this attribute at each node.
+  std::function<int32_t(NodeId)> value_fn;
+};
+
+/// \brief One discovered route from a search source to a matching target.
+struct FoundPath {
+  NodeId target = -1;
+  /// Route [source, ..., target] along tree edges actually explored.
+  std::vector<NodeId> path;
+  /// Which tree the path was found in.
+  int tree_index = 0;
+};
+
+/// \brief Traffic/latency accounting for one exploration.
+struct SearchStats {
+  int64_t exploration_bytes = 0;  ///< forward search messages
+  int64_t reply_bytes = 0;        ///< reversed path-vector replies
+  int max_hops = 0;               ///< critical-path latency in hops
+  int nodes_visited = 0;
+  int paths_found = 0;
+};
+
+/// \brief Options controlling the substrate.
+struct MultiTreeOptions {
+  int num_trees = 3;
+  /// Rectangle budget of the per-subtree position R-trees.
+  int rtree_max_rects = 4;
+};
+
+/// \brief The multi-tree routing substrate.
+class MultiTree {
+ public:
+  /// Builds `options.num_trees` trees over `topology`. If `stats` is
+  /// non-null, beacon traffic for each tree's construction is charged.
+  MultiTree(const net::Topology* topology, MultiTreeOptions options,
+            net::TrafficStats* stats = nullptr);
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+  const RoutingTree& tree(int i) const { return *trees_[i]; }
+  /// The tree rooted at the base station (index 0).
+  const RoutingTree& primary() const { return *trees_[0]; }
+  const net::Topology& topology() const { return *topology_; }
+
+  /// \brief Indexes a scalar static attribute in every tree's routing
+  /// tables. Charges summary-aggregation traffic (each node ships its merged
+  /// subtree summary to its parent, per tree) when `stats` is non-null.
+  /// Returns the attribute index used in searches.
+  Result<int> IndexAttribute(const IndexedAttribute& attr,
+                             net::TrafficStats* stats = nullptr);
+
+  /// \brief Indexes node positions with per-subtree R-trees (for
+  /// region-based predicates such as Query 3's Dst < 5m).
+  void IndexPositions(net::TrafficStats* stats = nullptr);
+
+  /// \brief Finds nodes whose indexed attribute `attr_idx` equals `value`
+  /// and that satisfy `accept` (secondary static predicates; may be null).
+  ///
+  /// Searches every tree from `source`; at most one path per (target, tree)
+  /// is returned and the source itself is never a target. Traffic for every
+  /// explored hop plus the reply path-vectors is charged to `*stats` (the
+  /// TrafficStats of the experiment's network) when non-null, and
+  /// `search_stats` (when non-null) receives the per-search accounting.
+  std::vector<FoundPath> FindMatches(
+      NodeId source, int attr_idx, int32_t value,
+      const std::function<bool(NodeId)>& accept = nullptr,
+      net::TrafficStats* stats = nullptr,
+      SearchStats* search_stats = nullptr) const;
+
+  /// \brief Finds nodes within `radius` meters of `source`'s position,
+  /// using the R-tree summaries. Requires IndexPositions() first.
+  std::vector<FoundPath> FindWithinRadius(
+      NodeId source, double radius,
+      const std::function<bool(NodeId)>& accept = nullptr,
+      net::TrafficStats* stats = nullptr,
+      SearchStats* search_stats = nullptr) const;
+
+  /// Roots chosen for each tree (index 0 is the base station).
+  const std::vector<NodeId>& roots() const { return roots_; }
+
+  /// Total bytes charged for tree construction + summary aggregation so far.
+  int64_t construction_bytes() const { return construction_bytes_; }
+
+ private:
+  /// Per-tree, per-node semantic routing table for one scalar attribute.
+  struct ScalarIndex {
+    IndexedAttribute decl;
+    /// child_summary[tree][node] — summaries keyed parallel to
+    /// RoutingTree::ChildrenOf(node).
+    std::vector<std::vector<std::vector<std::unique_ptr<ScalarSummary>>>>
+        per_tree;
+  };
+
+  struct PositionIndex {
+    bool built = false;
+    std::vector<std::vector<std::vector<RTreeSummary>>> per_tree;
+  };
+
+  /// Visitor-based search shared by FindMatches / FindWithinRadius.
+  /// `descend(tree, node, child_idx)` decides whether a child subtree can
+  /// hold a match; `matches(node)` tests a concrete node.
+  std::vector<FoundPath> Search(
+      NodeId source,
+      const std::function<bool(int, NodeId, size_t)>& descend,
+      const std::function<bool(NodeId)>& matches,
+      net::TrafficStats* stats, SearchStats* search_stats) const;
+
+  void ChargeExploreHop(NodeId from, int depth, net::TrafficStats* stats,
+                        SearchStats* ss) const;
+  void ChargeReply(const std::vector<NodeId>& path, net::TrafficStats* stats,
+                   SearchStats* ss) const;
+
+  const net::Topology* topology_;
+  MultiTreeOptions options_;
+  std::vector<std::unique_ptr<RoutingTree>> trees_;
+  std::vector<NodeId> roots_;
+  std::vector<ScalarIndex> scalar_indexes_;
+  PositionIndex position_index_;
+  int64_t construction_bytes_ = 0;
+};
+
+}  // namespace routing
+}  // namespace aspen
+
+#endif  // ASPEN_ROUTING_MULTI_TREE_H_

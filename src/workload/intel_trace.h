@@ -1,0 +1,48 @@
+// Synthetic Intel-Research-Berkeley-like humidity trace (see DESIGN.md
+// substitutions). Query 3 needs: (a) raw 16-bit humidity readings, (b)
+// temporal correlation within a node, (c) spatial correlation so that nearby
+// nodes (< 5m) usually agree, with occasional excursions making
+// abs(s.v - t.v) > 1000 true for roughly 20% of close pairs — the sigma_st
+// the paper's "Innet full knowledge" baseline uses for this dataset.
+
+#ifndef ASPEN_WORKLOAD_INTEL_TRACE_H_
+#define ASPEN_WORKLOAD_INTEL_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/topology.h"
+
+namespace aspen {
+namespace workload {
+
+/// \brief Generator for correlated per-node humidity streams.
+class IntelTrace {
+ public:
+  IntelTrace(const net::Topology& topology, uint64_t seed);
+
+  /// Raw humidity reading for a node at a sampling cycle (16-bit range).
+  /// Deterministic in (node, cycle).
+  int32_t Humidity(net::NodeId node, int cycle) const;
+
+  /// Empirical probability that two given nodes differ by more than
+  /// `threshold` over `cycles` samples (diagnostic / test helper).
+  double DiffExceedProb(net::NodeId a, net::NodeId b, int32_t threshold,
+                        int cycles) const;
+
+ private:
+  int num_nodes_;
+  /// Per-node phase of the building-wide diurnal component.
+  std::vector<double> phase_;
+  /// Per-node calibration bias (motes disagree by a constant offset).
+  std::vector<double> bias_;
+  /// Per-node noise scale.
+  std::vector<double> noise_scale_;
+  uint64_t seed_;
+};
+
+}  // namespace workload
+}  // namespace aspen
+
+#endif  // ASPEN_WORKLOAD_INTEL_TRACE_H_

@@ -1,0 +1,101 @@
+#include "workload/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "query/expr.h"
+
+namespace aspen {
+namespace workload {
+
+int CeilInverse(double p) {
+  ASPEN_CHECK(p > 0.0 && p <= 1.0);
+  return static_cast<int>(std::ceil(1.0 / p - 1e-9));
+}
+
+int SelectivityParams::UDomain() const { return CeilInverse(sigma_st); }
+
+namespace {
+
+bool Passes(int32_t u, int salt, int mod) {
+  if (mod <= 1) return true;
+  return query::HashValue16(u + salt) % mod == 0;
+}
+
+// Bitmask of domain values passing (domain <= 64 always: sigma_st >= 1/64).
+uint64_t PassMask(int domain, int salt, int mod) {
+  uint64_t mask = 0;
+  for (int u = 0; u < domain; ++u) {
+    if (Passes(u, salt, mod)) mask |= (1ULL << u);
+  }
+  return mask;
+}
+
+}  // namespace
+
+bool FilterDesign::PassS(int32_t u) const { return Passes(u, salt_s, mod_s); }
+bool FilterDesign::PassT(int32_t u) const { return Passes(u, salt_t, mod_t); }
+
+FilterDesign DesignFilters(const SelectivityParams& params) {
+  FilterDesign d;
+  d.domain = params.UDomain();
+  ASPEN_CHECK_LE(d.domain, 64);
+  d.mod_s = CeilInverse(params.sigma_s);
+  d.mod_t = CeilInverse(params.sigma_t);
+
+  constexpr int kSaltSearch = 512;
+  constexpr int kShortlist = 40;
+
+  // Shortlist the salts whose realized pass rate is closest to the target,
+  // then pick the (salt_s, salt_t) pair whose conditional join probability
+  // is closest to 1/m.
+  auto shortlist = [&](int mod, double target) {
+    std::vector<std::pair<double, int>> scored;
+    for (int salt = 0; salt < kSaltSearch; ++salt) {
+      uint64_t mask = PassMask(d.domain, salt, mod);
+      int count = __builtin_popcountll(mask);
+      if (count == 0) continue;  // a never-sending producer breaks the run
+      double realized = static_cast<double>(count) / d.domain;
+      scored.emplace_back(std::abs(realized - target), salt);
+    }
+    std::sort(scored.begin(), scored.end());
+    if (static_cast<int>(scored.size()) > kShortlist) scored.resize(kShortlist);
+    return scored;
+  };
+
+  auto s_list = shortlist(d.mod_s, params.sigma_s);
+  auto t_list = shortlist(d.mod_t, params.sigma_t);
+  ASPEN_CHECK(!s_list.empty() && !t_list.empty());
+
+  const double target_st = 1.0 / d.domain;
+  double best_err = 1e300;
+  for (const auto& [err_s, salt_s] : s_list) {
+    uint64_t mask_s = PassMask(d.domain, salt_s, d.mod_s);
+    int cnt_s = __builtin_popcountll(mask_s);
+    for (const auto& [err_t, salt_t] : t_list) {
+      uint64_t mask_t = PassMask(d.domain, salt_t, d.mod_t);
+      int cnt_t = __builtin_popcountll(mask_t);
+      int overlap = __builtin_popcountll(mask_s & mask_t);
+      double realized_st =
+          static_cast<double>(overlap) / (static_cast<double>(cnt_s) * cnt_t);
+      // Weighted error: producer rates matter most for traffic shape; the
+      // conditional join probability is matched as a soft constraint.
+      double err = 2.0 * err_s + 2.0 * err_t +
+                   std::abs(realized_st - target_st) / target_st * 0.5;
+      if (err < best_err) {
+        best_err = err;
+        d.salt_s = salt_s;
+        d.salt_t = salt_t;
+        d.realized_s = static_cast<double>(cnt_s) / d.domain;
+        d.realized_t = static_cast<double>(cnt_t) / d.domain;
+        d.realized_st = realized_st;
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace workload
+}  // namespace aspen

@@ -1,0 +1,55 @@
+// Selectivity machinery for the synthetic workload (Table 1 / Table 2).
+//
+// The paper draws the join attribute u uniformly from [0, ceil(1/sigma_st))
+// so that Prob[u1 = u2] = sigma_st, and gates producers with
+// hP(u) := hash(u) % ceil(1/sigma_p) == 0. Because the u domain is small
+// (5..20 values), a naive hash salt realizes pass-rates far from sigma_p —
+// so we search for hash salts whose *realized* pass rates and conditional
+// join probability are closest to the targets. This keeps the predicate
+// form of the paper while making the realized selectivities match the ones
+// each figure sweeps.
+
+#ifndef ASPEN_WORKLOAD_SELECTIVITY_H_
+#define ASPEN_WORKLOAD_SELECTIVITY_H_
+
+#include <cstdint>
+
+namespace aspen {
+namespace workload {
+
+/// \brief The (sigma_s, sigma_t, sigma_st) triple of Section 3.
+struct SelectivityParams {
+  double sigma_s = 1.0;   ///< S producer send rate
+  double sigma_t = 1.0;   ///< T producer send rate
+  double sigma_st = 0.2;  ///< per-(value pair) join probability
+
+  /// u domain size: ceil(1 / sigma_st).
+  int UDomain() const;
+};
+
+/// ceil(1/p) with guards (p in (0, 1]).
+int CeilInverse(double p);
+
+/// \brief A calibrated pair of hash filters over a common u domain.
+struct FilterDesign {
+  int domain = 1;   ///< m = ceil(1/sigma_st)
+  int mod_s = 1;    ///< ceil(1/sigma_s)
+  int mod_t = 1;
+  int salt_s = 0;
+  int salt_t = 0;
+  double realized_s = 1.0;   ///< fraction of the domain passing the S filter
+  double realized_t = 1.0;
+  double realized_st = 1.0;  ///< conditional join prob given both sent
+
+  bool PassS(int32_t u) const;
+  bool PassT(int32_t u) const;
+};
+
+/// \brief Searches hash salts so the realized (sigma_s, sigma_t, conditional
+/// sigma_st) triple is as close as possible to `params`. Deterministic.
+FilterDesign DesignFilters(const SelectivityParams& params);
+
+}  // namespace workload
+}  // namespace aspen
+
+#endif  // ASPEN_WORKLOAD_SELECTIVITY_H_

@@ -1,0 +1,72 @@
+#include "workload/static_config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aspen {
+namespace workload {
+
+using query::AttrId;
+
+StaticConfig::StaticConfig(const net::Topology& topology, uint64_t seed) {
+  const int n = topology.num_nodes();
+  Rng rng(seed);
+  // Bounding box of the deployment (cid/rid partition it 4x4).
+  double min_x = topology.position(0).x, max_x = min_x;
+  double min_y = topology.position(0).y, max_y = min_y;
+  for (int i = 1; i < n; ++i) {
+    const auto& p = topology.position(i);
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double span_x = std::max(max_x - min_x, 1e-9);
+  const double span_y = std::max(max_y - min_y, 1e-9);
+  const net::Point center{(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  const double max_center_dist =
+      std::hypot(span_x, span_y) / 2.0;
+
+  tuples_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    auto& t = tuples_[i];
+    t = query::Schema::Sensor().MakeTuple();
+    const auto& p = topology.position(i);
+    t[AttrId::kAttrId] = i;
+    // x: exponential decay away from the center, jittered; clamp [7, 60].
+    double d = net::Distance(p, center) / max_center_dist;  // 0 at center
+    double x = 7.0 + 53.0 * std::exp(-2.5 * d) +
+               (rng.UniformDouble() - 0.5) * 6.0;
+    t[AttrId::kAttrX] =
+        std::clamp(static_cast<int32_t>(std::lround(x)), 7, 60);
+    // y: uniform [0, 10).
+    t[AttrId::kAttrY] = static_cast<int32_t>(rng.UniformInt(10));
+    // cid/rid: 4x4 grid over the bounding box.
+    int cid = static_cast<int>((p.x - min_x) / span_x * 4.0);
+    int rid = static_cast<int>((p.y - min_y) / span_y * 4.0);
+    t[AttrId::kAttrCid] = std::clamp(cid, 0, 3);
+    t[AttrId::kAttrRid] = std::clamp(rid, 0, 3);
+    // pos in decimeters.
+    t[AttrId::kAttrPosX] = static_cast<int32_t>(std::lround(p.x * 10.0));
+    t[AttrId::kAttrPosY] = static_cast<int32_t>(std::lround(p.y * 10.0));
+    // Deterministic defaults for the assignable identifiers.
+    t[AttrId::kAttrRole] = 0;
+    t[AttrId::kAttrRoom] = cid * 4 + rid;
+    t[AttrId::kAttrFloor] = 1;
+    t[AttrId::kAttrGroupId] = 0;
+    t[AttrId::kAttrCaps] = 0x3;
+    t[AttrId::kAttrLocZ] = 0;
+    t[AttrId::kAttrNameId] = i;
+  }
+}
+
+void StaticConfig::Set(net::NodeId id, int attr, int32_t value) {
+  ASPEN_CHECK(id >= 0 && id < num_nodes());
+  ASPEN_CHECK(query::Schema::Sensor().is_static(attr));
+  tuples_[id][attr] = value;
+}
+
+}  // namespace workload
+}  // namespace aspen

@@ -1,0 +1,48 @@
+// Static attribute assignment (Table 1): every node gets a static identity
+// record derived from its position and id. These are the values the routing
+// substrate indexes and the optimizer's static pre-evaluation consults.
+
+#ifndef ASPEN_WORKLOAD_STATIC_CONFIG_H_
+#define ASPEN_WORKLOAD_STATIC_CONFIG_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "net/topology.h"
+#include "query/schema.h"
+
+namespace aspen {
+namespace workload {
+
+/// \brief Per-node static tuples for a deployment.
+///
+/// Table 1 attributes:
+///  - id: node id.
+///  - x: [7, 60], exponential *spatial* distribution — nodes near the field
+///    center get higher values.
+///  - y: [0, 10), uniform random.
+///  - cid, rid: column/row of the node in a 4x4 grid over the deployment's
+///    bounding box.
+///  - pos: the real position, stored in decimeters (fits 16 bits on a 256m
+///    field) in pos_x / pos_y.
+/// The remaining static attributes (role, room, ...) get deterministic
+/// defaults and can be overridden (base-station flooding in the paper).
+class StaticConfig {
+ public:
+  StaticConfig(const net::Topology& topology, uint64_t seed);
+
+  const query::Tuple& tuple(net::NodeId id) const { return tuples_[id]; }
+  int num_nodes() const { return static_cast<int>(tuples_.size()); }
+
+  /// Overrides one static attribute on one node (models the directed
+  /// multi-hop flooding update of Appendix B).
+  void Set(net::NodeId id, int attr, int32_t value);
+
+ private:
+  std::vector<query::Tuple> tuples_;
+};
+
+}  // namespace workload
+}  // namespace aspen
+
+#endif  // ASPEN_WORKLOAD_STATIC_CONFIG_H_

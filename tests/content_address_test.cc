@@ -1,0 +1,118 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "routing/content_address.h"
+
+namespace aspen {
+namespace routing {
+namespace {
+
+class GeoHashTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    auto topo = net::Topology::Random(100, 7.0, GetParam());
+    ASSERT_TRUE(topo.ok());
+    topo_ = std::make_unique<net::Topology>(std::move(*topo));
+    geo_ = std::make_unique<GeoHash>(topo_.get(), /*salt=*/GetParam());
+  }
+  std::unique_ptr<net::Topology> topo_;
+  std::unique_ptr<GeoHash> geo_;
+};
+
+TEST_P(GeoHashTest, PointsLandInsideBoundingBox) {
+  double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+  for (int i = 0; i < topo_->num_nodes(); ++i) {
+    const auto& p = topo_->position(i);
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  for (int32_t key = 0; key < 200; ++key) {
+    net::Point pt = geo_->PointForKey(key);
+    EXPECT_GE(pt.x, min_x);
+    EXPECT_LE(pt.x, max_x);
+    EXPECT_GE(pt.y, min_y);
+    EXPECT_LE(pt.y, max_y);
+  }
+}
+
+TEST_P(GeoHashTest, NodeForKeyIsDeterministicNearestNode) {
+  for (int32_t key = 0; key < 50; ++key) {
+    net::NodeId a = geo_->NodeForKey(key);
+    EXPECT_EQ(a, geo_->NodeForKey(key));
+    EXPECT_EQ(a, topo_->NearestNode(geo_->PointForKey(key)));
+  }
+}
+
+TEST_P(GeoHashTest, KeysSpreadAcrossNodes) {
+  std::set<net::NodeId> homes;
+  for (int32_t key = 0; key < 300; ++key) homes.insert(geo_->NodeForKey(key));
+  // Hashing 300 keys over 100 nodes should hit a sizable fraction.
+  EXPECT_GT(homes.size(), 40u);
+}
+
+TEST_P(GeoHashTest, GreedyPathReachesEveryDestination) {
+  for (net::NodeId from : {0, 13, 57}) {
+    for (net::NodeId to : {0, 8, 42, 99}) {
+      auto path = geo_->GreedyPath(from, to);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.front(), from);
+      EXPECT_EQ(path.back(), to) << "stuck from " << from << " to " << to;
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_TRUE(topo_->AreNeighbors(path[i], path[i + 1]));
+      }
+      // Greedy is never shorter than BFS.
+      EXPECT_GE(path.size(), topo_->ShortestPath(from, to).size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeoHashTest, ::testing::Values(3, 7, 19));
+
+TEST(DhtRingTest, DeterministicOwnership) {
+  auto topo = net::Topology::Random(60, 7.0, 5);
+  ASSERT_TRUE(topo.ok());
+  DhtRing ring(&*topo, 1);
+  for (int32_t key = 0; key < 100; ++key) {
+    net::NodeId owner = ring.NodeForKey(key);
+    EXPECT_EQ(owner, ring.NodeForKey(key));
+    EXPECT_GE(owner, 0);
+    EXPECT_LT(owner, 60);
+  }
+}
+
+TEST(DhtRingTest, DifferentSaltsRemapKeys) {
+  auto topo = net::Topology::Random(60, 7.0, 5);
+  ASSERT_TRUE(topo.ok());
+  DhtRing a(&*topo, 1), b(&*topo, 2);
+  int moved = 0;
+  for (int32_t key = 0; key < 100; ++key) {
+    if (a.NodeForKey(key) != b.NodeForKey(key)) ++moved;
+  }
+  EXPECT_GT(moved, 50);
+}
+
+TEST(DhtRingTest, LoadRoughlyBalanced) {
+  auto topo = net::Topology::Random(50, 7.0, 9);
+  ASSERT_TRUE(topo.ok());
+  DhtRing ring(&*topo, 3);
+  std::map<net::NodeId, int> load;
+  const int keys = 5000;
+  for (int32_t key = 0; key < keys; ++key) ++load[ring.NodeForKey(key)];
+  int max_load = 0;
+  for (const auto& [node, l] : load) max_load = std::max(max_load, l);
+  // Consistent hashing without virtual nodes is skewed but bounded.
+  EXPECT_LT(max_load, keys / 2);
+}
+
+TEST(HashKeyTest, SaltChangesHash) {
+  EXPECT_NE(HashKey(42, 1), HashKey(42, 2));
+  EXPECT_EQ(HashKey(42, 1), HashKey(42, 1));
+}
+
+}  // namespace
+}  // namespace routing
+}  // namespace aspen

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "opt/centralized.h"
+#include "opt/cost_model.h"
+#include "opt/group.h"
+#include "routing/routing_tree.h"
+
+namespace aspen {
+namespace opt {
+namespace {
+
+PairCostInputs Cost(double ss, double st, double sst, int w) {
+  return PairCostInputs{ss, st, sst, w};
+}
+
+TEST(CostModelTest, InnetPairCostFormula) {
+  // sigma_s*Dsj + sigma_t*Dtj + (sigma_s+sigma_t)*w*sigma_st*Djr
+  EXPECT_DOUBLE_EQ(InnetPairCost(Cost(0.5, 0.25, 0.2, 3), 4, 2, 6),
+                   0.5 * 4 + 0.25 * 2 + 0.75 * 3 * 0.2 * 6);
+}
+
+TEST(CostModelTest, BasePairCostFormula) {
+  EXPECT_DOUBLE_EQ(BasePairCost(Cost(0.5, 0.25, 0.2, 3), 7, 9),
+                   0.5 * 7 + 0.25 * 9);
+}
+
+TEST(CostModelTest, ThroughBaseFormula) {
+  EXPECT_DOUBLE_EQ(
+      ThroughBasePairCost(Cost(0.5, 0.25, 0.2, 3), 7, 9),
+      0.5 * 7 + (0.5 + 0.75 * 3 * 0.2) * 9);
+}
+
+TEST(CostModelTest, JoiningAtProducerWhenPartnerSilent) {
+  // sigma_t = 0, sigma_st = 0: all cost is moving s's data, so the model
+  // places the join at s itself.
+  std::vector<net::NodeId> path{10, 11, 12, 13};
+  auto depth = [](net::NodeId id) { return static_cast<int>(id); };
+  Placement p = PlaceOnPath(Cost(1.0, 0.0, 0.0, 1), path, depth);
+  EXPECT_FALSE(p.at_base);
+  EXPECT_EQ(p.join_node, 10);
+  EXPECT_DOUBLE_EQ(p.cost, 0.0);
+}
+
+TEST(CostModelTest, HighJoinSelectivityPrefersBase) {
+  // With w*sigma_st large, every in-network placement pays a heavy
+  // result-forwarding term, so the base (no forwarding) wins.
+  std::vector<net::NodeId> path{1, 2, 3};
+  auto depth = [](net::NodeId) { return 5; };  // all far from base
+  Placement p = PlaceOnPath(Cost(1.0, 1.0, 1.0, 4), path, depth);
+  EXPECT_TRUE(p.at_base);
+  EXPECT_DOUBLE_EQ(p.cost, 1.0 * 5 + 1.0 * 5);
+}
+
+TEST(CostModelTest, PlacementIsNeverWorseThanBase) {
+  // Property over a parameter sweep: the claim of Section 3.2.
+  std::vector<net::NodeId> path{0, 1, 2, 3, 4, 5};
+  auto depth = [](net::NodeId id) { return static_cast<int>((id * 7) % 9); };
+  for (double ss : {0.1, 0.5, 1.0}) {
+    for (double st : {0.1, 0.5, 1.0}) {
+      for (double sst : {0.05, 0.2, 1.0}) {
+        for (int w : {1, 3}) {
+          Placement p = PlaceOnPath(Cost(ss, st, sst, w), path, depth);
+          double base =
+              BasePairCost(Cost(ss, st, sst, w), depth(0), depth(5));
+          EXPECT_LE(p.cost, base);
+          if (!p.at_base) EXPECT_LT(p.cost, base);
+        }
+      }
+    }
+  }
+}
+
+TEST(CostModelTest, AsymmetricRatesPullJoinTowardChattySide) {
+  // sigma_s >> sigma_t: moving s's heavy stream should be short, so the
+  // join node sits near s.
+  std::vector<net::NodeId> path{0, 1, 2, 3, 4, 5, 6};
+  auto depth = [](net::NodeId) { return 10; };
+  Placement near_s = PlaceOnPath(Cost(1.0, 0.1, 0.0, 1), path, depth);
+  Placement near_t = PlaceOnPath(Cost(0.1, 1.0, 0.0, 1), path, depth);
+  ASSERT_FALSE(near_s.at_base);
+  ASSERT_FALSE(near_t.at_base);
+  EXPECT_LT(near_s.path_index, near_t.path_index);
+}
+
+TEST(CostModelTest, GroupDeltaCpSign) {
+  // A producer two hops from its join node and one hop from the base
+  // prefers the base (positive delta) when result forwarding is free.
+  std::vector<ProducerJoinNode> joins{{2, 5, 1}};
+  EXPECT_GT(GroupDeltaCp(1.0, 0.0, 1, joins, 1), 0.0);
+  // A producer adjacent to its join node and far from the base prefers
+  // in-network (negative delta).
+  std::vector<ProducerJoinNode> near{{1, 5, 1}};
+  EXPECT_LT(GroupDeltaCp(1.0, 0.01, 1, near, 8), 0.0);
+}
+
+TEST(CostModelTest, GroupDeltaScalesWithPairCount) {
+  std::vector<ProducerJoinNode> one{{1, 5, 1}};
+  std::vector<ProducerJoinNode> many{{1, 5, 4}};
+  EXPECT_LT(GroupDeltaCp(1.0, 0.2, 3, one, 3),
+            GroupDeltaCp(1.0, 0.2, 3, many, 3));
+}
+
+TEST(CostModelTest, Table3AlgorithmCosts) {
+  AlgorithmCostInputs in;
+  in.pair = Cost(0.5, 0.5, 0.2, 1);
+  in.d_sr = {2, 3};
+  in.d_tr = {4};
+  in.num_s = 2;
+  in.num_t = 1;
+  in.phi_s_to_t = 0.5;
+  in.phi_t_to_s = 1.0;
+  in.pairs = {{1, 1, 3}, {2, 2, 3}};
+  EXPECT_DOUBLE_EQ(NaiveComputationCost(in), 0.5 * 5 + 0.5 * 4);
+  EXPECT_DOUBLE_EQ(BaseComputationCost(in), 0.5 * 0.5 * 5 + 0.5 * 4);
+  EXPECT_DOUBLE_EQ(Yang07ComputationCost(in),
+                   0.5 * 5 + (0.5 * 2.0 / 1.0 + 1.0 * 0.2) * 4);
+  double pairwise = InnetPairCost(in.pair, 1, 1, 3) +
+                    InnetPairCost(in.pair, 2, 2, 3);
+  EXPECT_DOUBLE_EQ(InnetComputationCost(in), pairwise);
+  EXPECT_DOUBLE_EQ(GhtComputationCost(in), pairwise);
+}
+
+// ---- groups -------------------------------------------------------------------
+
+TEST(GroupTest, DiscoverGroupsSeparatesComponents) {
+  // Two disjoint complete-bipartite components.
+  std::vector<std::pair<net::NodeId, net::NodeId>> pairs{
+      {1, 10}, {1, 11}, {2, 10}, {2, 11},  // component A
+      {5, 20},                             // component B
+  };
+  auto groups = DiscoverGroups(pairs);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].coordinator, 1);
+  EXPECT_EQ(groups[0].s_members, (std::vector<net::NodeId>{1, 2}));
+  EXPECT_EQ(groups[0].t_members, (std::vector<net::NodeId>{10, 11}));
+  EXPECT_TRUE(IsCompleteBipartite(groups[0]));
+  EXPECT_EQ(groups[1].coordinator, 5);
+  EXPECT_TRUE(IsCompleteBipartite(groups[1]));
+}
+
+TEST(GroupTest, TransitiveClosureMergesChains) {
+  // s1-t1, t1-s2, s2-t2 are one component even without the closing edge.
+  std::vector<std::pair<net::NodeId, net::NodeId>> pairs{
+      {1, 10}, {2, 10}, {2, 11}};
+  auto groups = DiscoverGroups(pairs);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_FALSE(IsCompleteBipartite(groups[0]));  // {1,11} edge missing
+}
+
+TEST(GroupTest, NodeInBothRelations) {
+  // Node 3 appears as S in one pair and as T in another: the S and T
+  // occurrences are distinct endpoints.
+  std::vector<std::pair<net::NodeId, net::NodeId>> pairs{{3, 4}, {5, 3}};
+  auto groups = DiscoverGroups(pairs);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(GroupTest, DecideGroup) {
+  EXPECT_EQ(DecideGroup({-1.0, 0.5}), GroupDecision::kInNetwork);
+  EXPECT_EQ(DecideGroup({1.0, -0.5}), GroupDecision::kAtBase);
+  EXPECT_EQ(DecideGroup({}), GroupDecision::kAtBase);  // sum 0: tie -> base
+}
+
+// ---- centralized baseline -------------------------------------------------------
+
+TEST(CentralizedTest, OptimalPlacementBeatsAnyPathPlacement) {
+  auto topo = *net::Topology::Random(80, 7.0, 13);
+  PairCostInputs cost = Cost(0.5, 0.5, 0.2, 3);
+  routing::RoutingTree tree = routing::RoutingTree::Build(topo, 0);
+  for (auto [s, t] : std::vector<std::pair<net::NodeId, net::NodeId>>{
+           {5, 70}, {12, 33}, {1, 79}}) {
+    Placement oracle = OptimalPlacement(topo, cost, s, t);
+    auto path = topo.ShortestPath(s, t);
+    Placement on_path = PlaceOnPath(
+        cost, path, [&](net::NodeId id) { return tree.DepthOf(id); });
+    double oracle_traffic = PlacementTraffic(topo, cost, s, t, oracle);
+    double path_traffic = PlacementTraffic(topo, cost, s, t, on_path);
+    EXPECT_LE(oracle_traffic, path_traffic + 1e-9);
+  }
+}
+
+TEST(CentralizedTest, InitiationScalesWithNetworkSize) {
+  auto small = *net::Topology::Random(40, 7.0, 3);
+  auto large = *net::Topology::Random(120, 7.0, 3);
+  auto t_small = routing::RoutingTree::Build(small, 0);
+  auto t_large = routing::RoutingTree::Build(large, 0);
+  auto c_small = CentralizedInitiation(small, t_small, 4, {1, 2, 3});
+  auto c_large = CentralizedInitiation(large, t_large, 4, {1, 2, 3});
+  EXPECT_GT(c_large.total_bytes, c_small.total_bytes);
+  EXPECT_GT(c_large.base_bytes, c_small.base_bytes);
+  EXPECT_GT(c_large.latency_cycles, c_small.latency_cycles);
+  EXPECT_GT(c_small.plan_bytes, 0);
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace aspen

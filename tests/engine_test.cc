@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/report.h"
+#include "net/topology.h"
+
+namespace aspen {
+namespace core {
+namespace {
+
+TEST(EngineTest, RunExperimentProducesStats) {
+  auto topo = *net::Topology::Random(60, 7.0, 5);
+  auto wl = workload::Workload::MakeQuery1(&topo, {0.5, 0.5, 0.2}, 3, 7);
+  ASSERT_TRUE(wl.ok());
+  join::ExecutorOptions opts;
+  opts.algorithm = join::Algorithm::kBase;
+  opts.assumed = {0.5, 0.5, 0.2};
+  auto stats = RunExperiment(*wl, opts, 30);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->algorithm, "Base");
+  EXPECT_GT(stats->total_bytes, 0u);
+  EXPECT_EQ(stats->sampling_cycles, 30);
+  EXPECT_EQ(stats->total_bytes,
+            stats->initiation_bytes + stats->computation_bytes);
+}
+
+TEST(EngineTest, RunAveragedAggregatesAcrossSeeds) {
+  auto topo = *net::Topology::Random(60, 7.0, 5);
+  auto factory = [&](uint64_t seed) {
+    return workload::Workload::MakeQuery1(&topo, {0.5, 0.5, 0.2}, 3, seed);
+  };
+  join::ExecutorOptions opts;
+  opts.algorithm = join::Algorithm::kBase;
+  opts.assumed = {0.5, 0.5, 0.2};
+  auto agg = RunAveraged(factory, opts, 20, /*runs=*/4);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->runs, 4);
+  EXPECT_GT(agg->total_bytes, 0.0);
+  EXPECT_GE(agg->total_bytes_ci, 0.0);
+  // Different seeds produce different static attrs, hence CI > 0.
+  EXPECT_GT(agg->total_bytes_ci, 0.0);
+}
+
+TEST(EngineTest, RunAveragedPropagatesFactoryFailure) {
+  auto factory = [](uint64_t) -> Result<workload::Workload> {
+    return Status::Internal("boom");
+  };
+  join::ExecutorOptions opts;
+  auto agg = RunAveraged(factory, opts, 5, 2);
+  EXPECT_FALSE(agg.ok());
+}
+
+TEST(ReportTest, TableAlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "12345"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // All lines have equal length (alignment).
+  size_t first_nl = s.find('\n');
+  size_t second_nl = s.find('\n', first_nl + 1);
+  EXPECT_EQ(first_nl, second_nl - first_nl - 1);
+}
+
+TEST(ReportTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(3.5 * 1024 * 1024), "3.50 MB");
+}
+
+TEST(ReportTest, Fixed) {
+  EXPECT_EQ(Fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(Fixed(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace aspen

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "query/expr.h"
+
+namespace aspen {
+namespace query {
+namespace {
+
+Tuple MakeS() {
+  Tuple t = Schema::Sensor().MakeTuple();
+  t[kAttrId] = 7;
+  t[kAttrX] = 20;
+  t[kAttrU] = 3;
+  t[kAttrPosX] = 100;
+  t[kAttrPosY] = 0;
+  return t;
+}
+
+Tuple MakeT() {
+  Tuple t = Schema::Sensor().MakeTuple();
+  t[kAttrId] = 9;
+  t[kAttrY] = 15;
+  t[kAttrU] = 3;
+  t[kAttrPosX] = 130;
+  t[kAttrPosY] = 40;
+  return t;
+}
+
+TEST(SchemaTest, TwentyEightAttributesHalfStatic) {
+  const Schema& s = Schema::Sensor();
+  EXPECT_EQ(s.num_attrs(), 28);
+  EXPECT_TRUE(s.is_static(kAttrId));
+  EXPECT_TRUE(s.is_static(kAttrPosY));
+  EXPECT_FALSE(s.is_static(kAttrU));
+  EXPECT_FALSE(s.is_static(kAttrV));
+  EXPECT_EQ(s.IndexOf("u"), kAttrU);
+  EXPECT_EQ(s.IndexOf("cid"), kAttrCid);
+  EXPECT_EQ(s.IndexOf("nope"), -1);
+}
+
+TEST(SchemaTest, WireBytes) {
+  // id (2) + seq (2) + n attributes * 2.
+  EXPECT_EQ(Schema::WireBytes(1), 6);
+  EXPECT_EQ(Schema::WireBytes(3), 10);
+}
+
+TEST(ExprTest, ArithmeticOps) {
+  Tuple s = MakeS(), t = MakeT();
+  EXPECT_EQ(Expr::Add(Expr::Const(2), Expr::Const(3))->Eval(&s, &t), 5);
+  EXPECT_EQ(Expr::Sub(Expr::Const(2), Expr::Const(3))->Eval(&s, &t), -1);
+  EXPECT_EQ(Expr::Mul(Expr::Const(4), Expr::Const(3))->Eval(&s, &t), 12);
+  EXPECT_EQ(Expr::Div(Expr::Const(7), Expr::Const(2))->Eval(&s, &t), 3);
+  EXPECT_EQ(Expr::Mod(Expr::Const(7), Expr::Const(4))->Eval(&s, &t), 3);
+  EXPECT_EQ(Expr::Abs(Expr::Const(-5))->Eval(&s, &t), 5);
+}
+
+TEST(ExprTest, DivModByZeroYieldZero) {
+  EXPECT_EQ(Expr::Div(Expr::Const(7), Expr::Const(0))->Eval(nullptr, nullptr),
+            0);
+  EXPECT_EQ(Expr::Mod(Expr::Const(7), Expr::Const(0))->Eval(nullptr, nullptr),
+            0);
+}
+
+TEST(ExprTest, ModuloIsNonNegative) {
+  EXPECT_EQ(Expr::Mod(Expr::Const(-7), Expr::Const(4))->Eval(nullptr, nullptr),
+            1);
+}
+
+TEST(ExprTest, AttributeBindsToSide) {
+  Tuple s = MakeS(), t = MakeT();
+  EXPECT_EQ(Expr::Attr(Side::kS, kAttrId)->Eval(&s, &t), 7);
+  EXPECT_EQ(Expr::Attr(Side::kT, kAttrId)->Eval(&s, &t), 9);
+}
+
+TEST(ExprTest, Comparisons) {
+  Tuple s = MakeS(), t = MakeT();
+  auto sx = Expr::Attr(Side::kS, kAttrX);   // 20
+  auto ty = Expr::Attr(Side::kT, kAttrY);   // 15
+  EXPECT_TRUE(Expr::Gt(sx, ty)->EvalBool(&s, &t));
+  EXPECT_FALSE(Expr::Lt(sx, ty)->EvalBool(&s, &t));
+  EXPECT_TRUE(Expr::Ge(sx, sx)->EvalBool(&s, &t));
+  EXPECT_TRUE(Expr::Le(ty, sx)->EvalBool(&s, &t));
+  EXPECT_TRUE(Expr::Ne(sx, ty)->EvalBool(&s, &t));
+  EXPECT_TRUE(
+      Expr::Eq(sx, Expr::Add(ty, Expr::Const(5)))->EvalBool(&s, &t));
+}
+
+TEST(ExprTest, BooleanConnectives) {
+  auto yes = Expr::Const(1);
+  auto no = Expr::Const(0);
+  EXPECT_TRUE(Expr::And(yes, yes)->EvalBool(nullptr, nullptr));
+  EXPECT_FALSE(Expr::And(yes, no)->EvalBool(nullptr, nullptr));
+  EXPECT_TRUE(Expr::Or(no, yes)->EvalBool(nullptr, nullptr));
+  EXPECT_FALSE(Expr::Or(no, no)->EvalBool(nullptr, nullptr));
+  EXPECT_TRUE(Expr::Not(no)->EvalBool(nullptr, nullptr));
+  EXPECT_FALSE(Expr::Not(yes)->EvalBool(nullptr, nullptr));
+}
+
+TEST(ExprTest, HashIs15BitAndDeterministic) {
+  for (int32_t v : {0, 1, 42, -7, 32767}) {
+    int32_t h = HashValue16(v);
+    EXPECT_GE(h, 0);
+    EXPECT_LT(h, 1 << 15);
+    EXPECT_EQ(h, HashValue16(v));
+  }
+  auto expr = Expr::Hash(Expr::Const(42));
+  EXPECT_EQ(expr->Eval(nullptr, nullptr), HashValue16(42));
+}
+
+TEST(ExprTest, DistComputesEuclideanDecimeters) {
+  Tuple s = MakeS(), t = MakeT();  // dx=30, dy=40 -> 50
+  EXPECT_EQ(Expr::Dist()->Eval(&s, &t), 50);
+}
+
+TEST(ExprTest, ReferencesSide) {
+  auto join = Expr::Eq(Expr::Attr(Side::kS, kAttrU),
+                       Expr::Attr(Side::kT, kAttrU));
+  EXPECT_TRUE(join->ReferencesSide(Side::kS));
+  EXPECT_TRUE(join->ReferencesSide(Side::kT));
+  auto sel = Expr::Lt(Expr::Attr(Side::kS, kAttrId), Expr::Const(5));
+  EXPECT_TRUE(sel->ReferencesSide(Side::kS));
+  EXPECT_FALSE(sel->ReferencesSide(Side::kT));
+  EXPECT_TRUE(Expr::Dist()->ReferencesSide(Side::kS));
+  EXPECT_TRUE(Expr::Dist()->ReferencesSide(Side::kT));
+}
+
+TEST(ExprTest, IsStatic) {
+  EXPECT_TRUE(Expr::Attr(Side::kS, kAttrX)->IsStatic());
+  EXPECT_FALSE(Expr::Attr(Side::kS, kAttrU)->IsStatic());
+  EXPECT_TRUE(Expr::Dist()->IsStatic());
+  auto mixed = Expr::Eq(Expr::Attr(Side::kS, kAttrX),
+                        Expr::Attr(Side::kT, kAttrU));
+  EXPECT_FALSE(mixed->IsStatic());
+}
+
+TEST(ExprTest, CollectAttrs) {
+  auto e = Expr::Eq(Expr::Attr(Side::kS, kAttrX),
+                    Expr::Add(Expr::Attr(Side::kT, kAttrY), Expr::Const(5)));
+  std::vector<std::pair<Side, int>> attrs;
+  e->CollectAttrs(&attrs);
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0], (std::pair<Side, int>{Side::kS, kAttrX}));
+  EXPECT_EQ(attrs[1], (std::pair<Side, int>{Side::kT, kAttrY}));
+}
+
+TEST(ExprTest, ToStringReadable) {
+  auto e = Expr::Eq(Expr::Attr(Side::kS, kAttrX),
+                    Expr::Add(Expr::Attr(Side::kT, kAttrY), Expr::Const(5)));
+  EXPECT_EQ(e->ToString(), "(S.x = (T.y + 5))");
+  EXPECT_EQ(Expr::Dist()->ToString(), "Dst");
+  EXPECT_EQ(Expr::Not(Expr::Const(1))->ToString(), "NOT 1");
+}
+
+TEST(ExprTest, AndAllOfEmptyIsTrue) {
+  EXPECT_TRUE(Expr::AndAll({})->EvalBool(nullptr, nullptr));
+  auto one = Expr::AndAll({Expr::Const(0)});
+  EXPECT_FALSE(one->EvalBool(nullptr, nullptr));
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace aspen

@@ -1,0 +1,128 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "net/geo_routing.h"
+#include "net/topology.h"
+
+namespace aspen {
+namespace net {
+namespace {
+
+class GeoRoutingTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    auto topo = Topology::Random(100, 7.0, GetParam());
+    ASSERT_TRUE(topo.ok());
+    topo_ = std::make_unique<Topology>(std::move(*topo));
+  }
+  std::unique_ptr<Topology> topo_;
+};
+
+TEST_P(GeoRoutingTest, GabrielGraphIsPlanarSubgraphAndConnected) {
+  const Topology& topo = *topo_;
+  // Subgraph of the radio graph, symmetric.
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+    for (NodeId v : topo.GabrielNeighbors(u)) {
+      EXPECT_TRUE(topo.AreNeighbors(u, v));
+      const auto& back = topo.GabrielNeighbors(v);
+      EXPECT_NE(std::find(back.begin(), back.end(), u), back.end());
+    }
+  }
+  // Gabriel witness condition holds for every retained edge.
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+    for (NodeId v : topo.GabrielNeighbors(u)) {
+      double duv2 = std::pow(topo.DistanceBetween(u, v), 2);
+      for (NodeId w : topo.neighbors(u)) {
+        if (w == v) continue;
+        double a = std::pow(topo.DistanceBetween(u, w), 2);
+        double b = std::pow(topo.DistanceBetween(w, v), 2);
+        EXPECT_GE(a + b, duv2) << u << "-" << v << " witness " << w;
+      }
+    }
+  }
+  // Connectivity: BFS over Gabriel edges reaches everyone.
+  std::vector<bool> seen(topo.num_nodes(), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  int count = 0;
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    ++count;
+    for (NodeId v : topo.GabrielNeighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  EXPECT_EQ(count, topo.num_nodes());
+}
+
+TEST_P(GeoRoutingTest, GeoRouteReachesEveryDestination) {
+  const Topology& topo = *topo_;
+  for (NodeId from : {0, 13, 57, 99}) {
+    for (NodeId to : {0, 8, 42, 99}) {
+      auto path = GeoRoute(topo, from, to);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.front(), from);
+      EXPECT_EQ(path.back(), to) << "stuck " << from << "->" << to;
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_TRUE(topo.AreNeighbors(path[i], path[i + 1]));
+      }
+    }
+  }
+}
+
+TEST_P(GeoRoutingTest, PerimeterDetoursExceedShortestPaths) {
+  const Topology& topo = *topo_;
+  // Across many pairs, GPSR pays a stretch factor over BFS: strictly more
+  // total hops, since perimeter mode hugs face boundaries.
+  int64_t geo_hops = 0, bfs_hops = 0;
+  for (NodeId a = 0; a < topo.num_nodes(); a += 7) {
+    for (NodeId b = 1; b < topo.num_nodes(); b += 11) {
+      if (a == b) continue;
+      geo_hops += static_cast<int64_t>(GeoRoute(topo, a, b).size()) - 1;
+      bfs_hops += static_cast<int64_t>(topo.ShortestPath(a, b).size()) - 1;
+    }
+  }
+  EXPECT_GE(geo_hops, bfs_hops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeoRoutingTest, ::testing::Values(3, 7, 19));
+
+TEST(GeoRoutingStateTest, GreedyStepsMakeProgress) {
+  auto topo = *Topology::Grid(6, 6);
+  GeoRouteState state;
+  NodeId cur = 35;
+  double prev_dist = Distance(topo.position(cur), topo.position(0));
+  // On a grid greedy never needs perimeter mode: monotone progress.
+  while (cur != 0) {
+    NodeId next = GeoNextHop(topo, &state, cur, 0);
+    ASSERT_GE(next, 0);
+    double d = Distance(topo.position(next), topo.position(0));
+    EXPECT_LT(d, prev_dist);
+    EXPECT_LT(state.escape_dist, 0.0);
+    prev_dist = d;
+    cur = next;
+  }
+}
+
+TEST(GeoRoutingStateTest, HopsAreCounted) {
+  auto topo = *Topology::Grid(4, 4);
+  GeoRouteState state;
+  NodeId cur = 15;
+  int steps = 0;
+  while (cur != 0 && steps < 100) {
+    cur = GeoNextHop(topo, &state, cur, 0);
+    ASSERT_GE(cur, 0);
+    ++steps;
+  }
+  EXPECT_EQ(state.hops, steps);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace aspen

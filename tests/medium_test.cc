@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "join/medium.h"
+#include "net/topology.h"
+#include "tests/reference_join.h"
+#include "workload/workload.h"
+
+namespace aspen {
+namespace join {
+namespace {
+
+using workload::SelectivityParams;
+using workload::Workload;
+
+TEST(SharedMediumTest, TwoQueriesProduceCorrectResults) {
+  auto topo = net::Topology::Random(100, 7.0, 42);
+  ASSERT_TRUE(topo.ok());
+  SelectivityParams sel{0.5, 0.5, 0.2};
+  auto q1 = Workload::MakeQuery1(&*topo, sel, 3, 7);
+  auto q2 = Workload::MakeQuery2(&*topo, sel, 3, 9);
+  ASSERT_TRUE(q1.ok() && q2.ok());
+
+  SharedMedium medium(&*topo, {});
+  ExecutorOptions opts;
+  opts.algorithm = Algorithm::kInnet;
+  opts.features = InnetFeatures::Cmg();
+  opts.assumed = sel;
+  JoinExecutor* e1 = medium.AddQuery(&*q1, opts);
+  JoinExecutor* e2 = medium.AddQuery(&*q2, opts);
+  ASSERT_TRUE(medium.InitiateAll().ok());
+  ASSERT_TRUE(medium.RunCycles(30).ok());
+
+  EXPECT_EQ(e1->results(), testing_util::ReferenceResults(*q1, 30));
+  EXPECT_EQ(e2->results(), testing_util::ReferenceResults(*q2, 30));
+  EXPECT_GT(medium.stats().TotalBytesSent(), 0u);
+}
+
+TEST(SharedMediumTest, ResultsMatchSoloExecution) {
+  // Interleaving two queries on one medium must not change either query's
+  // semantics — only the shared traffic accounting.
+  auto topo = net::Topology::Random(80, 7.0, 11);
+  ASSERT_TRUE(topo.ok());
+  SelectivityParams sel{0.5, 0.5, 0.2};
+  auto shared_wl = *Workload::MakeQuery1(&*topo, sel, 3, 7);
+  auto other_wl = *Workload::MakeQuery2(&*topo, sel, 3, 9);
+  auto solo_wl = *Workload::MakeQuery1(&*topo, sel, 3, 7);
+
+  ExecutorOptions opts;
+  opts.algorithm = Algorithm::kBase;
+  opts.assumed = sel;
+
+  SharedMedium medium(&*topo, {});
+  JoinExecutor* shared_exec = medium.AddQuery(&shared_wl, opts);
+  medium.AddQuery(&other_wl, opts);
+  ASSERT_TRUE(medium.InitiateAll().ok());
+  ASSERT_TRUE(medium.RunCycles(25).ok());
+
+  JoinExecutor solo(&solo_wl, opts);
+  ASSERT_TRUE(solo.Initiate().ok());
+  ASSERT_TRUE(solo.RunCycles(25).ok());
+  EXPECT_EQ(shared_exec->results(), solo.results());
+}
+
+TEST(SharedMediumTest, CombinedTrafficAtLeastEachQuery) {
+  auto topo = net::Topology::Random(80, 7.0, 11);
+  ASSERT_TRUE(topo.ok());
+  SelectivityParams sel{0.5, 0.5, 0.2};
+  auto q1 = *Workload::MakeQuery1(&*topo, sel, 3, 7);
+  auto q1_solo = *Workload::MakeQuery1(&*topo, sel, 3, 7);
+  ExecutorOptions opts;
+  opts.algorithm = Algorithm::kBase;
+  opts.assumed = sel;
+
+  JoinExecutor solo(&q1_solo, opts);
+  ASSERT_TRUE(solo.Initiate().ok());
+  ASSERT_TRUE(solo.RunCycles(20).ok());
+  uint64_t solo_bytes = solo.network().stats().TotalBytesSent();
+
+  auto q2 = *Workload::MakeQuery2(&*topo, sel, 3, 9);
+  SharedMedium medium(&*topo, {});
+  medium.AddQuery(&q1, opts);
+  medium.AddQuery(&q2, opts);
+  ASSERT_TRUE(medium.InitiateAll().ok());
+  ASSERT_TRUE(medium.RunCycles(20).ok());
+  EXPECT_GT(medium.stats().TotalBytesSent(), solo_bytes);
+}
+
+TEST(SharedMediumTest, CrossQueryMergingSavesHeaders) {
+  // With combining enabled, data frames from different queries headed the
+  // same way share link headers, so two queries on one medium cost less
+  // than the sum of two isolated runs.
+  auto topo = net::Topology::Random(80, 7.0, 11);
+  ASSERT_TRUE(topo.ok());
+  SelectivityParams sel{1.0, 1.0, 0.2};
+  ExecutorOptions opts;
+  opts.algorithm = Algorithm::kBase;
+  opts.assumed = sel;
+
+  uint64_t sum_solo = 0;
+  for (uint64_t seed : {7ULL, 9ULL}) {
+    auto wl = *Workload::MakeQuery1(&*topo, sel, 3, seed);
+    JoinExecutor solo(&wl, opts);
+    ASSERT_TRUE(solo.Initiate().ok());
+    ASSERT_TRUE(solo.RunCycles(20).ok());
+    sum_solo += solo.network().stats().TotalBytesSent();
+  }
+
+  auto a = *Workload::MakeQuery1(&*topo, sel, 3, 7);
+  auto b = *Workload::MakeQuery1(&*topo, sel, 3, 9);
+  net::NetworkOptions shared_opts;
+  shared_opts.enable_merging = true;
+  SharedMedium medium(&*topo, shared_opts);
+  medium.AddQuery(&a, opts);
+  medium.AddQuery(&b, opts);
+  ASSERT_TRUE(medium.InitiateAll().ok());
+  ASSERT_TRUE(medium.RunCycles(20).ok());
+  EXPECT_LT(medium.stats().TotalBytesSent(), sum_solo);
+}
+
+TEST(SharedMediumTest, RunCyclesRejectedOnAttachedExecutor) {
+  auto topo = net::Topology::Random(40, 7.0, 3);
+  ASSERT_TRUE(topo.ok());
+  auto wl = *Workload::MakeQuery1(&*topo, {0.5, 0.5, 0.2}, 3, 7);
+  SharedMedium medium(&*topo, {});
+  ExecutorOptions opts;
+  opts.algorithm = Algorithm::kBase;
+  JoinExecutor* exec = medium.AddQuery(&wl, opts);
+  ASSERT_TRUE(medium.InitiateAll().ok());
+  EXPECT_FALSE(exec->RunCycles(1).ok());
+  EXPECT_TRUE(medium.RunCycles(1).ok());
+}
+
+TEST(SharedMediumTest, EmptyMediumRejectsRun) {
+  auto topo = net::Topology::Random(40, 7.0, 3);
+  ASSERT_TRUE(topo.ok());
+  SharedMedium medium(&*topo, {});
+  EXPECT_FALSE(medium.RunCycles(1).ok());
+}
+
+}  // namespace
+}  // namespace join
+}  // namespace aspen

@@ -1,0 +1,175 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/topology.h"
+#include "routing/multi_tree.h"
+
+namespace aspen {
+namespace routing {
+namespace {
+
+/// Deterministic static attribute: a small value domain so searches have
+/// several matches.
+int32_t AttrOf(net::NodeId id) { return (id * 7) % 12; }
+
+class MultiTreeTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    auto topo = net::Topology::Random(100, 7.0, 23);
+    ASSERT_TRUE(topo.ok());
+    topo_ = std::make_unique<net::Topology>(std::move(*topo));
+    MultiTreeOptions opts;
+    opts.num_trees = GetParam();
+    multi_ = std::make_unique<MultiTree>(topo_.get(), opts, nullptr);
+    IndexedAttribute attr;
+    attr.name = "a";
+    attr.summary_type = SummaryType::kBloom;
+    attr.value_fn = AttrOf;
+    auto idx = multi_->IndexAttribute(attr);
+    ASSERT_TRUE(idx.ok());
+    attr_idx_ = *idx;
+  }
+
+  std::unique_ptr<net::Topology> topo_;
+  std::unique_ptr<MultiTree> multi_;
+  int attr_idx_ = -1;
+};
+
+TEST_P(MultiTreeTest, BuildsRequestedTrees) {
+  EXPECT_EQ(multi_->num_trees(), GetParam());
+  EXPECT_EQ(multi_->primary().root(), 0);
+  // Roots are distinct.
+  std::set<net::NodeId> roots(multi_->roots().begin(), multi_->roots().end());
+  EXPECT_EQ(static_cast<int>(roots.size()), GetParam());
+}
+
+TEST_P(MultiTreeTest, FurtherRootsAreFar) {
+  if (GetParam() < 2) return;
+  // The second root maximizes hop distance from the base.
+  auto dist = topo_->HopDistancesFrom(0);
+  int max_d = *std::max_element(dist.begin(), dist.end());
+  EXPECT_EQ(dist[multi_->roots()[1]], max_d);
+}
+
+TEST_P(MultiTreeTest, FindMatchesIsCompleteAndExact) {
+  // Every node whose attribute equals the probe must be found (conservative
+  // summaries guarantee no false negatives), and nothing else.
+  for (net::NodeId source : {1, 25, 73}) {
+    for (int32_t probe : {0, 5, 11}) {
+      auto found = multi_->FindMatches(source, attr_idx_, probe);
+      std::set<net::NodeId> found_ids;
+      for (const auto& fp : found) found_ids.insert(fp.target);
+      for (net::NodeId u = 0; u < topo_->num_nodes(); ++u) {
+        bool expect = u != source && AttrOf(u) == probe;
+        EXPECT_EQ(found_ids.count(u) > 0, expect)
+            << "source " << source << " probe " << probe << " node " << u;
+      }
+    }
+  }
+}
+
+TEST_P(MultiTreeTest, PathsAreValidWalks) {
+  auto found = multi_->FindMatches(10, attr_idx_, 3);
+  ASSERT_FALSE(found.empty());
+  for (const auto& fp : found) {
+    ASSERT_GE(fp.path.size(), 2u);
+    EXPECT_EQ(fp.path.front(), 10);
+    EXPECT_EQ(fp.path.back(), fp.target);
+    for (size_t i = 0; i + 1 < fp.path.size(); ++i) {
+      EXPECT_TRUE(topo_->AreNeighbors(fp.path[i], fp.path[i + 1]));
+    }
+    EXPECT_LT(fp.tree_index, GetParam());
+  }
+}
+
+TEST_P(MultiTreeTest, AtMostOnePathPerTargetPerTree) {
+  auto found = multi_->FindMatches(4, attr_idx_, 7);
+  std::set<std::pair<net::NodeId, int>> seen;
+  for (const auto& fp : found) {
+    EXPECT_TRUE(seen.insert({fp.target, fp.tree_index}).second);
+  }
+}
+
+TEST_P(MultiTreeTest, AcceptFilterNarrowsTargets) {
+  auto all = multi_->FindMatches(10, attr_idx_, 3);
+  auto even_only = multi_->FindMatches(10, attr_idx_, 3,
+                                       [](net::NodeId t) { return t % 2 == 0; });
+  std::set<net::NodeId> evens;
+  for (const auto& fp : even_only) {
+    EXPECT_EQ(fp.target % 2, 0);
+    evens.insert(fp.target);
+  }
+  std::set<net::NodeId> all_evens;
+  for (const auto& fp : all) {
+    if (fp.target % 2 == 0) all_evens.insert(fp.target);
+  }
+  EXPECT_EQ(evens, all_evens);
+}
+
+TEST_P(MultiTreeTest, SearchChargesTraffic) {
+  net::TrafficStats stats(topo_->num_nodes());
+  SearchStats ss;
+  multi_->FindMatches(10, attr_idx_, 3, nullptr, &stats, &ss);
+  EXPECT_GT(stats.TotalBytesSent(), 0u);
+  EXPECT_GT(ss.exploration_bytes, 0);
+  EXPECT_GT(ss.reply_bytes, 0);
+  EXPECT_GT(ss.max_hops, 0);
+  EXPECT_GT(ss.paths_found, 0);
+  EXPECT_EQ(stats.BytesByKind(net::MessageKind::kExploration) +
+                stats.BytesByKind(net::MessageKind::kExplorationReply),
+            stats.TotalBytesSent());
+}
+
+TEST_P(MultiTreeTest, MoreTreesFindAlternatePathsNotWorseBest) {
+  // With more trees the best discovered path per target can only improve.
+  auto found = multi_->FindMatches(10, attr_idx_, 3);
+  std::map<net::NodeId, size_t> best;
+  for (const auto& fp : found) {
+    auto it = best.find(fp.target);
+    if (it == best.end() || fp.path.size() < it->second) {
+      best[fp.target] = fp.path.size();
+    }
+  }
+  for (const auto& [target, len] : best) {
+    auto shortest = topo_->ShortestPath(10, target);
+    EXPECT_GE(len, shortest.size());  // tree paths can't beat BFS
+  }
+}
+
+TEST_P(MultiTreeTest, RadiusSearchFindsRegionNodes) {
+  multi_->IndexPositions();
+  const double radius = 40.0;
+  for (net::NodeId source : {8, 55}) {
+    auto found = multi_->FindWithinRadius(source, radius);
+    std::set<net::NodeId> ids;
+    for (const auto& fp : found) ids.insert(fp.target);
+    for (net::NodeId u = 0; u < topo_->num_nodes(); ++u) {
+      bool expect = u != source &&
+                    topo_->DistanceBetween(source, u) <= radius;
+      EXPECT_EQ(ids.count(u) > 0, expect) << u;
+    }
+  }
+}
+
+TEST_P(MultiTreeTest, ConstructionBytesAccumulate) {
+  net::TrafficStats stats(topo_->num_nodes());
+  MultiTreeOptions opts;
+  opts.num_trees = GetParam();
+  MultiTree charged(topo_.get(), opts, &stats);
+  EXPECT_GT(stats.TotalBytesSent(), 0u);
+  IndexedAttribute attr;
+  attr.name = "a";
+  attr.value_fn = AttrOf;
+  uint64_t before = stats.TotalBytesSent();
+  ASSERT_TRUE(charged.IndexAttribute(attr, &stats).ok());
+  EXPECT_GT(stats.TotalBytesSent(), before);
+  EXPECT_GT(charged.construction_bytes(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeCounts, MultiTreeTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace routing
+}  // namespace aspen

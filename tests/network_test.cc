@@ -1,0 +1,319 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/topology.h"
+#include "routing/routing_tree.h"
+
+namespace aspen {
+namespace net {
+namespace {
+
+/// A 1x5 line topology: 0 - 1 - 2 - 3 - 4 (spacing 10m, range 11m).
+Topology LineTopology() {
+  // Grid(rows=1) is rejected; craft a thin 2-row grid and use the bottom
+  // row? Simpler: a 5-node random is nondeterministic, so use Grid(2,5) and
+  // pick nodes — instead build via Grid(2, 5) but assert what we need.
+  auto grid = Topology::Grid(2, 5, 100.0);
+  return *grid;
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo_ = std::make_unique<Topology>(LineTopology());
+    tree_ = std::make_unique<routing::RoutingTree>(
+        routing::RoutingTree::Build(*topo_, 0));
+  }
+
+  Network MakeNet(NetworkOptions opts = {}) {
+    Network net(topo_.get(), opts);
+    net.set_parent_resolver(tree_.get());
+    return net;
+  }
+
+  Message MakeMsg(NodeId from, NodeId to, RoutingMode mode,
+                  std::vector<NodeId> path = {}) {
+    Message m;
+    m.kind = MessageKind::kData;
+    m.mode = mode;
+    m.origin = from;
+    m.dest = to;
+    m.path = std::move(path);
+    m.size_bytes = 10;
+    return m;
+  }
+
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<routing::RoutingTree> tree_;
+};
+
+TEST_F(NetworkTest, SourcePathDeliversAlongPath) {
+  Network net = MakeNet();
+  std::vector<NodeId> delivered;
+  net.set_delivery_handler(
+      [&](const Message& m, NodeId at) { delivered.push_back(at); });
+  auto path = topo_->ShortestPath(0, 9);
+  ASSERT_GE(path.size(), 2u);
+  auto id = net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path));
+  ASSERT_TRUE(id.ok());
+  int steps = net.StepUntilQuiet();
+  EXPECT_EQ(steps, static_cast<int>(path.size()) - 1);  // one hop per cycle
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], 9);
+}
+
+TEST_F(NetworkTest, SelfAddressedDeliversImmediatelyAtZeroCost) {
+  Network net = MakeNet();
+  int deliveries = 0;
+  net.set_delivery_handler([&](const Message&, NodeId) { ++deliveries; });
+  ASSERT_TRUE(net.Submit(MakeMsg(3, 3, RoutingMode::kTreeToRoot)).ok());
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(net.stats().TotalBytesSent(), 0u);
+}
+
+TEST_F(NetworkTest, InvalidPathRejected) {
+  Network net = MakeNet();
+  // Path not starting at origin.
+  auto bad = MakeMsg(0, 2, RoutingMode::kSourcePath, {1, 2});
+  EXPECT_FALSE(net.Submit(std::move(bad)).ok());
+  // Empty path.
+  auto bad2 = MakeMsg(0, 2, RoutingMode::kSourcePath, {});
+  EXPECT_FALSE(net.Submit(std::move(bad2)).ok());
+}
+
+TEST_F(NetworkTest, TreeToRootReachesBase) {
+  Network net = MakeNet();
+  NodeId delivered_at = -1;
+  net.set_delivery_handler(
+      [&](const Message&, NodeId at) { delivered_at = at; });
+  ASSERT_TRUE(net.Submit(MakeMsg(9, 0, RoutingMode::kTreeToRoot)).ok());
+  net.StepUntilQuiet();
+  EXPECT_EQ(delivered_at, 0);
+}
+
+TEST_F(NetworkTest, TreeToRootWithoutResolverFails) {
+  Network net(topo_.get(), {});
+  EXPECT_FALSE(net.Submit(MakeMsg(9, 0, RoutingMode::kTreeToRoot)).ok());
+}
+
+TEST_F(NetworkTest, GeoGreedyReachesDestination) {
+  Network net = MakeNet();
+  NodeId delivered_at = -1;
+  net.set_delivery_handler(
+      [&](const Message&, NodeId at) { delivered_at = at; });
+  ASSERT_TRUE(net.Submit(MakeMsg(0, 9, RoutingMode::kGeoGreedy)).ok());
+  net.StepUntilQuiet(1000);
+  EXPECT_EQ(delivered_at, 9);
+}
+
+TEST_F(NetworkTest, TrafficChargedPerHopWithHeader) {
+  Network net = MakeNet();
+  auto path = topo_->ShortestPath(0, 9);
+  ASSERT_TRUE(net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  net.StepUntilQuiet();
+  const int hops = static_cast<int>(path.size()) - 1;
+  const uint64_t per_hop = 10 + WireFormat::kLinkHeaderBytes;
+  EXPECT_EQ(net.stats().TotalBytesSent(), per_hop * hops);
+  // Every intermediate node both received and sent once.
+  for (size_t i = 1; i + 1 < path.size(); ++i) {
+    EXPECT_EQ(net.stats().node(path[i]).bytes_sent, per_hop);
+    EXPECT_EQ(net.stats().node(path[i]).bytes_received, per_hop);
+  }
+}
+
+TEST_F(NetworkTest, LossCausesRetransmissionCharges) {
+  NetworkOptions opts;
+  opts.loss_prob = 0.5;
+  opts.max_retries = 50;
+  opts.seed = 7;
+  Network net = MakeNet(opts);
+  int deliveries = 0;
+  net.set_delivery_handler([&](const Message&, NodeId) { ++deliveries; });
+  auto path = topo_->ShortestPath(0, 9);
+  const int hops = static_cast<int>(path.size()) - 1;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  }
+  net.StepUntilQuiet(10000);
+  EXPECT_EQ(deliveries, 20);
+  // With 50% loss the expected transmissions are ~2x the loss-free count.
+  const uint64_t per_hop = 10 + WireFormat::kLinkHeaderBytes;
+  const uint64_t lossfree = per_hop * hops * 20;
+  EXPECT_GT(net.stats().TotalBytesSent(), lossfree * 3 / 2);
+}
+
+TEST_F(NetworkTest, ExhaustedRetriesDropWithCallback) {
+  NetworkOptions opts;
+  opts.loss_prob = 1.0;  // nothing ever gets through
+  opts.max_retries = 3;
+  Network net = MakeNet(opts);
+  int drops = 0;
+  NodeId drop_at = -1;
+  net.set_drop_handler([&](const Message&, NodeId at, NodeId) {
+    ++drops;
+    drop_at = at;
+  });
+  auto path = topo_->ShortestPath(0, 9);
+  ASSERT_TRUE(net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  net.StepUntilQuiet(100);
+  EXPECT_EQ(drops, 1);
+  EXPECT_EQ(drop_at, 0);  // never left the origin
+}
+
+TEST_F(NetworkTest, FailedNodeNeverAcks) {
+  Network net = MakeNet();
+  int drops = 0;
+  net.set_drop_handler(
+      [&](const Message&, NodeId, NodeId) { ++drops; });
+  auto path = topo_->ShortestPath(0, 9);
+  net.FailNode(path[1]);
+  ASSERT_TRUE(net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  net.StepUntilQuiet(100);
+  EXPECT_EQ(drops, 1);
+  // Sender kept transmitting (and being charged) until retries ran out.
+  EXPECT_EQ(net.stats().node(0).messages_sent,
+            static_cast<uint64_t>(net.options().max_retries) + 1);
+}
+
+TEST_F(NetworkTest, FailedOriginRejectsSubmit) {
+  Network net = MakeNet();
+  net.FailNode(4);
+  EXPECT_TRUE(net.IsFailed(4));
+  EXPECT_FALSE(net.Submit(MakeMsg(4, 0, RoutingMode::kTreeToRoot)).ok());
+  net.ReviveNode(4);
+  EXPECT_FALSE(net.IsFailed(4));
+  EXPECT_TRUE(net.Submit(MakeMsg(4, 0, RoutingMode::kTreeToRoot)).ok());
+}
+
+TEST_F(NetworkTest, MergingSharesOneHeaderPerPacket) {
+  // Two data messages from the same node to the same destination in the
+  // same cycle: merged -> one link header total per hop.
+  auto path = topo_->ShortestPath(0, 9);
+  const int hops = static_cast<int>(path.size()) - 1;
+  NetworkOptions merged_opts;
+  merged_opts.enable_merging = true;
+  Network merged = MakeNet(merged_opts);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(
+        merged.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  }
+  merged.StepUntilQuiet();
+  Network plain = MakeNet();
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(
+        plain.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  }
+  plain.StepUntilQuiet();
+  EXPECT_EQ(plain.stats().TotalBytesSent(),
+            (2 * 10 + 2 * WireFormat::kLinkHeaderBytes) *
+                static_cast<uint64_t>(hops));
+  EXPECT_EQ(merged.stats().TotalBytesSent(),
+            (2 * 10 + WireFormat::kLinkHeaderBytes) *
+                static_cast<uint64_t>(hops));
+}
+
+TEST_F(NetworkTest, MulticastChargesOncePerBroadcast) {
+  Network net = MakeNet();
+  std::vector<NodeId> delivered;
+  net.set_delivery_handler(
+      [&](const Message&, NodeId at) { delivered.push_back(at); });
+  // Node 2's neighbors in Grid(2,5) include 1, 3, 6, 7 (row-major layout).
+  // Build a one-level tree: 2 -> {1, 3}.
+  auto route = std::make_shared<MulticastRoute>();
+  route->children[2] = {1, 3};
+  route->targets = {1, 3};
+  Message m = MakeMsg(2, 2, RoutingMode::kSourcePath);
+  m.path.clear();
+  ASSERT_TRUE(net.SubmitMulticast(std::move(m), route).ok());
+  net.StepUntilQuiet();
+  EXPECT_EQ(delivered.size(), 2u);
+  // One broadcast transmission (header+payload), two receptions.
+  EXPECT_EQ(net.stats().node(2).bytes_sent,
+            static_cast<uint64_t>(10 + WireFormat::kLinkHeaderBytes));
+  EXPECT_EQ(net.stats().node(1).bytes_received,
+            static_cast<uint64_t>(10 + WireFormat::kLinkHeaderBytes));
+}
+
+TEST_F(NetworkTest, MulticastDeliversAtOriginTarget) {
+  Network net = MakeNet();
+  std::vector<NodeId> delivered;
+  net.set_delivery_handler(
+      [&](const Message&, NodeId at) { delivered.push_back(at); });
+  auto route = std::make_shared<MulticastRoute>();
+  route->targets = {2};
+  Message m = MakeMsg(2, 2, RoutingMode::kSourcePath);
+  ASSERT_TRUE(net.SubmitMulticast(std::move(m), route).ok());
+  EXPECT_EQ(delivered, std::vector<NodeId>{2});
+}
+
+TEST_F(NetworkTest, SnoopingFiresForNeighbors) {
+  NetworkOptions opts;
+  opts.enable_snooping = true;
+  Network net = MakeNet(opts);
+  std::vector<NodeId> snoopers;
+  net.set_snoop_handler(
+      [&](const Message&, NodeId snooper, NodeId from, NodeId to) {
+        EXPECT_NE(snooper, to);
+        snoopers.push_back(snooper);
+      });
+  auto path = topo_->ShortestPath(0, 4);
+  ASSERT_TRUE(net.Submit(MakeMsg(0, 4, RoutingMode::kSourcePath, path)).ok());
+  net.StepUntilQuiet();
+  EXPECT_FALSE(snoopers.empty());
+}
+
+TEST_F(NetworkTest, ClockAdvancesPerStep) {
+  Network net = MakeNet();
+  EXPECT_EQ(net.now(), 0);
+  net.Step();
+  net.Step();
+  EXPECT_EQ(net.now(), 2);
+}
+
+TEST_F(NetworkTest, StatsByKindAndInitiationSplit) {
+  Network net = MakeNet();
+  auto path = topo_->ShortestPath(0, 9);
+  Message explore = MakeMsg(0, 9, RoutingMode::kSourcePath, path);
+  explore.kind = MessageKind::kExploration;
+  ASSERT_TRUE(net.Submit(std::move(explore)).ok());
+  ASSERT_TRUE(net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  net.StepUntilQuiet();
+  EXPECT_GT(net.stats().BytesByKind(MessageKind::kExploration), 0u);
+  EXPECT_GT(net.stats().BytesByKind(MessageKind::kData), 0u);
+  EXPECT_EQ(net.stats().InitiationBytes(),
+            net.stats().BytesByKind(MessageKind::kExploration));
+  EXPECT_EQ(net.stats().ComputationBytes(),
+            net.stats().BytesByKind(MessageKind::kData));
+}
+
+TEST_F(NetworkTest, TopLoadedNodesSortedDescending) {
+  Network net = MakeNet();
+  auto path = topo_->ShortestPath(0, 9);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  }
+  net.StepUntilQuiet();
+  auto top = net.stats().TopLoadedNodes(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (size_t i = 1; i < top.size(); ++i) EXPECT_GE(top[i - 1], top[i]);
+}
+
+TEST_F(NetworkTest, StatsReset) {
+  Network net = MakeNet();
+  auto path = topo_->ShortestPath(0, 9);
+  ASSERT_TRUE(net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  net.StepUntilQuiet();
+  EXPECT_GT(net.stats().TotalBytesSent(), 0u);
+  net.stats().Reset();
+  EXPECT_EQ(net.stats().TotalBytesSent(), 0u);
+  EXPECT_EQ(net.stats().TotalMessagesSent(), 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace aspen

@@ -1,0 +1,149 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace aspen {
+namespace net {
+namespace {
+
+TEST(TopologyTest, RandomIsConnectedAndCentered) {
+  auto topo = Topology::Random(100, 7.0, 42);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->num_nodes(), 100);
+  EXPECT_TRUE(topo->IsConnected());
+  // Base station at the field center.
+  EXPECT_NEAR(topo->position(0).x, 128.0, 1e-9);
+  EXPECT_NEAR(topo->position(0).y, 128.0, 1e-9);
+}
+
+TEST(TopologyTest, RandomHitsTargetDegree) {
+  for (double target : {6.0, 7.0, 8.0, 13.0}) {
+    auto topo = Topology::Random(100, target, 7);
+    ASSERT_TRUE(topo.ok()) << target;
+    EXPECT_NEAR(topo->AverageDegree(), target, 1.0) << target;
+  }
+}
+
+TEST(TopologyTest, RandomIsDeterministicPerSeed) {
+  auto a = Topology::Random(50, 7.0, 5);
+  auto b = Topology::Random(50, 7.0, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a->position(i).x, b->position(i).x);
+    EXPECT_DOUBLE_EQ(a->position(i).y, b->position(i).y);
+  }
+  EXPECT_DOUBLE_EQ(a->radio_range(), b->radio_range());
+}
+
+TEST(TopologyTest, RandomRejectsBadArguments) {
+  EXPECT_FALSE(Topology::Random(1, 7.0, 1).ok());
+  EXPECT_FALSE(Topology::Random(10, 0.0, 1).ok());
+  EXPECT_FALSE(Topology::Random(10, 20.0, 1).ok());
+}
+
+TEST(TopologyTest, AdjacencySymmetricAndIrreflexive) {
+  auto topo = Topology::Random(80, 8.0, 3);
+  ASSERT_TRUE(topo.ok());
+  for (NodeId u = 0; u < topo->num_nodes(); ++u) {
+    EXPECT_FALSE(topo->AreNeighbors(u, u));
+    for (NodeId v : topo->neighbors(u)) {
+      EXPECT_TRUE(topo->AreNeighbors(v, u));
+      EXPECT_LE(topo->DistanceBetween(u, v), topo->radio_range());
+    }
+  }
+}
+
+TEST(TopologyTest, GridStructure) {
+  auto topo = Topology::Grid(10, 10);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->num_nodes(), 100);
+  EXPECT_TRUE(topo->IsConnected());
+  // Interior nodes have 8 neighbors; grid average is ~7 with border effects.
+  EXPECT_NEAR(topo->AverageDegree(), 7.0, 0.8);
+  // Base station near the center of the field.
+  EXPECT_NEAR(topo->position(0).x, 128.0, 26.0);
+  EXPECT_NEAR(topo->position(0).y, 128.0, 26.0);
+}
+
+TEST(TopologyTest, GridRejectsDegenerate) {
+  EXPECT_FALSE(Topology::Grid(1, 5).ok());
+}
+
+TEST(TopologyTest, IntelLabLayout) {
+  Topology topo = Topology::IntelLab();
+  EXPECT_EQ(topo.num_nodes(), 54);
+  EXPECT_TRUE(topo.IsConnected());
+  EXPECT_GE(topo.AverageDegree(), 6.0);
+}
+
+TEST(TopologyTest, HopDistancesMatchBfsInvariants) {
+  auto topo = Topology::Random(60, 7.0, 9);
+  ASSERT_TRUE(topo.ok());
+  auto dist = topo->HopDistancesFrom(0);
+  EXPECT_EQ(dist[0], 0);
+  for (NodeId u = 0; u < topo->num_nodes(); ++u) {
+    ASSERT_GE(dist[u], 0);
+    // Triangle property: neighbors differ by at most one hop.
+    for (NodeId v : topo->neighbors(u)) {
+      EXPECT_LE(std::abs(dist[u] - dist[v]), 1);
+    }
+  }
+}
+
+TEST(TopologyTest, ShortestPathIsValidAndShortest) {
+  auto topo = Topology::Random(60, 7.0, 11);
+  ASSERT_TRUE(topo.ok());
+  auto dist = topo->HopDistancesFrom(5);
+  for (NodeId dst : {0, 17, 42, 59}) {
+    auto path = topo->ShortestPath(5, dst);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), 5);
+    EXPECT_EQ(path.back(), dst);
+    EXPECT_EQ(static_cast<int>(path.size()) - 1, dist[dst]);
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(topo->AreNeighbors(path[i], path[i + 1]));
+    }
+  }
+}
+
+TEST(TopologyTest, ShortestPathToSelf) {
+  auto topo = Topology::Random(20, 6.0, 2);
+  ASSERT_TRUE(topo.ok());
+  auto path = topo->ShortestPath(3, 3);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 3);
+}
+
+TEST(TopologyTest, NearestNode) {
+  auto topo = Topology::Grid(4, 4);
+  ASSERT_TRUE(topo.ok());
+  for (NodeId u = 0; u < topo->num_nodes(); ++u) {
+    EXPECT_EQ(topo->NearestNode(topo->position(u)), u);
+  }
+}
+
+class TopologyKindTest : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(TopologyKindTest, MakeProducesConnectedNetworkAtDensity) {
+  auto topo = Topology::Make(GetParam(), 100, 31);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_TRUE(topo->IsConnected());
+  if (GetParam() != TopologyKind::kIntelLab) {
+    EXPECT_NEAR(topo->AverageDegree(), TargetDegree(GetParam()), 1.2);
+  }
+  EXPECT_STRNE(TopologyKindName(GetParam()), "unknown");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, TopologyKindTest,
+                         ::testing::Values(TopologyKind::kSparseRandom,
+                                           TopologyKind::kModerateRandom,
+                                           TopologyKind::kMediumRandom,
+                                           TopologyKind::kDenseRandom,
+                                           TopologyKind::kGrid,
+                                           TopologyKind::kIntelLab));
+
+}  // namespace
+}  // namespace net
+}  // namespace aspen
