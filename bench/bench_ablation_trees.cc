@@ -32,7 +32,7 @@ int main() {
     if (!exec.Initiate().ok()) return 1;
     double hops = 0;
     int n = 0;
-    for (const auto& [key, pl] : exec.placements()) {
+    for (const auto& pl : exec.placements()) {
       if (!pl.path.empty()) {
         hops += static_cast<double>(pl.path.size()) - 1;
         ++n;

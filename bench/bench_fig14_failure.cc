@@ -37,8 +37,8 @@ Outcome RunOnce(const net::Topology& topo, double sigma_st, bool fail,
   if (fail) {
     (void)exec.RunCycles(fail_at);
     // Kill the in-network join node if there is one.
-    for (const auto& [key, pl] : exec.placements()) {
-      if (!pl.at_base && pl.join_node != key.s && pl.join_node != key.t) {
+    for (const auto& pl : exec.placements()) {
+      if (!pl.at_base && pl.join_node != pl.pair.s && pl.join_node != pl.pair.t) {
         exec.FailNode(pl.join_node);
       }
     }

@@ -103,11 +103,11 @@ int main() {
                     sel));
     if (!exec.Initiate().ok()) return 1;
     opt::AlgorithmCostInputs innet_in = in;
-    for (const auto& [key, pl] : exec.placements()) {
+    for (const auto& pl : exec.placements()) {
       opt::AlgorithmCostInputs::PairDistances pd;
       if (pl.at_base) {
-        pd.d_sj = tree.DepthOf(key.s);
-        pd.d_tj = tree.DepthOf(key.t);
+        pd.d_sj = tree.DepthOf(pl.pair.s);
+        pd.d_tj = tree.DepthOf(pl.pair.t);
         pd.d_jr = 0;
       } else {
         pd.d_sj = pl.path_index;

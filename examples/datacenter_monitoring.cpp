@@ -43,7 +43,7 @@ int main() {
   join::JoinExecutor exec(&*wl, opts);
   if (!exec.Initiate().ok()) return 1;
   int at_base = 0;
-  for (const auto& [key, pl] : exec.placements()) at_base += pl.at_base;
+  for (const auto& pl : exec.placements()) at_base += pl.at_base;
   std::printf("act 1 — pessimistic initiation: %d/%zu pairs join at the "
               "base\n",
               at_base, exec.placements().size());
@@ -51,7 +51,7 @@ int main() {
   // Act 2: learning.
   (void)exec.RunCycles(400);
   at_base = 0;
-  for (const auto& [key, pl] : exec.placements()) at_base += pl.at_base;
+  for (const auto& pl : exec.placements()) at_base += pl.at_base;
   std::printf(
       "act 2 — after 400 cycles of learning: %d/%zu pairs at the base, "
       "%lu join-node migrations, %lu results delivered\n",
@@ -61,8 +61,8 @@ int main() {
 
   // Act 3: fail the busiest in-network join node.
   net::NodeId victim = -1;
-  for (const auto& [key, pl] : exec.placements()) {
-    if (!pl.at_base && pl.join_node != key.s && pl.join_node != key.t) {
+  for (const auto& pl : exec.placements()) {
+    if (!pl.at_base && pl.join_node != pl.pair.s && pl.join_node != pl.pair.t) {
       victim = pl.join_node;
       break;
     }

@@ -1,0 +1,36 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace aspen {
+namespace common {
+
+int DefaultThreadCount() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void ParallelFor(int n, int num_threads, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (num_threads <= 0) num_threads = DefaultThreadCount();
+  num_threads = std::min(num_threads, n);
+  if (num_threads == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (int t = 1; t < num_threads; ++t) threads.emplace_back(worker);
+  worker();
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace common
+}  // namespace aspen

@@ -1,0 +1,28 @@
+// Minimal index-space thread pool: run fn(0..n-1) on a bounded set of
+// workers. Used by core::RunAveraged, whose repetitions are embarrassingly
+// parallel — each owns its workload, network and RNG, and the only shared
+// object (the Topology) is immutable.
+
+#ifndef ASPEN_COMMON_PARALLEL_H_
+#define ASPEN_COMMON_PARALLEL_H_
+
+#include <functional>
+
+namespace aspen {
+namespace common {
+
+/// Hardware concurrency, at least 1.
+int DefaultThreadCount();
+
+/// \brief Invokes `fn(i)` for every i in [0, n), distributing indices over
+/// up to `num_threads` worker threads (0 = hardware concurrency). Blocks
+/// until every invocation returned. With one thread (or n == 1) the calls
+/// run inline on the caller's thread.
+///
+/// `fn` must be safe to call concurrently from multiple threads.
+void ParallelFor(int n, int num_threads, const std::function<void(int)>& fn);
+
+}  // namespace common
+}  // namespace aspen
+
+#endif  // ASPEN_COMMON_PARALLEL_H_

@@ -1,0 +1,37 @@
+// Tiny sorted-unique-vector helpers: the contiguous per-node state tables
+// keep small sorted id vectors instead of sets, and every site should share
+// one insert/erase/contains implementation.
+
+#ifndef ASPEN_COMMON_SORTED_VEC_H_
+#define ASPEN_COMMON_SORTED_VEC_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace aspen {
+namespace common {
+
+/// Inserts `value` keeping `v` sorted; no-op if already present.
+template <typename T>
+void InsertSortedUnique(std::vector<T>* v, const T& value) {
+  auto it = std::lower_bound(v->begin(), v->end(), value);
+  if (it == v->end() || *it != value) v->insert(it, value);
+}
+
+/// Removes `value` from sorted `v` if present.
+template <typename T>
+void EraseSorted(std::vector<T>* v, const T& value) {
+  auto it = std::lower_bound(v->begin(), v->end(), value);
+  if (it != v->end() && *it == value) v->erase(it);
+}
+
+/// True iff sorted `v` contains `value`.
+template <typename T>
+bool ContainsSorted(const std::vector<T>& v, const T& value) {
+  return std::binary_search(v.begin(), v.end(), value);
+}
+
+}  // namespace common
+}  // namespace aspen
+
+#endif  // ASPEN_COMMON_SORTED_VEC_H_

@@ -1,7 +1,10 @@
 #include "core/engine.h"
 
+#include <atomic>
 #include <cmath>
 #include <vector>
+
+#include "common/parallel.h"
 
 namespace aspen {
 namespace core {
@@ -40,16 +43,36 @@ struct Welford {
 Result<AggregatedStats> RunAveraged(const WorkloadFactory& factory,
                                     const join::ExecutorOptions& options,
                                     int sampling_cycles, int runs,
-                                    uint64_t seed0) {
+                                    uint64_t seed0, int num_threads) {
+  // Repetitions are embarrassingly parallel: each owns its workload,
+  // network and RNG. Run them on the pool, then aggregate serially in seed
+  // order so the floating-point reduction is identical for any thread
+  // count.
+  std::vector<Result<join::RunStats>> outcomes(
+      runs, Result<join::RunStats>(Status::Internal("repetition not run")));
+  // Fail fast: once any repetition errors, later ones are skipped (indices
+  // are claimed in seed order, so the first non-OK outcome below is always
+  // a real error, never a skipped slot).
+  std::atomic<bool> failed{false};
+  common::ParallelFor(runs, num_threads, [&](int r) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    auto wl = factory(seed0 + r);
+    if (!wl.ok()) {
+      outcomes[r] = wl.status();
+      failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+    join::ExecutorOptions opts = options;
+    opts.seed = seed0 + r;
+    outcomes[r] = RunExperiment(*wl, opts, sampling_cycles);
+    if (!outcomes[r].ok()) failed.store(true, std::memory_order_relaxed);
+  });
   AggregatedStats agg;
   Welford total_b, base_b, max_b, total_m, base_m, max_m, init_b, comp_b,
       results, delay, max_delay, migrations, failovers;
   for (int r = 0; r < runs; ++r) {
-    ASPEN_ASSIGN_OR_RETURN(workload::Workload wl, factory(seed0 + r));
-    join::ExecutorOptions opts = options;
-    opts.seed = seed0 + r;
-    ASPEN_ASSIGN_OR_RETURN(join::RunStats st,
-                           RunExperiment(wl, opts, sampling_cycles));
+    ASPEN_RETURN_NOT_OK(outcomes[r].status());
+    const join::RunStats& st = *outcomes[r];
     agg.algorithm = st.algorithm;
     total_b.Add(static_cast<double>(st.total_bytes));
     base_b.Add(static_cast<double>(st.base_bytes));

@@ -43,16 +43,21 @@ struct AggregatedStats {
 };
 
 /// Builds a fresh workload for a given run seed (topology may be shared or
-/// regenerated inside, caller's choice).
+/// regenerated inside, caller's choice). Repetitions execute on a thread
+/// pool, so the factory must be safe to invoke concurrently — sharing an
+/// immutable Topology is fine; sharing mutable state is not.
 using WorkloadFactory =
     std::function<Result<workload::Workload>(uint64_t seed)>;
 
 /// \brief Runs `runs` independent repetitions (seeds seed0, seed0+1, ...)
-/// and aggregates. Any failing repetition fails the whole call.
+/// in parallel on up to `num_threads` workers (0 = hardware concurrency)
+/// and aggregates. Each repetition owns its workload, network and RNG, and
+/// aggregation happens in seed order, so results are bit-identical for any
+/// thread count. Any failing repetition fails the whole call.
 Result<AggregatedStats> RunAveraged(const WorkloadFactory& factory,
                                     const join::ExecutorOptions& options,
                                     int sampling_cycles, int runs,
-                                    uint64_t seed0 = 1);
+                                    uint64_t seed0 = 1, int num_threads = 0);
 
 }  // namespace core
 }  // namespace aspen

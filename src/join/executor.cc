@@ -1,6 +1,7 @@
 #include "join/executor.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/logging.h"
 
@@ -53,7 +54,7 @@ JoinExecutor::JoinExecutor(const workload::Workload* workload,
       std::make_unique<net::Network>(&workload_->topology(), net_opts);
   net_ = owned_net_.get();
   net_->set_delivery_handler(
-      [this](const Message& m, NodeId at) { OnDeliver(m, at); });
+      [this](const Message& m, NodeId at) { OnDeliverMsg(m, at); });
   net_->set_drop_handler([this](const Message& m, NodeId at, NodeId next) {
     OnDrop(m, at, next);
   });
@@ -61,6 +62,9 @@ JoinExecutor::JoinExecutor(const workload::Workload* workload,
       [this](const Message& m, NodeId snooper, NodeId from, NodeId to) {
         OnSnoop(m, snooper, from, to);
       });
+  sched_ = std::make_unique<sim::CycleScheduler>(
+      net_, workload_->join_query().window.sample_interval);
+  sched_->Attach(this);
 }
 
 JoinExecutor::JoinExecutor(const workload::Workload* workload,
@@ -129,7 +133,8 @@ void JoinExecutor::ChargeAlongPath(const std::vector<NodeId>& path, int bytes,
                                    MessageKind kind) {
   for (size_t i = 0; i + 1 < path.size(); ++i) {
     net_->stats().RecordSend(path[i], kind,
-                             bytes + net::WireFormat::kLinkHeaderBytes);
+                             bytes + net::WireFormat::kLinkHeaderBytes,
+                             query_id_);
     net_->stats().RecordReceive(path[i + 1],
                                 bytes + net::WireFormat::kLinkHeaderBytes);
   }
@@ -141,25 +146,55 @@ int JoinExecutor::HopsOnPath(const PairPlacement& p, bool from_s) {
                 : static_cast<int>(p.path.size()) - 1 - p.path_index;
 }
 
+JoinExecutor::PairPlacement* JoinExecutor::MutablePlacement(
+    const PairKey& pair) {
+  auto it = std::lower_bound(placements_.begin(), placements_.end(), pair,
+                             [](const PairPlacement& pl, const PairKey& key) {
+                               return pl.pair < key;
+                             });
+  if (it == placements_.end() || !(it->pair == pair)) return nullptr;
+  return &*it;
+}
+
+const JoinExecutor::PairPlacement* JoinExecutor::FindPlacement(
+    const PairKey& pair) const {
+  return const_cast<JoinExecutor*>(this)->MutablePlacement(pair);
+}
+
 // ---- initiation -------------------------------------------------------------
 
 Status JoinExecutor::InitCommon() {
   s_nodes_ = workload_->SNodes();
   t_nodes_ = workload_->TNodes();
+  const int n = workload_->topology().num_nodes();
+  nodes_.assign(n, NodeState{});
+  arrivals_.Reset(n);
   auto raw_pairs = workload_->AllJoinPairs();
   pairs_.clear();
+  placements_.clear();
+  placements_.reserve(raw_pairs.size());
   for (const auto& [s, t] : raw_pairs) {
     PairKey key{s, t};
     pairs_.push_back(key);
-    s_pairs_[s].push_back(key);
-    t_pairs_[t].push_back(key);
     PairPlacement pl;
     pl.pair = key;
     pl.at_base = true;
     pl.join_node = 0;
     pl.placed_with = opts_.assumed;
-    placements_[key] = pl;
+    placements_.push_back(std::move(pl));
   }
+  std::sort(placements_.begin(), placements_.end(),
+            [](const PairPlacement& a, const PairPlacement& b) {
+              return a.pair < b.pair;
+            });
+  // Per-node pair lists hold placement indices, in workload pair order.
+  for (const PairKey& key : pairs_) {
+    int32_t idx = static_cast<int32_t>(MutablePlacement(key) -
+                                       placements_.data());
+    nodes_[key.s].s_pairs.push_back(idx);
+    nodes_[key.t].t_pairs.push_back(idx);
+  }
+  pair_group_.assign(placements_.size(), -1);
   return Status::OK();
 }
 
@@ -167,6 +202,9 @@ Status JoinExecutor::Initiate() {
   if (initiated_) {
     return Status::FailedPrecondition("Initiate called twice");
   }
+  // Attribute computed-plane initiation traffic (exploration inside
+  // MultiTree, nominations) to this query on a shared medium.
+  net::TrafficStats::QueryScope scope(&net_->stats(), query_id_);
   ASPEN_RETURN_NOT_OK(InitCommon());
   Status st;
   switch (opts_.algorithm) {
@@ -218,7 +256,7 @@ Status JoinExecutor::InitBase() {
     max_depth = std::max(max_depth, single_tree_->DepthOf(u));
   }
   for (NodeId u = 1; u < workload_->topology().num_nodes(); ++u) {
-    if (s_pairs_.count(u) || t_pairs_.count(u)) {
+    if (!nodes_[u].s_pairs.empty() || !nodes_[u].t_pairs.empty()) {
       ChargeAlongPath(single_tree_->PathFromRoot(u), reply_bytes,
                       MessageKind::kExplorationReply);
     }
@@ -232,9 +270,9 @@ Status JoinExecutor::InitYang07() {
   // the T producers themselves.
   single_tree_ = std::make_unique<routing::RoutingTree>(
       routing::RoutingTree::Build(workload_->topology(), 0));
-  for (auto& [key, pl] : placements_) {
+  for (auto& pl : placements_) {
     pl.at_base = false;
-    pl.join_node = key.t;
+    pl.join_node = pl.pair.t;
   }
   init_latency_ = 0;
   return Status::OK();
@@ -253,7 +291,8 @@ Status JoinExecutor::InitGht() {
   auto node_for_key = [&](int32_t key) {
     return opts_.mesh_mode ? dht_->NodeForKey(key) : geo_->NodeForKey(key);
   };
-  for (auto& [key, pl] : placements_) {
+  for (auto& pl : placements_) {
+    const PairKey& key = pl.pair;
     int32_t hash_key = 0;
     if (primary.has_value() && primary->region_radius_dm.has_value()) {
       // Region join: rendezvous at the home node of the pair-midpoint cell
@@ -288,12 +327,12 @@ Status JoinExecutor::InitGht() {
   };
   std::set<std::pair<NodeId, NodeId>> announced;
   for (const auto& key : pairs_) {
-    const auto& pl = placements_[key];
-    if (announced.insert({key.s, pl.join_node}).second) {
-      announce(key.s, pl.join_node);
+    const PairPlacement* pl = FindPlacement(key);
+    if (announced.insert({key.s, pl->join_node}).second) {
+      announce(key.s, pl->join_node);
     }
-    if (announced.insert({key.t, pl.join_node}).second) {
-      announce(key.t, pl.join_node);
+    if (announced.insert({key.t, pl->join_node}).second) {
+      announce(key.t, pl->join_node);
     }
   }
   init_latency_ = max_len;
@@ -320,8 +359,9 @@ void JoinExecutor::SampleAndSend(int cycle) {
   const int w = workload_->join_query().window.size;
   for (NodeId p = 0; p < n; ++p) {
     if (net_->IsFailed(p)) continue;
-    const bool s_role = naive ? workload_->SEligible(p) : s_pairs_.count(p) > 0;
-    const bool t_role = naive ? workload_->TEligible(p) : t_pairs_.count(p) > 0;
+    NodeState& node = nodes_[p];
+    const bool s_role = naive ? workload_->SEligible(p) : !node.s_pairs.empty();
+    const bool t_role = naive ? workload_->TEligible(p) : !node.t_pairs.empty();
     if (!s_role && !t_role) continue;
     Tuple tuple = workload_->Sample(p, cycle);
     bool send_s = s_role && workload_->PassSFilter(p, tuple, cycle);
@@ -330,7 +370,7 @@ void JoinExecutor::SampleAndSend(int cycle) {
     // Producers remember their last w sent tuples per role so a join window
     // can be reconstructed at the base after a join-node failure.
     auto remember = [&](bool as_s) {
-      auto& dq = recent_sent_[{p, as_s}];
+      auto& dq = node.recent_sent[as_s];
       if (static_cast<int>(dq.size()) == w) dq.pop_front();
       dq.push_back(tuple);
     };
@@ -368,7 +408,7 @@ void JoinExecutor::SendToBase(NodeId p, const Tuple& t, int cycle, bool as_s,
 
 void JoinExecutor::SendYang(NodeId p, const Tuple& t, int cycle, bool as_s,
                             bool as_t) {
-  if (as_s && s_pairs_.count(p)) {
+  if (as_s && !nodes_[p].s_pairs.empty()) {
     // Up to the root; the root re-routes to the T partners on delivery.
     Message msg;
     msg.kind = MessageKind::kData;
@@ -379,16 +419,12 @@ void JoinExecutor::SendYang(NodeId p, const Tuple& t, int cycle, bool as_s,
     msg.payload = MakeData(p, t, cycle, /*as_s=*/true, /*as_t=*/false);
     (void)SubmitToNet(std::move(msg));
   }
-  if (as_t && t_pairs_.count(p)) {
+  if (as_t && !nodes_[p].t_pairs.empty()) {
     // T producers never transmit their samples: they buffer them locally
     // and join arriving S tuples against them. Model the local buffering as
     // a zero-cost arrival at the node itself.
-    Message local;
-    local.kind = MessageKind::kData;
-    local.origin = p;
-    local.dest = p;
-    local.payload = MakeData(p, t, cycle, /*as_s=*/false, /*as_t=*/true);
-    arrivals_.push_back(Arrival{std::move(local), p});
+    auto data = MakeData(p, t, cycle, /*as_s=*/false, /*as_t=*/true);
+    arrivals_.Push(p, Arrival{p, std::move(data)});
   }
 }
 
@@ -397,13 +433,13 @@ void JoinExecutor::SendGht(NodeId p, const Tuple& t, int cycle, bool as_s,
   // One message per distinct rendezvous node over this producer's pairs.
   std::map<NodeId, std::pair<bool, bool>> dests;  // j -> (as_s, as_t)
   if (as_s) {
-    for (const auto& key : s_pairs_[p]) {
-      dests[placements_[key].join_node].first = true;
+    for (int32_t pi : nodes_[p].s_pairs) {
+      dests[placements_[pi].join_node].first = true;
     }
   }
   if (as_t) {
-    for (const auto& key : t_pairs_[p]) {
-      dests[placements_[key].join_node].second = true;
+    for (int32_t pi : nodes_[p].t_pairs) {
+      dests[placements_[pi].join_node].second = true;
     }
   }
   for (const auto& [j, flags] : dests) {
@@ -425,28 +461,30 @@ void JoinExecutor::SendGht(NodeId p, const Tuple& t, int cycle, bool as_s,
 
 // ---- arrivals -------------------------------------------------------------------
 
-void JoinExecutor::OnDeliver(const Message& msg, NodeId at) {
+void JoinExecutor::OnDeliverMsg(const Message& msg, NodeId at) {
   switch (msg.kind) {
     case MessageKind::kData: {
-      const auto* data = static_cast<const DataPayload*>(msg.payload.get());
+      auto data = std::static_pointer_cast<const DataPayload>(msg.payload);
       ASPEN_CHECK(data != nullptr);
       // Yang+07: the root relays S data down to every T partner.
       if (opts_.algorithm == Algorithm::kYang07 && at == 0 && data->as_s) {
-        for (const auto& key : s_pairs_[data->producer]) {
-          if (placements_[key].at_base) continue;  // failed over: join here
+        for (int32_t pi : nodes_[data->producer].s_pairs) {
+          const PairPlacement& pl = placements_[pi];
+          if (pl.at_base) continue;  // failed over: join here
           Message down;
           down.kind = MessageKind::kData;
           down.mode = RoutingMode::kSourcePath;
           down.origin = 0;
-          down.dest = key.t;
-          down.path = primary_tree().PathFromRoot(key.t);
+          down.dest = pl.pair.t;
+          down.path = primary_tree().PathFromRoot(pl.pair.t);
           down.size_bytes = workload_->DataBytes();
           down.payload = msg.payload;
           (void)SubmitToNet(std::move(down));
         }
         // Fall through to buffering: failed-over pairs join at the base.
       }
-      arrivals_.push_back(Arrival{msg, at});
+      NodeId producer = data->producer;
+      arrivals_.Push(producer, Arrival{at, std::move(data)});
       break;
     }
     case MessageKind::kJoinResult: {
@@ -481,82 +519,67 @@ void JoinExecutor::DeliverResultAtBase(int count, int sample_cycle) {
   delay_max_ = std::max(delay_max_, delay);
 }
 
+void JoinExecutor::TouchSite(NodeId at) {
+  common::InsertSortedUnique(&active_sites_, at);
+}
+
 PairState& JoinExecutor::StateAt(NodeId at, const PairKey& pair) {
-  auto key = std::make_pair(at, pair);
-  auto it = states_.find(key);
-  if (it == states_.end()) {
-    const auto& window = workload_->join_query().window;
-    it = states_
-             .emplace(key, PairState(pair, window.size, window.time_based))
-             .first;
-  }
-  return it->second;
+  const auto& window = workload_->join_query().window;
+  TouchSite(at);
+  return nodes_[at].StateAt(pair, window.size, window.time_based);
 }
 
 PairState* JoinExecutor::FindState(NodeId at, const PairKey& pair) {
-  auto it = states_.find(std::make_pair(at, pair));
-  return it == states_.end() ? nullptr : &it->second;
+  return nodes_[at].FindState(pair);
 }
 
 void JoinExecutor::ProcessArrivals(int cycle) {
   // Deterministic ordering: all S-side applications first, then T-side,
-  // each sorted by (producer, location). A tuple joins the opposite window
+  // each in (producer, location) order. A tuple joins the opposite window
   // as of its own insertion; same-cycle (s, t) pairs match exactly once —
   // when the T side is applied.
-  std::stable_sort(arrivals_.begin(), arrivals_.end(),
-                   [](const Arrival& a, const Arrival& b) {
-                     const auto* da =
-                         static_cast<const DataPayload*>(a.msg.payload.get());
-                     const auto* db =
-                         static_cast<const DataPayload*>(b.msg.payload.get());
-                     if (da->producer != db->producer) {
-                       return da->producer < db->producer;
-                     }
-                     return a.at < b.at;
-                   });
-  auto apply_side = [&](bool s_phase) {
-    for (const Arrival& a : arrivals_) {
-      const auto* data = static_cast<const DataPayload*>(a.msg.payload.get());
-      if (s_phase && data->as_s) {
-        const auto it = s_pairs_.find(data->producer);
-        if (it == s_pairs_.end()) continue;
-        for (const auto& key : it->second) {
-          const PairPlacement& pl = placements_[key];
+  arrivals_.ForEach([](NodeId, std::vector<Arrival>& items) {
+    std::stable_sort(items.begin(), items.end(),
+                     [](const Arrival& a, const Arrival& b) {
+                       return a.at < b.at;
+                     });
+  });
+  for (bool s_phase : {true, false}) {
+    arrivals_.ForEach([&](NodeId producer, std::vector<Arrival>& items) {
+      const NodeState& pnode = nodes_[producer];
+      const auto& pair_idxs = s_phase ? pnode.s_pairs : pnode.t_pairs;
+      if (pair_idxs.empty()) return;
+      for (const Arrival& a : items) {
+        const DataPayload& data = *a.data;
+        if (s_phase ? !data.as_s : !data.as_t) continue;
+        for (int32_t pi : pair_idxs) {
+          const PairPlacement& pl = placements_[pi];
           NodeId expect = pl.at_base ? 0 : pl.join_node;
           if (expect != a.at) continue;
-          PairState& st = StateAt(a.at, key);
-          st.t_window.EvictExpired(data->sample_cycle);
+          PairState& st = StateAt(a.at, pl.pair);
+          auto& own_window = s_phase ? st.s_window : st.t_window;
+          auto& other_window = s_phase ? st.t_window : st.s_window;
+          other_window.EvictExpired(data.sample_cycle);
           int matches = 0;
-          for (const auto& e : st.t_window.entries()) {
-            if (workload_->TuplesJoin(data->tuple, e.tuple)) ++matches;
+          for (const auto& e : other_window.entries()) {
+            bool joins = s_phase ? workload_->TuplesJoin(data.tuple, e.tuple)
+                                 : workload_->TuplesJoin(e.tuple, data.tuple);
+            if (joins) ++matches;
           }
-          st.estimator.RecordS(matches);
-          st.s_window.Push(data->tuple, data->sample_cycle);
-          if (matches > 0) EmitResults(a.at, key, matches, data->sample_cycle);
-        }
-      } else if (!s_phase && data->as_t) {
-        const auto it = t_pairs_.find(data->producer);
-        if (it == t_pairs_.end()) continue;
-        for (const auto& key : it->second) {
-          const PairPlacement& pl = placements_[key];
-          NodeId expect = pl.at_base ? 0 : pl.join_node;
-          if (expect != a.at) continue;
-          PairState& st = StateAt(a.at, key);
-          st.s_window.EvictExpired(data->sample_cycle);
-          int matches = 0;
-          for (const auto& e : st.s_window.entries()) {
-            if (workload_->TuplesJoin(e.tuple, data->tuple)) ++matches;
+          if (s_phase) {
+            st.estimator.RecordS(matches);
+          } else {
+            st.estimator.RecordT(matches);
           }
-          st.estimator.RecordT(matches);
-          st.t_window.Push(data->tuple, data->sample_cycle);
-          if (matches > 0) EmitResults(a.at, key, matches, data->sample_cycle);
+          own_window.Push(data.tuple, data.sample_cycle);
+          if (matches > 0) {
+            EmitResults(a.at, pl.pair, matches, data.sample_cycle);
+          }
         }
       }
-    }
-  };
-  apply_side(/*s_phase=*/true);
-  apply_side(/*s_phase=*/false);
-  arrivals_.clear();
+    });
+  }
+  arrivals_.Clear();
   (void)cycle;
 }
 
@@ -582,24 +605,33 @@ void JoinExecutor::EmitResults(NodeId at, const PairKey& pair, int count,
   }
 }
 
-// ---- run loop -----------------------------------------------------------------
+// ---- kernel phases --------------------------------------------------------------
 
-Status JoinExecutor::StepCycleBegin() {
+Status JoinExecutor::OnSample(int cycle) {
   if (!initiated_) {
-    return Status::FailedPrecondition("StepCycleBegin before Initiate");
+    return Status::FailedPrecondition("sample phase before Initiate");
   }
-  SampleAndSend(cycle_);
+  cycle_ = cycle;
+  SampleAndSend(cycle);
   return Status::OK();
 }
 
-Status JoinExecutor::StepCycleEnd() {
+Status JoinExecutor::OnDeliver(int cycle) {
   if (!initiated_) {
-    return Status::FailedPrecondition("StepCycleEnd before Initiate");
+    return Status::FailedPrecondition("deliver phase before Initiate");
   }
-  ProcessArrivals(cycle_);
-  for (auto& [key, st] : states_) st.estimator.Tick();
-  if (opts_.learning) RunLearning(cycle_);
-  ++cycle_;
+  ProcessArrivals(cycle);
+  return Status::OK();
+}
+
+Status JoinExecutor::OnLearn(int cycle) {
+  if (!initiated_) {
+    return Status::FailedPrecondition("learn phase before Initiate");
+  }
+  net::TrafficStats::QueryScope scope(&net_->stats(), query_id_);
+  ForEachState([](NodeId, PairState& st) { st.estimator.Tick(); });
+  if (opts_.learning) RunLearning(cycle);
+  cycle_ = cycle + 1;
   return Status::OK();
 }
 
@@ -611,20 +643,7 @@ Status JoinExecutor::RunCycles(int n) {
     return Status::FailedPrecondition(
         "RunCycles on a shared medium: drive cycles via SharedMedium");
   }
-  const int interval = workload_->join_query().window.sample_interval;
-  for (int i = 0; i < n; ++i) {
-    ASPEN_RETURN_NOT_OK(StepCycleBegin());
-    for (int k = 0; k < interval; ++k) {
-      net_->Step();
-      if (!net_->HasTrafficInFlight()) break;
-    }
-    ASPEN_RETURN_NOT_OK(StepCycleEnd());
-  }
-  // Drain stragglers (e.g. results emitted at the last cycle's end) so the
-  // reported result counts and traffic cover everything this run caused.
-  net_->StepUntilQuiet(/*max_steps=*/16 * interval);
-  ProcessArrivals(cycle_);
-  return Status::OK();
+  return sched_->RunCycles(n);
 }
 
 RunStats JoinExecutor::Stats() const {
@@ -640,6 +659,8 @@ RunStats JoinExecutor::Stats() const {
   out.initiation_bytes = s.InitiationBytes();
   out.computation_bytes = s.ComputationBytes();
   out.top_node_loads = s.TopLoadedNodes(15);
+  out.query_bytes = s.QueryBytesSent(query_id_);
+  out.query_messages = s.QueryMessagesSent(query_id_);
   out.results = results_;
   out.avg_result_delay_cycles = results_ > 0 ? delay_sum_ / results_ : 0.0;
   out.max_result_delay_cycles = delay_max_;

@@ -2,22 +2,24 @@
 // then drives windowed join execution over the simulated network for any of
 // the paper's algorithms. One executor = one query on one workload.
 //
-// All node-local state (join windows, counters, multicast trees) lives in
-// maps keyed by the node that owns it; the executor is the single-process
+// The executor is a sim::CycleParticipant: the shared simulation kernel
+// (sim::CycleScheduler) owns the clock and phase ordering, and the executor
+// supplies the protocol logic for each phase. All node-local state (join
+// windows, counters, multicast trees) lives in a contiguous per-node
+// NodeState table indexed by NodeId; the executor is the single-process
 // embodiment of the distributed protocol, with every message the protocol
 // would send charged through the network simulator.
 
 #ifndef ASPEN_JOIN_EXECUTOR_H_
 #define ASPEN_JOIN_EXECUTOR_H_
 
-#include <deque>
-#include <map>
 #include <memory>
 #include <optional>
 #include <set>
 #include <vector>
 
 #include "common/status.h"
+#include "join/node_state.h"
 #include "join/pair_state.h"
 #include "join/payloads.h"
 #include "join/types.h"
@@ -27,25 +29,28 @@
 #include "routing/content_address.h"
 #include "routing/multi_tree.h"
 #include "routing/routing_tree.h"
+#include "sim/cycle_scheduler.h"
+#include "sim/mailbox.h"
 #include "workload/workload.h"
 
 namespace aspen {
 namespace join {
 
 /// \brief Runs one join query with one algorithm over one workload.
-class JoinExecutor {
+class JoinExecutor : public sim::CycleParticipant {
  public:
-  /// `workload` must outlive the executor. Owns its own network.
+  /// `workload` must outlive the executor. Owns its own network and cycle
+  /// scheduler.
   JoinExecutor(const workload::Workload* workload, ExecutorOptions options);
 
   /// \brief Attaches to a shared radio medium (see SharedMedium) instead of
   /// owning a network: messages are stamped with `query_id` and the medium
-  /// dispatches deliveries back. The medium drives the cycle phases;
-  /// RunCycles is unavailable on attached executors.
+  /// dispatches deliveries back. The medium's scheduler drives the cycle
+  /// phases; RunCycles is unavailable on attached executors.
   JoinExecutor(const workload::Workload* workload, ExecutorOptions options,
                net::Network* shared_network, int query_id);
 
-  ~JoinExecutor();
+  ~JoinExecutor() override;
 
   JoinExecutor(const JoinExecutor&) = delete;
   JoinExecutor& operator=(const JoinExecutor&) = delete;
@@ -56,15 +61,9 @@ class JoinExecutor {
   Status Initiate();
 
   /// \brief Executes `n` sampling cycles (each = window.sample_interval
-  /// transmission cycles). May be called repeatedly to continue a run.
-  /// Only valid on executors that own their network.
+  /// transmission cycles) on the owned scheduler. May be called repeatedly
+  /// to continue a run. Only valid on executors that own their network.
   Status RunCycles(int n);
-
-  /// \brief Cycle phases for externally-driven execution (SharedMedium):
-  /// Begin samples and submits producer data; the driver then steps the
-  /// network; End applies arrivals, runs learning and advances the cycle.
-  Status StepCycleBegin();
-  Status StepCycleEnd();
 
   /// \brief Snapshot of the run's metrics so far.
   RunStats Stats() const;
@@ -76,6 +75,7 @@ class JoinExecutor {
   int current_cycle() const { return cycle_; }
   uint64_t results() const { return results_; }
   uint64_t migrations() const { return migrations_; }
+  int query_id() const { return query_id_; }
 
   /// All statically-joining pairs this executor serves.
   const std::vector<PairKey>& pairs() const { return pairs_; }
@@ -96,19 +96,31 @@ class JoinExecutor {
     bool pairwise_at_base = true;
     bool failed_over = false;
   };
-  const std::map<PairKey, PairPlacement>& placements() const {
-    return placements_;
-  }
+
+  /// All placements, sorted by pair key (contiguous; index with
+  /// FindPlacement for a specific pair).
+  const std::vector<PairPlacement>& placements() const { return placements_; }
+
+  /// The placement of one pair, or nullptr if the pair is not served.
+  const PairPlacement* FindPlacement(const PairKey& pair) const;
 
   /// Kills a node (it stops forwarding/acking); Section 7's recovery logic
   /// reacts through the drop handler.
   void FailNode(net::NodeId id) { net_->FailNode(id); }
 
  private:
+  /// One buffered data arrival: `data` delivered at node `at`. Mailboxes
+  /// are keyed by producer so the deliver phase applies arrivals in
+  /// deterministic (producer, location) order.
   struct Arrival {
-    net::Message msg;
     net::NodeId at;
+    std::shared_ptr<const DataPayload> data;
   };
+
+  // -- kernel phases (sim::CycleParticipant) ---------------------------------
+  Status OnSample(int cycle) override;
+  Status OnDeliver(int cycle) override;
+  Status OnLearn(int cycle) override;
 
   // -- initiation ------------------------------------------------------------
   Status InitCommon();
@@ -139,19 +151,28 @@ class JoinExecutor {
                                         int cycle, bool as_s, bool as_t);
 
   // -- arrival processing -------------------------------------------------------
-  void OnDeliver(const net::Message& msg, net::NodeId at);
+  void OnDeliverMsg(const net::Message& msg, net::NodeId at);
   void OnDrop(const net::Message& msg, net::NodeId at, net::NodeId next);
   void OnSnoop(const net::Message& msg, net::NodeId snooper, net::NodeId from,
                net::NodeId to);
   /// Applies buffered arrivals with deterministic ordering (S side first).
   void ProcessArrivals(int cycle);
-  void ApplyData(net::NodeId at, const DataPayload& data, int cycle);
   void EmitResults(net::NodeId at, const PairKey& pair, int count,
                    int sample_cycle);
   void DeliverResultAtBase(int count, int sample_cycle);
 
   PairState& StateAt(net::NodeId at, const PairKey& pair);
   PairState* FindState(net::NodeId at, const PairKey& pair);
+  /// Registers `at` as a join site (deterministic state iteration order).
+  void TouchSite(net::NodeId at);
+  /// Invokes fn(location, state) for every held state, (node, pair)
+  /// ascending — the exact order the old global ordered map produced.
+  template <typename Fn>
+  void ForEachState(Fn&& fn) {
+    for (net::NodeId at : active_sites_) {
+      for (PairState& st : nodes_[at].states) fn(at, st);
+    }
+  }
 
   // -- learning & failure -------------------------------------------------------
   void RunLearning(int cycle);
@@ -163,6 +184,7 @@ class JoinExecutor {
   void FailoverPairToBase(const PairKey& pair, net::NodeId producer);
 
   // -- helpers -------------------------------------------------------------------
+  PairPlacement* MutablePlacement(const PairKey& pair);
   const routing::RoutingTree& primary_tree() const;
   int DepthOf(net::NodeId id) const;
   opt::PairCostInputs AssumedCost() const;
@@ -190,6 +212,9 @@ class JoinExecutor {
   ExecutorOptions opts_;
   std::unique_ptr<net::Network> owned_net_;
   net::Network* net_ = nullptr;
+  /// Drives owned-network runs; attached executors are driven by the
+  /// medium's scheduler instead.
+  std::unique_ptr<sim::CycleScheduler> sched_;
   int query_id_ = 0;
   std::unique_ptr<routing::RoutingTree> single_tree_;  // non-Innet algorithms
   std::unique_ptr<routing::MultiTree> multi_;          // Innet substrate
@@ -199,30 +224,20 @@ class JoinExecutor {
 
   std::vector<net::NodeId> s_nodes_, t_nodes_;
   std::vector<PairKey> pairs_;
-  std::map<net::NodeId, std::vector<PairKey>> s_pairs_, t_pairs_;
-  std::map<PairKey, PairPlacement> placements_;
-  std::map<std::pair<net::NodeId, PairKey>, PairState> states_;
+  /// Placement table, sorted by pair key; NodeState pair lists hold indices
+  /// into it, so the per-cycle dispatch is pure array indexing.
+  std::vector<PairPlacement> placements_;
+  /// Contiguous per-node state, indexed by NodeId.
+  std::vector<NodeState> nodes_;
+  /// Nodes currently holding at least one PairState, sorted ascending.
+  std::vector<net::NodeId> active_sites_;
   std::vector<opt::JoinGroup> groups_;
-  std::map<PairKey, size_t> pair_group_;  ///< pair -> index into groups_
+  /// Placement index -> index into groups_ (-1 when ungrouped).
+  std::vector<int32_t> pair_group_;
   int group_decision_seq_ = 0;
 
-  /// Last w tuples each producer sent per role (window reconstruction on
-  /// failover, Section 7).
-  std::map<std::pair<net::NodeId, bool>, std::deque<query::Tuple>>
-      recent_sent_;
-
-  /// Multicast routes per (producer, role).
-  std::map<std::pair<net::NodeId, bool>,
-           std::shared_ptr<const net::MulticastRoute>>
-      mcast_;
-  /// Links discovered by path-collapse snooping, per producer.
-  std::map<net::NodeId, std::set<std::pair<net::NodeId, net::NodeId>>>
-      extra_links_;
-  /// node -> producers whose data paths the node forwards (flow buffer).
-  std::map<net::NodeId, std::set<net::NodeId>> flows_through_;
-
-  std::vector<Arrival> arrivals_;
-  /// Pairs already counted in this step (dedup for multi-role messages).
+  /// Data arrivals buffered during transmit, keyed by producer.
+  sim::NodeMailboxes<Arrival> arrivals_;
   int cycle_ = 0;
   uint64_t results_ = 0;
   double delay_sum_ = 0.0;

@@ -3,6 +3,7 @@
 // migration (Section 6), and failure recovery (Section 7).
 
 #include <algorithm>
+#include <map>
 #include <queue>
 
 #include "common/logging.h"
@@ -103,14 +104,14 @@ Status JoinExecutor::InitInnet() {
   if (opts_.features.multicast) BuildMulticastRoutes(/*charge_traffic=*/true);
   // Flow tables for opportunistic snooping (path collapsing).
   if (opts_.features.path_collapse) {
-    for (const auto& [key, pl] : placements_) {
+    for (const auto& pl : placements_) {
       if (pl.path.empty()) continue;
       for (int i = 1; i <= pl.path_index; ++i) {
-        flows_through_[pl.path[i]].insert(key.s);
+        nodes_[pl.path[i]].AddFlow(pl.pair.s);
       }
       for (int i = pl.path_index;
            i < static_cast<int>(pl.path.size()) - 1; ++i) {
-        flows_through_[pl.path[i]].insert(key.t);
+        nodes_[pl.path[i]].AddFlow(pl.pair.t);
       }
     }
   }
@@ -123,7 +124,7 @@ Status JoinExecutor::ExplorePairs() {
   auto depth_of = [this](NodeId id) { return DepthOf(id); };
 
   for (NodeId s : s_nodes_) {
-    if (s_pairs_.find(s) == s_pairs_.end()) continue;
+    if (nodes_[s].s_pairs.empty()) continue;
     auto accept = [this, s](NodeId t) {
       return t != s && workload_->StaticPairJoins(s, t);
     };
@@ -145,31 +146,30 @@ Status JoinExecutor::ExplorePairs() {
     // Keep, per target, the path whose best placement is cheapest.
     for (const auto& fp : found) {
       PairKey key{s, fp.target};
-      auto it = placements_.find(key);
-      ASPEN_CHECK(it != placements_.end());  // accept() is exact
-      PairPlacement& pl = it->second;
+      PairPlacement* pl = MutablePlacement(key);
+      ASPEN_CHECK(pl != nullptr);  // accept() is exact
       const workload::SelectivityParams pair_params = AssumedFor(key);
       const opt::PairCostInputs assumed = ToCost(pair_params, w);
       OnPathChoice choice = BestOnPath(assumed, fp.path, depth_of);
-      bool better = pl.path.empty();
+      bool better = pl->path.empty();
       if (!better) {
-        OnPathChoice current = BestOnPath(assumed, pl.path, depth_of);
+        OnPathChoice current = BestOnPath(assumed, pl->path, depth_of);
         better = std::min(choice.innet_cost, choice.base_cost) <
                  std::min(current.innet_cost, current.base_cost);
       }
       if (better) {
-        pl.path = fp.path;
-        pl.path_index = choice.index;
-        pl.join_node = fp.path[choice.index];
-        pl.pairwise_at_base = choice.base_cheaper();
-        pl.at_base = pl.pairwise_at_base;
-        pl.placed_with = pair_params;
+        pl->path = fp.path;
+        pl->path_index = choice.index;
+        pl->join_node = fp.path[choice.index];
+        pl->pairwise_at_base = choice.base_cheaper();
+        pl->at_base = pl->pairwise_at_base;
+        pl->placed_with = pair_params;
       }
     }
   }
   // Nomination: t tells j, and j tells s (footnote 4). Charged along the
   // chosen path segments.
-  for (const auto& [key, pl] : placements_) {
+  for (const auto& pl : placements_) {
     if (pl.path.empty()) continue;
     std::vector<NodeId> t_to_j(pl.path.begin() + pl.path_index,
                                pl.path.end());
@@ -190,9 +190,9 @@ void JoinExecutor::SendInnet(NodeId p, const Tuple& t, int cycle, bool as_s,
   bool base_s = false, base_t = false;
   std::map<NodeId, std::pair<bool, bool>> dests;           // j -> role flags
   std::map<NodeId, std::vector<NodeId>> dest_paths;        // j -> p..j
-  auto collect = [&](const std::vector<PairKey>& keys, bool role_s) {
-    for (const PairKey& key : keys) {
-      const PairPlacement& pl = placements_[key];
+  auto collect = [&](const std::vector<int32_t>& pair_idxs, bool role_s) {
+    for (int32_t pi : pair_idxs) {
+      const PairPlacement& pl = placements_[pi];
       if (pl.at_base || pl.path.empty()) {
         (role_s ? base_s : base_t) = true;
         continue;
@@ -211,26 +211,19 @@ void JoinExecutor::SendInnet(NodeId p, const Tuple& t, int cycle, bool as_s,
       }
     }
   };
-  if (as_s) {
-    auto it = s_pairs_.find(p);
-    if (it != s_pairs_.end()) collect(it->second, true);
-  }
-  if (as_t) {
-    auto it = t_pairs_.find(p);
-    if (it != t_pairs_.end()) collect(it->second, false);
-  }
+  if (as_s) collect(nodes_[p].s_pairs, true);
+  if (as_t) collect(nodes_[p].t_pairs, false);
 
   if (!dests.empty()) {
-    auto route_it = mcast_.find({p, true});
-    if (opts_.features.multicast && route_it != mcast_.end() &&
-        route_it->second != nullptr) {
+    const auto& route = nodes_[p].mcast_route;
+    if (opts_.features.multicast && route != nullptr) {
       Message msg;
       msg.kind = MessageKind::kData;
       msg.origin = p;
       msg.dest = p;  // multicast delivery is target-driven
       msg.size_bytes = workload_->DataBytes();
       msg.payload = MakeData(p, t, cycle, as_s, as_t);
-      (void)SubmitMcastToNet(std::move(msg), route_it->second);
+      (void)SubmitMcastToNet(std::move(msg), route);
     } else {
       for (const auto& [j, flags] : dests) {
         Message msg;
@@ -253,15 +246,14 @@ void JoinExecutor::SendInnet(NodeId p, const Tuple& t, int cycle, bool as_s,
 double JoinExecutor::ComputeDeltaCp(
     NodeId member, bool as_s, const workload::SelectivityParams& est) const {
   const int w = workload_->join_query().window.size;
-  const auto& role_pairs = as_s ? s_pairs_ : t_pairs_;
-  auto it = role_pairs.find(member);
-  if (it == role_pairs.end()) return 0.0;
+  const auto& pair_idxs =
+      as_s ? nodes_[member].s_pairs : nodes_[member].t_pairs;
+  if (pair_idxs.empty()) return 0.0;
   // Group the member's pairs by candidate join node.
   std::map<NodeId, opt::ProducerJoinNode> per_join;
-  for (const PairKey& key : it->second) {
-    const auto pit = placements_.find(key);
-    if (pit == placements_.end() || pit->second.path.empty()) continue;
-    const PairPlacement& pl = pit->second;
+  for (int32_t pi : pair_idxs) {
+    const PairPlacement& pl = placements_[pi];
+    if (pl.path.empty()) continue;
     auto [jit, inserted] =
         per_join.try_emplace(pl.join_node, opt::ProducerJoinNode{});
     if (inserted) {
@@ -283,17 +275,15 @@ double JoinExecutor::ComputeDeltaCp(
 void JoinExecutor::ApplyGroupDecision(const opt::JoinGroup& group,
                                       bool in_network) {
   for (const auto& [s, t] : group.pairs) {
-    PairKey key{s, t};
-    auto it = placements_.find(key);
-    if (it == placements_.end()) continue;
-    PairPlacement& pl = it->second;
-    if (pl.failed_over || pl.path.empty()) continue;
-    bool new_at_base = in_network ? pl.pairwise_at_base : true;
-    if (new_at_base != pl.at_base) {
-      NodeId from = pl.at_base ? 0 : pl.join_node;
-      NodeId to = new_at_base ? 0 : pl.join_node;
-      MoveState(key, from, to, /*charge=*/true);
-      pl.at_base = new_at_base;
+    PairPlacement* pl = MutablePlacement(PairKey{s, t});
+    if (pl == nullptr) continue;
+    if (pl->failed_over || pl->path.empty()) continue;
+    bool new_at_base = in_network ? pl->pairwise_at_base : true;
+    if (new_at_base != pl->at_base) {
+      NodeId from = pl->at_base ? 0 : pl->join_node;
+      NodeId to = new_at_base ? 0 : pl->join_node;
+      MoveState(pl->pair, from, to, /*charge=*/true);
+      pl->at_base = new_at_base;
       if (initiated_) ++migrations_;  // adaptive relocation, not setup
     }
   }
@@ -307,7 +297,10 @@ void JoinExecutor::EnsureGroups() {
   groups_ = opt::DiscoverGroups(raw);
   for (size_t g = 0; g < groups_.size(); ++g) {
     for (const auto& [s, t] : groups_[g].pairs) {
-      pair_group_[PairKey{s, t}] = g;
+      PairPlacement* pl = MutablePlacement(PairKey{s, t});
+      if (pl != nullptr) {
+        pair_group_[pl - placements_.data()] = static_cast<int32_t>(g);
+      }
     }
   }
 }
@@ -320,43 +313,41 @@ void JoinExecutor::RunGroupOpt(bool charge_traffic) {
 
 void JoinExecutor::DecideGroupFor(const opt::JoinGroup& group,
                                   bool charge_traffic) {
-  {
-    std::vector<double> deltas;
-    auto report = [&](NodeId member, bool as_s) {
-      // Members use the estimates their placements were computed with; with
-      // learning on these are the learned values.
-      workload::SelectivityParams est = opts_.assumed;
-      const auto& role_pairs = as_s ? s_pairs_ : t_pairs_;
-      auto it = role_pairs.find(member);
-      if (it != role_pairs.end() && !it->second.empty()) {
-        est = placements_[it->second.front()].placed_with;
-      }
-      deltas.push_back(ComputeDeltaCp(member, as_s, est));
-      if (charge_traffic && member != group.coordinator) {
-        ChargeAlongPath(primary_tree().TreePath(member, group.coordinator),
-                        kCostReportBytes, MessageKind::kCostReport);
-      }
-    };
-    for (NodeId s : group.s_members) report(s, true);
-    for (NodeId t : group.t_members) report(t, false);
-    bool in_network =
-        opt::DecideGroup(deltas) == opt::GroupDecision::kInNetwork;
-    if (charge_traffic) {
-      for (NodeId m : group.s_members) {
-        if (m != group.coordinator) {
-          ChargeAlongPath(primary_tree().TreePath(group.coordinator, m),
-                          kDecisionBytes, MessageKind::kGroupDecision);
-        }
-      }
-      for (NodeId m : group.t_members) {
-        if (m != group.coordinator) {
-          ChargeAlongPath(primary_tree().TreePath(group.coordinator, m),
-                          kDecisionBytes, MessageKind::kGroupDecision);
-        }
+  std::vector<double> deltas;
+  auto report = [&](NodeId member, bool as_s) {
+    // Members use the estimates their placements were computed with; with
+    // learning on these are the learned values.
+    workload::SelectivityParams est = opts_.assumed;
+    const auto& pair_idxs =
+        as_s ? nodes_[member].s_pairs : nodes_[member].t_pairs;
+    if (!pair_idxs.empty()) {
+      est = placements_[pair_idxs.front()].placed_with;
+    }
+    deltas.push_back(ComputeDeltaCp(member, as_s, est));
+    if (charge_traffic && member != group.coordinator) {
+      ChargeAlongPath(primary_tree().TreePath(member, group.coordinator),
+                      kCostReportBytes, MessageKind::kCostReport);
+    }
+  };
+  for (NodeId s : group.s_members) report(s, true);
+  for (NodeId t : group.t_members) report(t, false);
+  bool in_network =
+      opt::DecideGroup(deltas) == opt::GroupDecision::kInNetwork;
+  if (charge_traffic) {
+    for (NodeId m : group.s_members) {
+      if (m != group.coordinator) {
+        ChargeAlongPath(primary_tree().TreePath(group.coordinator, m),
+                        kDecisionBytes, MessageKind::kGroupDecision);
       }
     }
-    ApplyGroupDecision(group, in_network);
+    for (NodeId m : group.t_members) {
+      if (m != group.coordinator) {
+        ChargeAlongPath(primary_tree().TreePath(group.coordinator, m),
+                        kDecisionBytes, MessageKind::kGroupDecision);
+      }
+    }
   }
+  ApplyGroupDecision(group, in_network);
 }
 
 // ---- multicast trees ----------------------------------------------------------
@@ -373,9 +364,9 @@ void JoinExecutor::RebuildProducerRoute(NodeId p, bool /*as_s*/,
       edges.insert({seg[i + 1], seg[i]});
     }
   };
-  auto collect = [&](const std::vector<PairKey>& keys, bool role_s) {
-    for (const PairKey& key : keys) {
-      const PairPlacement& pl = placements_[key];
+  auto collect = [&](const std::vector<int32_t>& pair_idxs, bool role_s) {
+    for (int32_t pi : pair_idxs) {
+      const PairPlacement& pl = placements_[pi];
       if (pl.at_base || pl.path.empty()) continue;
       targets.insert(pl.join_node);
       std::vector<NodeId> seg;
@@ -388,22 +379,17 @@ void JoinExecutor::RebuildProducerRoute(NodeId p, bool /*as_s*/,
       add_segment(seg);
     }
   };
-  auto sit = s_pairs_.find(p);
-  if (sit != s_pairs_.end()) collect(sit->second, true);
-  auto tit = t_pairs_.find(p);
-  if (tit != t_pairs_.end()) collect(tit->second, false);
+  collect(nodes_[p].s_pairs, true);
+  collect(nodes_[p].t_pairs, false);
 
-  auto key = std::make_pair(p, true);
+  NodeState& pnode = nodes_[p];
   if (targets.empty()) {
-    mcast_.erase(key);
+    pnode.mcast_route = nullptr;
     return;
   }
-  auto lit = extra_links_.find(p);
-  if (lit != extra_links_.end()) {
-    for (const auto& [a, b] : lit->second) {
-      edges.insert({a, b});
-      edges.insert({b, a});
-    }
+  for (const auto& [a, b] : pnode.extra_links) {
+    edges.insert({a, b});
+    edges.insert({b, a});
   }
   // BFS from p over the collected edges; prune to the union of p->target
   // paths.
@@ -436,24 +422,18 @@ void JoinExecutor::RebuildProducerRoute(NodeId p, bool /*as_s*/,
 
   // 10%-improvement rule (Appendix E): only push an updated tree when it is
   // meaningfully smaller than the one currently cached in the network.
-  auto existing = mcast_.find(key);
-  size_t old_edges = existing != mcast_.end() && existing->second != nullptr
-                         ? [&] {
-                             size_t n = 0;
-                             for (const auto& [u, kids] :
-                                  existing->second->children) {
-                               n += kids.size();
-                             }
-                             return n;
-                           }()
-                         : SIZE_MAX;
-  bool adopt = existing == mcast_.end() || existing->second == nullptr ||
-               tree_edges.size() * 10 <= old_edges * 9;
+  const auto& existing = pnode.mcast_route;
+  size_t old_edges = SIZE_MAX;
+  if (existing != nullptr) {
+    old_edges = 0;
+    for (const auto& [u, kids] : existing->children) old_edges += kids.size();
+  }
+  bool adopt = existing == nullptr || tree_edges.size() * 10 <= old_edges * 9;
   // A placement change (targets moved) always forces adoption: the cached
   // tree no longer covers the right targets.
-  if (!adopt && existing->second != nullptr) {
-    std::set<NodeId> old_targets(existing->second->targets.begin(),
-                                 existing->second->targets.end());
+  if (!adopt) {
+    std::set<NodeId> old_targets(existing->targets.begin(),
+                                 existing->targets.end());
     if (old_targets != targets) adopt = true;
   }
   if (!adopt) return;
@@ -461,19 +441,20 @@ void JoinExecutor::RebuildProducerRoute(NodeId p, bool /*as_s*/,
     for (const auto& [u, v] : tree_edges) {
       net_->stats().RecordSend(u, MessageKind::kMulticastUpdate,
                                kMcastUpdateBytesPerEdge +
-                                   net::WireFormat::kLinkHeaderBytes);
+                                   net::WireFormat::kLinkHeaderBytes,
+                               query_id_);
       net_->stats().RecordReceive(v, kMcastUpdateBytesPerEdge +
                                          net::WireFormat::kLinkHeaderBytes);
     }
   }
-  mcast_[key] = std::move(route);
+  pnode.mcast_route = std::move(route);
 }
 
 void JoinExecutor::BuildMulticastRoutes(bool charge_traffic) {
-  std::set<NodeId> producers;
-  for (const auto& [p, keys] : s_pairs_) producers.insert(p);
-  for (const auto& [p, keys] : t_pairs_) producers.insert(p);
-  for (NodeId p : producers) RebuildProducerRoute(p, true, charge_traffic);
+  for (NodeId p = 0; p < static_cast<NodeId>(nodes_.size()); ++p) {
+    if (nodes_[p].s_pairs.empty() && nodes_[p].t_pairs.empty()) continue;
+    RebuildProducerRoute(p, true, charge_traffic);
+  }
 }
 
 // ---- snooping / path collapse --------------------------------------------------
@@ -488,13 +469,10 @@ void JoinExecutor::OnSnoop(const Message& msg, NodeId snooper, NodeId from,
   if (data == nullptr) return;
   NodeId p = data->producer;
   if (snooper == p || from == p || to == p) return;
-  auto fit = flows_through_.find(snooper);
-  if (fit == flows_through_.end() || fit->second.count(p) == 0) return;
-  auto ffrom = flows_through_.find(from);
-  if (ffrom == flows_through_.end() || ffrom->second.count(p) == 0) return;
+  if (!nodes_[snooper].FlowsThrough(p)) return;
+  if (!nodes_[from].FlowsThrough(p)) return;
   auto link = std::minmax(snooper, from);
-  auto& links = extra_links_[p];
-  if (!links.insert({link.first, link.second}).second) return;
+  if (!nodes_[p].extra_links.insert({link.first, link.second}).second) return;
   // Notify the producer (Algorithm 2's optimization tuple).
   ChargeAlongPath(primary_tree().TreePath(snooper, p), kHintBytes,
                   MessageKind::kCollapseHint);
@@ -506,17 +484,19 @@ void JoinExecutor::OnSnoop(const Message& msg, NodeId snooper, NodeId from,
 void JoinExecutor::MoveState(const PairKey& pair, NodeId from, NodeId to,
                              bool charge) {
   if (from == to) return;
-  auto it = states_.find(std::make_pair(from, pair));
-  if (it == states_.end()) return;  // nothing buffered yet
-  PairState moving = std::move(it->second);
-  states_.erase(it);
+  std::optional<PairState> moving = nodes_[from].TakeState(pair);
+  if (!moving.has_value()) return;  // nothing buffered yet
+  if (nodes_[from].states.empty()) {
+    common::EraseSorted(&active_sites_, from);
+  }
   if (charge) {
-    int tuples = moving.s_window.size() + moving.t_window.size();
+    int tuples = moving->s_window.size() + moving->t_window.size();
     int bytes = 4 + tuples * workload_->DataBytes();
     ChargeAlongPath(primary_tree().TreePath(from, to), bytes,
                     MessageKind::kWindowTransfer);
   }
-  states_.emplace(std::make_pair(to, pair), std::move(moving));
+  TouchSite(to);
+  nodes_[to].AdoptState(std::move(*moving));
 }
 
 void JoinExecutor::MigratePair(PairPlacement* pl, bool new_at_base,
@@ -549,62 +529,60 @@ void JoinExecutor::RunLearning(int cycle) {
   if ((cycle + 1) % opts_.reestimate_interval == 0) {
     auto depth_of = [this](NodeId id) { return DepthOf(id); };
     bool any_moved = false;
-    // Collect first: MigratePair mutates states_.
+    // Collect first: MigratePair mutates the per-node state tables.
     struct Planned {
       PairKey pair;
       workload::SelectivityParams est;
     };
     std::vector<Planned> planned;
-    for (auto& [loc_pair, st] : states_) {
-      const auto& [loc, pair] = loc_pair;
-      auto pit = placements_.find(pair);
-      if (pit == placements_.end()) continue;
-      PairPlacement& pl = pit->second;
-      if (pl.failed_over || pl.path.empty()) continue;
-      if ((pl.at_base ? 0 : pl.join_node) != loc) continue;  // stale
+    ForEachState([&](NodeId loc, PairState& st) {
+      const PairPlacement* pl = FindPlacement(st.pair);
+      if (pl == nullptr) return;
+      if (pl->failed_over || pl->path.empty()) return;
+      if ((pl->at_base ? 0 : pl->join_node) != loc) return;  // stale
       workload::SelectivityParams est =
-          st.estimator.Estimate(w, pl.placed_with);
-      if (adapt::SelectivityEstimator::Diverged(est, pl.placed_with,
+          st.estimator.Estimate(w, pl->placed_with);
+      if (adapt::SelectivityEstimator::Diverged(est, pl->placed_with,
                                                 opts_.divergence_threshold)) {
-        planned.push_back({pair, est});
+        planned.push_back({st.pair, est});
       }
-    }
+    });
     std::set<size_t> affected_groups;
     for (const auto& plan : planned) {
-      PairPlacement& pl = placements_[plan.pair];
+      PairPlacement* pl = MutablePlacement(plan.pair);
       const opt::PairCostInputs est_cost = ToCost(plan.est, w);
-      OnPathChoice choice = BestOnPath(est_cost, pl.path, depth_of);
+      OnPathChoice choice = BestOnPath(est_cost, pl->path, depth_of);
       // Hysteresis: relocating pays a window transfer and producer
       // notifications, so only move for a meaningful (>=10%) modeled
       // improvement over staying put under the fresh estimates.
       double current_cost =
-          pl.at_base
+          pl->at_base
               ? choice.base_cost
               : opt::InnetPairCost(
-                    est_cost, pl.path_index,
-                    static_cast<int>(pl.path.size()) - 1 - pl.path_index,
-                    DepthOf(pl.join_node));
+                    est_cost, pl->path_index,
+                    static_cast<int>(pl->path.size()) - 1 - pl->path_index,
+                    DepthOf(pl->join_node));
       double best_cost = std::min(choice.innet_cost, choice.base_cost);
-      pl.placed_with = plan.est;
+      pl->placed_with = plan.est;
       if (best_cost > current_cost * 0.9) continue;
-      pl.pairwise_at_base = choice.base_cheaper();
+      pl->pairwise_at_base = choice.base_cheaper();
       bool new_at_base =
-          opts_.features.group_opt ? pl.at_base : pl.pairwise_at_base;
+          opts_.features.group_opt ? pl->at_base : pl->pairwise_at_base;
       // Without group optimization the pairwise decision applies directly;
       // with it, the group pass below reconciles at_base.
-      NodeId new_join = pl.path[choice.index];
-      if (opts_.features.group_opt && pl.at_base) {
+      NodeId new_join = pl->path[choice.index];
+      if (opts_.features.group_opt && pl->at_base) {
         // Stay at base for now; the group decision may move the group.
-        pl.join_node = new_join;
-        pl.path_index = choice.index;
+        pl->join_node = new_join;
+        pl->path_index = choice.index;
       } else {
-        NodeId old_join = pl.at_base ? 0 : pl.join_node;
-        MigratePair(&pl, new_at_base, new_join, choice.index);
-        if ((pl.at_base ? 0 : pl.join_node) != old_join) any_moved = true;
+        NodeId old_join = pl->at_base ? 0 : pl->join_node;
+        MigratePair(pl, new_at_base, new_join, choice.index);
+        if ((pl->at_base ? 0 : pl->join_node) != old_join) any_moved = true;
       }
       if (opts_.features.group_opt) {
-        auto git = pair_group_.find(plan.pair);
-        if (git != pair_group_.end()) affected_groups.insert(git->second);
+        int32_t g = pair_group_[pl - placements_.data()];
+        if (g >= 0) affected_groups.insert(static_cast<size_t>(g));
       }
     }
     if (!affected_groups.empty() && opts_.features.group_opt) {
@@ -620,29 +598,26 @@ void JoinExecutor::RunLearning(int cycle) {
     }
   }
   if ((cycle + 1) % opts_.counter_reset_interval == 0) {
-    for (auto& [loc_pair, st] : states_) st.estimator.Reset();
+    ForEachState([](NodeId, PairState& st) { st.estimator.Reset(); });
   }
 }
 
 // ---- failure recovery (Section 7) ----------------------------------------------
 
 void JoinExecutor::FailoverPairToBase(const PairKey& pair, NodeId producer) {
-  auto it = placements_.find(pair);
-  if (it == placements_.end()) return;
-  PairPlacement& pl = it->second;
-  if (pl.at_base) return;
-  pl.at_base = true;
-  pl.failed_over = true;
+  PairPlacement* pl = MutablePlacement(pair);
+  if (pl == nullptr) return;
+  if (pl->at_base) return;
+  pl->at_base = true;
+  pl->failed_over = true;
   ++failovers_;
   // Forward the last w tuples so the base can reconstruct the join window.
   bool as_s = producer == pair.s;
-  auto rit = recent_sent_.find({producer, as_s});
+  const auto& recent = nodes_[producer].recent_sent[as_s];
   auto wt = std::make_shared<WindowTransferPayload>();
   wt->pair = pair;
-  if (rit != recent_sent_.end()) {
-    auto& dst = as_s ? wt->s_window : wt->t_window;
-    dst.assign(rit->second.begin(), rit->second.end());
-  }
+  auto& dst = as_s ? wt->s_window : wt->t_window;
+  dst.assign(recent.begin(), recent.end());
   int tuples =
       static_cast<int>(wt->s_window.size() + wt->t_window.size());
   Message msg;
@@ -666,24 +641,18 @@ void JoinExecutor::OnDrop(const Message& msg, NodeId at, NodeId next) {
   if (data == nullptr) return;
   NodeId j = msg.dest;
   if (j < 0 || !net_->IsFailed(j)) return;  // congestion loss, not death
+  net::TrafficStats::QueryScope scope(&net_->stats(), query_id_);
   NodeId p = data->producer;
-  auto fail_role = [&](const std::vector<PairKey>& keys) {
-    for (const PairKey& key : keys) {
-      const auto it = placements_.find(key);
-      if (it != placements_.end() && !it->second.at_base &&
-          it->second.join_node == j) {
-        FailoverPairToBase(key, p);
+  auto fail_role = [&](const std::vector<int32_t>& pair_idxs) {
+    for (int32_t pi : pair_idxs) {
+      const PairPlacement& pl = placements_[pi];
+      if (!pl.at_base && pl.join_node == j) {
+        FailoverPairToBase(pl.pair, p);
       }
     }
   };
-  if (data->as_s) {
-    auto it = s_pairs_.find(p);
-    if (it != s_pairs_.end()) fail_role(it->second);
-  }
-  if (data->as_t) {
-    auto it = t_pairs_.find(p);
-    if (it != t_pairs_.end()) fail_role(it->second);
-  }
+  if (data->as_s) fail_role(nodes_[p].s_pairs);
+  if (data->as_t) fail_role(nodes_[p].t_pairs);
 }
 
 }  // namespace join

@@ -13,7 +13,7 @@ SharedMedium::SharedMedium(const net::Topology* topology,
   net_.set_parent_resolver(&primary_);
   net_.set_delivery_handler([this](const net::Message& m, net::NodeId at) {
     auto it = executors_.find(m.query_id);
-    if (it != executors_.end()) it->second->OnDeliver(m, at);
+    if (it != executors_.end()) it->second->OnDeliverMsg(m, at);
   });
   net_.set_drop_handler(
       [this](const net::Message& m, net::NodeId at, net::NodeId next) {
@@ -31,14 +31,15 @@ JoinExecutor* SharedMedium::AddQuery(const workload::Workload* workload,
                                      ExecutorOptions options) {
   ASPEN_CHECK(&workload->topology() == topology_);
   int interval = workload->join_query().window.sample_interval;
-  if (sample_interval_ < 0) {
-    sample_interval_ = interval;
+  if (sched_ == nullptr) {
+    sched_ = std::make_unique<sim::CycleScheduler>(&net_, interval);
   } else {
-    ASPEN_CHECK_EQ(sample_interval_, interval);
+    ASPEN_CHECK_EQ(sched_->sample_interval(), interval);
   }
   int id = next_query_id_++;
   auto exec = std::make_unique<JoinExecutor>(workload, options, &net_, id);
   JoinExecutor* out = exec.get();
+  sched_->Attach(out);
   executors_.emplace(id, std::move(exec));
   return out;
 }
@@ -56,24 +57,7 @@ Status SharedMedium::RunCycles(int n) {
   if (executors_.empty()) {
     return Status::FailedPrecondition("SharedMedium has no queries");
   }
-  for (int i = 0; i < n; ++i) {
-    for (auto& [id, exec] : executors_) {
-      ASPEN_RETURN_NOT_OK(exec->StepCycleBegin());
-    }
-    for (int k = 0; k < sample_interval_; ++k) {
-      net_.Step();
-      if (!net_.HasTrafficInFlight()) break;
-    }
-    for (auto& [id, exec] : executors_) {
-      ASPEN_RETURN_NOT_OK(exec->StepCycleEnd());
-    }
-  }
-  net_.StepUntilQuiet(16 * sample_interval_);
-  // Apply straggler deliveries (e.g. results emitted at the last cycle).
-  for (auto& [id, exec] : executors_) {
-    exec->ProcessArrivals(exec->cycle_);
-  }
-  return Status::OK();
+  return sched_->RunCycles(n);
 }
 
 }  // namespace join

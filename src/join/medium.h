@@ -2,10 +2,12 @@
 //
 // The paper's introduction motivates minimizing resource consumption
 // "in case of multiple concurrent queries". SharedMedium owns one Network
-// and dispatches deliveries/drops/snoops to the owning executor by the
-// query id stamped on every message. Traffic accounting is medium-wide, so
-// the combined load of concurrent queries — including cross-query packet
-// merging at relay nodes — is measured exactly once.
+// and one sim::CycleScheduler, dispatches deliveries/drops/snoops to the
+// owning executor by the query id stamped on every message, and hosts each
+// executor as a participant on the scheduler. Traffic accounting is
+// medium-wide — the combined load of concurrent queries, including
+// cross-query packet merging at relay nodes, is measured exactly once —
+// while per-query counters isolate each query's own share.
 
 #ifndef ASPEN_JOIN_MEDIUM_H_
 #define ASPEN_JOIN_MEDIUM_H_
@@ -16,6 +18,7 @@
 #include "join/executor.h"
 #include "net/network.h"
 #include "routing/routing_tree.h"
+#include "sim/cycle_scheduler.h"
 #include "workload/workload.h"
 
 namespace aspen {
@@ -38,7 +41,8 @@ class SharedMedium {
   Status InitiateAll();
 
   /// \brief Runs `n` sampling cycles with all queries interleaved on the
-  /// medium. Every workload must use the same sample_interval.
+  /// medium, driven by the shared cycle scheduler. Every workload must use
+  /// the same sample_interval.
   Status RunCycles(int n);
 
   net::Network& network() { return net_; }
@@ -51,8 +55,8 @@ class SharedMedium {
   net::Network net_;
   routing::RoutingTree primary_;
   std::map<int, std::unique_ptr<JoinExecutor>> executors_;
+  std::unique_ptr<sim::CycleScheduler> sched_;
   int next_query_id_ = 1;
-  int sample_interval_ = -1;
 };
 
 }  // namespace join

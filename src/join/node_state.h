@@ -1,0 +1,106 @@
+// Contiguous per-node join-execution state.
+//
+// The executor keeps one NodeState per topology node in a dense vector
+// indexed by NodeId, replacing the former global map<pair<NodeId, ...>>
+// registries. Everything the per-cycle hot path touches — which pairs a
+// producer serves, the join windows held at a node, the producer's cached
+// multicast route — is one array index away; the small per-node pair tables
+// are sorted vectors, so iteration order stays deterministic ((node, pair)
+// ascending, exactly the order the old ordered maps produced).
+
+#ifndef ASPEN_JOIN_NODE_STATE_H_
+#define ASPEN_JOIN_NODE_STATE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/sorted_vec.h"
+#include "join/pair_state.h"
+#include "join/types.h"
+#include "net/network.h"
+#include "query/schema.h"
+
+namespace aspen {
+namespace join {
+
+/// \brief All node-local state of one query at one node.
+struct NodeState {
+  /// Placement-table indices of the pairs this node produces for, per role
+  /// (in workload pair order, matching the old map<NodeId, vector<PairKey>>).
+  std::vector<int32_t> s_pairs;
+  std::vector<int32_t> t_pairs;
+
+  /// Join windows + estimators for the pairs currently joined AT this node,
+  /// sorted by pair key for deterministic iteration.
+  std::vector<PairState> states;
+
+  /// Last w tuples this producer sent per role (window reconstruction on
+  /// failover, Section 7). Indexed by as_s.
+  std::deque<query::Tuple> recent_sent[2];
+
+  /// Cached multicast tree rooted at this producer (Innet-m).
+  std::shared_ptr<const net::MulticastRoute> mcast_route;
+
+  /// Links discovered by path-collapse snooping for this producer.
+  std::set<std::pair<net::NodeId, net::NodeId>> extra_links;
+
+  /// Producers whose data paths this node forwards (flow buffer for
+  /// opportunistic snooping). Sorted unique.
+  std::vector<net::NodeId> flows_through;
+
+  PairState* FindState(const PairKey& pair) {
+    auto it = StateLowerBound(pair);
+    if (it == states.end() || !(it->pair == pair)) return nullptr;
+    return &*it;
+  }
+
+  PairState& StateAt(const PairKey& pair, int window, bool time_based) {
+    auto it = StateLowerBound(pair);
+    if (it != states.end() && it->pair == pair) return *it;
+    it = states.insert(it, PairState(pair, window, time_based));
+    return *it;
+  }
+
+  /// Inserts a fully-formed state (window handoff), keeping sort order.
+  PairState& AdoptState(PairState state) {
+    auto it = states.insert(StateLowerBound(state.pair), std::move(state));
+    return *it;
+  }
+
+  /// Removes and returns the state for `pair`, if present.
+  std::optional<PairState> TakeState(const PairKey& pair) {
+    auto it = StateLowerBound(pair);
+    if (it == states.end() || !(it->pair == pair)) return std::nullopt;
+    std::optional<PairState> out(std::move(*it));
+    states.erase(it);
+    return out;
+  }
+
+  bool FlowsThrough(net::NodeId producer) const {
+    return common::ContainsSorted(flows_through, producer);
+  }
+
+  void AddFlow(net::NodeId producer) {
+    common::InsertSortedUnique(&flows_through, producer);
+  }
+
+ private:
+  /// First state whose pair key is >= `pair` (the single ordering
+  /// definition every state accessor shares).
+  std::vector<PairState>::iterator StateLowerBound(const PairKey& pair) {
+    return std::lower_bound(
+        states.begin(), states.end(), pair,
+        [](const PairState& st, const PairKey& key) { return st.pair < key; });
+  }
+};
+
+}  // namespace join
+}  // namespace aspen
+
+#endif  // ASPEN_JOIN_NODE_STATE_H_

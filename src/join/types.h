@@ -96,6 +96,11 @@ struct RunStats {
   uint64_t max_node_messages = 0;
   uint64_t initiation_bytes = 0;
   uint64_t computation_bytes = 0;
+  /// Traffic attributable to this query alone. Equals total_bytes /
+  /// total_messages on an owned network; on a shared medium it isolates
+  /// this query's share of the medium-wide counters.
+  uint64_t query_bytes = 0;
+  uint64_t query_messages = 0;
   std::vector<uint64_t> top_node_loads;  ///< 15 most-loaded nodes (Fig 5)
   // Results.
   uint64_t results = 0;

@@ -205,7 +205,7 @@ void Network::Step() {
       // One broadcast transmission reaches every child; receptions are
       // independent.
       int bytes = first.msg.size_bytes + WireFormat::kLinkHeaderBytes;
-      stats_.RecordSend(sender, first.msg.kind, bytes);
+      stats_.RecordSend(sender, first.msg.kind, bytes, first.msg.query_id);
       for (size_t idx : members) {
         Frame& f = in_flight_[idx];
         bool lost = failed_[f.next] || rng_.Bernoulli(options_.loss_prob);
@@ -235,7 +235,7 @@ void Network::Step() {
         bytes += WireFormat::kLinkHeaderBytes;
         charged_header = true;
       }
-      stats_.RecordSend(sender, f.msg.kind, bytes);
+      stats_.RecordSend(sender, f.msg.kind, bytes, f.msg.query_id);
       if (options_.enable_snooping && on_snoop_) {
         for (NodeId w : topology_->neighbors(sender)) {
           if (w != next && !failed_[w]) on_snoop_(f.msg, w, sender, next);

@@ -65,38 +65,30 @@ void Topology::BuildAdjacency() {
       }
     }
   }
-}
-
-const std::vector<NodeId>& Topology::GabrielNeighbors(NodeId id) const {
-  if (!gabriel_built_) {
-    const int n = num_nodes();
-    gabriel_.assign(n, {});
-    for (int u = 0; u < n; ++u) {
-      for (NodeId v : adjacency_[u]) {
-        if (v < u) continue;  // handle each edge once
-        // Keep (u, v) iff no witness w lies inside the circle whose
-        // diameter is the segment uv: d(u,w)^2 + d(w,v)^2 < d(u,v)^2.
-        const double duv2 = std::pow(DistanceBetween(u, v), 2);
-        bool witness = false;
-        for (NodeId w : adjacency_[u]) {
-          if (w == v) continue;
-          double a = std::pow(DistanceBetween(u, w), 2);
-          double b = std::pow(DistanceBetween(w, v), 2);
-          if (a + b < duv2) {
-            witness = true;
-            break;
-          }
-        }
-        if (!witness) {
-          gabriel_[u].push_back(v);
-          gabriel_[v].push_back(static_cast<NodeId>(u));
+  gabriel_.assign(n, {});
+  for (int u = 0; u < n; ++u) {
+    for (NodeId v : adjacency_[u]) {
+      if (v < u) continue;  // handle each edge once
+      // Keep (u, v) iff no witness w lies inside the circle whose
+      // diameter is the segment uv: d(u,w)^2 + d(w,v)^2 < d(u,v)^2.
+      const double duv2 = std::pow(DistanceBetween(u, v), 2);
+      bool witness = false;
+      for (NodeId w : adjacency_[u]) {
+        if (w == v) continue;
+        double a = std::pow(DistanceBetween(u, w), 2);
+        double b = std::pow(DistanceBetween(w, v), 2);
+        if (a + b < duv2) {
+          witness = true;
+          break;
         }
       }
+      if (!witness) {
+        gabriel_[u].push_back(v);
+        gabriel_[v].push_back(static_cast<NodeId>(u));
+      }
     }
-    for (auto& adj : gabriel_) std::sort(adj.begin(), adj.end());
-    gabriel_built_ = true;
   }
-  return gabriel_[id];
+  for (auto& adj : gabriel_) std::sort(adj.begin(), adj.end());
 }
 
 bool Topology::AreNeighbors(NodeId a, NodeId b) const {

@@ -89,9 +89,13 @@ class Topology {
 
   /// \brief Gabriel-graph planarization neighbors: radio neighbors v of u
   /// such that no third node lies inside the circle with diameter (u, v).
-  /// GPSR's perimeter mode traverses this planar subgraph. Built lazily;
-  /// the Gabriel subgraph of a connected unit-disk graph is connected.
-  const std::vector<NodeId>& GabrielNeighbors(NodeId id) const;
+  /// GPSR's perimeter mode traverses this planar subgraph. Built at
+  /// construction — a Topology is fully immutable and safe to share across
+  /// threads (parallel RunAveraged repetitions share one deployment). The
+  /// Gabriel subgraph of a connected unit-disk graph is connected.
+  const std::vector<NodeId>& GabrielNeighbors(NodeId id) const {
+    return gabriel_[id];
+  }
 
   bool AreNeighbors(NodeId a, NodeId b) const;
 
@@ -124,9 +128,7 @@ class Topology {
   std::vector<Point> positions_;
   double radio_range_;
   std::vector<std::vector<NodeId>> adjacency_;
-  /// Lazily-built Gabriel planarization (see GabrielNeighbors).
-  mutable std::vector<std::vector<NodeId>> gabriel_;
-  mutable bool gabriel_built_ = false;
+  std::vector<std::vector<NodeId>> gabriel_;
 };
 
 }  // namespace net

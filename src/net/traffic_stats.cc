@@ -76,6 +76,7 @@ void TrafficStats::Reset() {
   for (auto& n : per_node_) n = NodeTraffic{};
   bytes_by_kind_.fill(0);
   messages_by_kind_.fill(0);
+  per_query_.clear();
 }
 
 }  // namespace net

@@ -22,7 +22,19 @@ struct NodeTraffic {
   uint64_t messages_received = 0;
 };
 
-/// \brief Accumulates per-node, per-kind traffic over a run.
+/// \brief Per-query send counters (multi-query media attribute every
+/// transmission to the query whose message is on the air).
+///
+/// Exact when packet merging is disabled. With cross-query merging, the
+/// shared link header of a merged physical packet is charged to the first
+/// merged frame's query (a shared header has no unique owner); medium-wide
+/// totals are always exact.
+struct QueryTraffic {
+  uint64_t bytes_sent = 0;
+  uint64_t messages_sent = 0;
+};
+
+/// \brief Accumulates per-node, per-kind and per-query traffic over a run.
 ///
 /// "Sent" counters include retransmissions (every radio transmission costs
 /// energy and airtime whether or not it is received).
@@ -33,12 +45,40 @@ class TrafficStats {
         bytes_by_kind_{},
         messages_by_kind_{} {}
 
-  void RecordSend(NodeId node, MessageKind kind, int bytes) {
+  /// `query_id` attributes the transmission to one query on a shared
+  /// medium; -1 uses the ambient query (see QueryScope), which computed
+  /// control planes (exploration, nominations) run under.
+  void RecordSend(NodeId node, MessageKind kind, int bytes,
+                  int query_id = -1) {
     per_node_[node].bytes_sent += bytes;
     per_node_[node].messages_sent += 1;
     bytes_by_kind_[static_cast<size_t>(kind)] += bytes;
     messages_by_kind_[static_cast<size_t>(kind)] += 1;
+    if (query_id < 0) query_id = ambient_query_;
+    if (static_cast<size_t>(query_id) >= per_query_.size()) {
+      per_query_.resize(query_id + 1);
+    }
+    per_query_[query_id].bytes_sent += bytes;
+    per_query_[query_id].messages_sent += 1;
   }
+
+  /// \brief Scoped ambient query id: RecordSend calls without an explicit
+  /// query (the computed control plane) are attributed to `query_id` while
+  /// the scope is alive.
+  class QueryScope {
+   public:
+    QueryScope(TrafficStats* stats, int query_id)
+        : stats_(stats), saved_(stats->ambient_query_) {
+      stats_->ambient_query_ = query_id;
+    }
+    ~QueryScope() { stats_->ambient_query_ = saved_; }
+    QueryScope(const QueryScope&) = delete;
+    QueryScope& operator=(const QueryScope&) = delete;
+
+   private:
+    TrafficStats* stats_;
+    int saved_;
+  };
 
   void RecordReceive(NodeId node, int bytes) {
     per_node_[node].bytes_received += bytes;
@@ -59,6 +99,19 @@ class TrafficStats {
   /// Highest per-node sent+received byte count.
   uint64_t MaxNodeBytes() const;
   uint64_t MaxNodeMessages() const;
+
+  /// Bytes (resp. messages) transmitted on behalf of one query. On an
+  /// owned single-query network everything is query 0.
+  uint64_t QueryBytesSent(int query_id) const {
+    return static_cast<size_t>(query_id) < per_query_.size()
+               ? per_query_[query_id].bytes_sent
+               : 0;
+  }
+  uint64_t QueryMessagesSent(int query_id) const {
+    return static_cast<size_t>(query_id) < per_query_.size()
+               ? per_query_[query_id].messages_sent
+               : 0;
+  }
 
   uint64_t BytesByKind(MessageKind kind) const {
     return bytes_by_kind_[static_cast<size_t>(kind)];
@@ -85,6 +138,8 @@ class TrafficStats {
       bytes_by_kind_;
   std::array<uint64_t, static_cast<size_t>(MessageKind::kNumKinds)>
       messages_by_kind_;
+  std::vector<QueryTraffic> per_query_;
+  int ambient_query_ = 0;
 };
 
 }  // namespace net

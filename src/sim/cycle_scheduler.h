@@ -1,0 +1,82 @@
+// The shared event-driven simulation kernel.
+//
+// One CycleScheduler owns the clock and the phase ordering of a run:
+//
+//   sample   — every participant samples its sensors and submits the
+//              cycle's traffic to the network
+//   transmit — the network moves frames hop-by-hop until the sampling
+//              interval elapses or the air goes quiet
+//   deliver  — arrivals buffered during transmit are applied (join-window
+//              insertion, result accounting)
+//   learn    — participants run adaptation (selectivity re-estimation,
+//              migration) and advance their windows
+//
+// Single-query execution (JoinExecutor::RunCycles on an owned network) and
+// multi-query execution (SharedMedium) are both thin wrappers over this one
+// loop; a participant is one query's protocol logic hosted on the kernel.
+// The scheduler persists across RunCycles calls, so a run can be continued
+// (RunCycles(5) twice == RunCycles(10) cycle-for-cycle, modulo the straggler
+// drain performed after every call).
+
+#ifndef ASPEN_SIM_CYCLE_SCHEDULER_H_
+#define ASPEN_SIM_CYCLE_SCHEDULER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "net/network.h"
+
+namespace aspen {
+namespace sim {
+
+/// \brief One query's protocol logic hosted on the kernel. Phase hooks are
+/// invoked in registration order; `cycle` is the scheduler's clock value.
+class CycleParticipant {
+ public:
+  virtual ~CycleParticipant() = default;
+
+  /// Sample phase: sample producers and submit this cycle's data traffic.
+  virtual Status OnSample(int cycle) = 0;
+
+  /// Deliver phase: apply arrivals buffered during transmit. Also invoked
+  /// once after the final straggler drain of a RunCycles call.
+  virtual Status OnDeliver(int cycle) = 0;
+
+  /// Learn phase: estimator ticks, adaptation, window advance.
+  virtual Status OnLearn(int cycle) = 0;
+};
+
+/// \brief Owns the clock and drives the phase loop over one network.
+class CycleScheduler {
+ public:
+  /// `network` must outlive the scheduler. `sample_interval` is the number
+  /// of transmission cycles available per sampling cycle.
+  CycleScheduler(net::Network* network, int sample_interval);
+
+  CycleScheduler(const CycleScheduler&) = delete;
+  CycleScheduler& operator=(const CycleScheduler&) = delete;
+
+  /// Registers a participant. It must outlive the scheduler.
+  void Attach(CycleParticipant* participant);
+
+  /// \brief Runs `n` sampling cycles, then drains straggler frames (e.g.
+  /// results emitted at the last cycle's end) and delivers them, so the
+  /// metrics observed afterwards cover everything the run caused. May be
+  /// called repeatedly to continue a run.
+  Status RunCycles(int n);
+
+  int cycle() const { return cycle_; }
+  int sample_interval() const { return sample_interval_; }
+  net::Network& network() { return *net_; }
+
+ private:
+  net::Network* net_;
+  int sample_interval_;
+  std::vector<CycleParticipant*> participants_;
+  int cycle_ = 0;
+};
+
+}  // namespace sim
+}  // namespace aspen
+
+#endif  // ASPEN_SIM_CYCLE_SCHEDULER_H_

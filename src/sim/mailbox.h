@@ -1,0 +1,71 @@
+// Per-node mailboxes for the simulation kernel.
+//
+// Arrivals buffered during the transmit phase are applied in the deliver
+// phase in deterministic (node id, then arrival order) order. Boxes are
+// contiguous — one vector slot per node — so the hot push path is a single
+// index; the active-node list keeps draining proportional to the number of
+// nodes that actually received mail, not the network size.
+
+#ifndef ASPEN_SIM_MAILBOX_H_
+#define ASPEN_SIM_MAILBOX_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace aspen {
+namespace sim {
+
+/// \brief Contiguous per-node buffers of `T`, drained in node-id order.
+template <typename T>
+class NodeMailboxes {
+ public:
+  NodeMailboxes() = default;
+
+  /// Sizes the table for `num_nodes` nodes and empties every box.
+  void Reset(int num_nodes) {
+    boxes_.assign(num_nodes, {});
+    active_.clear();
+    sorted_ = true;
+  }
+
+  void Push(net::NodeId id, T item) {
+    if (boxes_[id].empty()) {
+      active_.push_back(id);
+      sorted_ = false;
+    }
+    boxes_[id].push_back(std::move(item));
+  }
+
+  bool empty() const { return active_.empty(); }
+
+  /// Invokes `fn(node, items)` for every non-empty box in ascending node
+  /// order. Non-destructive: call Clear() when done (ForEach may be run
+  /// multiple times over the same mail, e.g. one pass per delivery phase;
+  /// the node ordering is computed once per batch, not per pass).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    if (!sorted_) {
+      std::sort(active_.begin(), active_.end());
+      sorted_ = true;
+    }
+    for (net::NodeId id : active_) fn(id, boxes_[id]);
+  }
+
+  void Clear() {
+    for (net::NodeId id : active_) boxes_[id].clear();
+    active_.clear();
+    sorted_ = true;
+  }
+
+ private:
+  std::vector<std::vector<T>> boxes_;
+  std::vector<net::NodeId> active_;
+  bool sorted_ = true;
+};
+
+}  // namespace sim
+}  // namespace aspen
+
+#endif  // ASPEN_SIM_MAILBOX_H_

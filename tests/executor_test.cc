@@ -149,16 +149,16 @@ TEST(ExecutorTest, InnetPlacementNeverCostsMoreThanBase) {
   ASSERT_TRUE(exec.Initiate().ok());
   routing::RoutingTree tree = routing::RoutingTree::Build(topo, 0);
   opt::PairCostInputs cost{sel.sigma_s, sel.sigma_t, sel.sigma_st, 3};
-  for (const auto& [key, pl] : exec.placements()) {
+  for (const auto& pl : exec.placements()) {
     ASSERT_FALSE(pl.path.empty());
     double base_cost =
-        opt::BasePairCost(cost, tree.DepthOf(key.s), tree.DepthOf(key.t));
+        opt::BasePairCost(cost, tree.DepthOf(pl.pair.s), tree.DepthOf(pl.pair.t));
     if (!pl.at_base) {
       double innet_cost = opt::InnetPairCost(
           cost, pl.path_index,
           static_cast<int>(pl.path.size()) - 1 - pl.path_index,
           tree.DepthOf(pl.join_node));
-      EXPECT_LT(innet_cost, base_cost) << "pair " << key.s << "," << key.t;
+      EXPECT_LT(innet_cost, base_cost) << "pair " << pl.pair.s << "," << pl.pair.t;
     }
   }
 }
@@ -170,10 +170,10 @@ TEST(ExecutorTest, InnetJoinNodeLiesOnPath) {
   ASSERT_TRUE(wl.ok());
   JoinExecutor exec(&*wl, Opts(Algorithm::kInnet, {}, sel));
   ASSERT_TRUE(exec.Initiate().ok());
-  for (const auto& [key, pl] : exec.placements()) {
+  for (const auto& pl : exec.placements()) {
     ASSERT_FALSE(pl.path.empty());
-    EXPECT_EQ(pl.path.front(), key.s);
-    EXPECT_EQ(pl.path.back(), key.t);
+    EXPECT_EQ(pl.path.front(), pl.pair.s);
+    EXPECT_EQ(pl.path.back(), pl.pair.t);
     ASSERT_GE(pl.path_index, 0);
     ASSERT_LT(pl.path_index, static_cast<int>(pl.path.size()));
     EXPECT_EQ(pl.path[pl.path_index], pl.join_node);
@@ -193,7 +193,7 @@ TEST(ExecutorTest, LowJoinSelectivityPushesJoinsInNetwork) {
   JoinExecutor exec(&*wl, Opts(Algorithm::kInnet, {}, sel));
   ASSERT_TRUE(exec.Initiate().ok());
   int in_network = 0;
-  for (const auto& [key, pl] : exec.placements()) {
+  for (const auto& pl : exec.placements()) {
     in_network += pl.at_base ? 0 : 1;
   }
   EXPECT_GT(in_network, 5);
@@ -340,8 +340,8 @@ TEST(FailureTest, JoinNodeDeathFailsOverToBase) {
   ASSERT_TRUE(exec.Initiate().ok());
   // Find an in-network join node to kill.
   net::NodeId victim = -1;
-  for (const auto& [key, pl] : exec.placements()) {
-    if (!pl.at_base && pl.join_node != key.s && pl.join_node != key.t) {
+  for (const auto& pl : exec.placements()) {
+    if (!pl.at_base && pl.join_node != pl.pair.s && pl.join_node != pl.pair.t) {
       victim = pl.join_node;
       break;
     }
@@ -353,7 +353,7 @@ TEST(FailureTest, JoinNodeDeathFailsOverToBase) {
   ASSERT_TRUE(exec.RunCycles(40).ok());
   // The affected pairs switched to the base and keep producing.
   bool failed_over = false;
-  for (const auto& [key, pl] : exec.placements()) {
+  for (const auto& pl : exec.placements()) {
     if (pl.failed_over) {
       EXPECT_TRUE(pl.at_base);
       failed_over = true;
@@ -379,8 +379,8 @@ TEST(FailureTest, ResultsKeepFlowingAfterFailure) {
   JoinExecutor faulty(&wl2, Opts(Algorithm::kInnet, {}, sel));
   ASSERT_TRUE(faulty.Initiate().ok());
   net::NodeId victim = -1;
-  for (const auto& [key, pl] : faulty.placements()) {
-    if (!pl.at_base && pl.join_node != key.s && pl.join_node != key.t) {
+  for (const auto& pl : faulty.placements()) {
+    if (!pl.at_base && pl.join_node != pl.pair.s && pl.join_node != pl.pair.t) {
       victim = pl.join_node;
       break;
     }

@@ -43,8 +43,8 @@ TEST(GroupOptTest, HighJoinSelectivityGroupsAtBase) {
   ASSERT_TRUE(wl.ok());
   JoinExecutor exec(&*wl, Opts(Algorithm::kInnet, InnetFeatures::Cmg(), sel));
   ASSERT_TRUE(exec.Initiate().ok());
-  for (const auto& [key, pl] : exec.placements()) {
-    EXPECT_TRUE(pl.at_base) << key.s << "," << key.t;
+  for (const auto& pl : exec.placements()) {
+    EXPECT_TRUE(pl.at_base) << pl.pair.s << "," << pl.pair.t;
   }
 }
 
@@ -56,7 +56,7 @@ TEST(GroupOptTest, RareJoinsStayInNetwork) {
   JoinExecutor exec(&*wl, Opts(Algorithm::kInnet, InnetFeatures::Cmg(), sel));
   ASSERT_TRUE(exec.Initiate().ok());
   int in_net = 0;
-  for (const auto& [key, pl] : exec.placements()) in_net += !pl.at_base;
+  for (const auto& pl : exec.placements()) in_net += !pl.at_base;
   EXPECT_GT(in_net, 5);
 }
 
@@ -77,7 +77,7 @@ TEST(GroupOptTest, GroupDecisionIsPerGroup) {
     // follow the group decision; compare against the group's first pair.
     std::set<bool> decisions;
     for (const auto& [s, t] : g.pairs) {
-      const auto& pl = exec.placements().at(PairKey{s, t});
+      const auto& pl = *exec.FindPlacement(PairKey{s, t});
       if (!pl.pairwise_at_base) decisions.insert(pl.at_base);
     }
     EXPECT_LE(decisions.size(), 1u);
@@ -92,9 +92,9 @@ TEST(GhtTest, SameKeyPairsShareRendezvous) {
   JoinExecutor exec(&*wl, Opts(Algorithm::kGht, {}, sel));
   ASSERT_TRUE(exec.Initiate().ok());
   std::map<int32_t, net::NodeId> key_home;
-  for (const auto& [key, pl] : exec.placements()) {
+  for (const auto& pl : exec.placements()) {
     EXPECT_FALSE(pl.at_base);
-    int32_t join_key = *wl->SJoinKey(key.s);
+    int32_t join_key = *wl->SJoinKey(pl.pair.s);
     auto [it, inserted] = key_home.emplace(join_key, pl.join_node);
     if (!inserted) EXPECT_EQ(it->second, pl.join_node);
   }
@@ -109,9 +109,9 @@ TEST(Yang07Test, JoinNodesAreTheTargets) {
   ASSERT_TRUE(wl.ok());
   JoinExecutor exec(&*wl, Opts(Algorithm::kYang07, {}, sel));
   ASSERT_TRUE(exec.Initiate().ok());
-  for (const auto& [key, pl] : exec.placements()) {
+  for (const auto& pl : exec.placements()) {
     EXPECT_FALSE(pl.at_base);
-    EXPECT_EQ(pl.join_node, key.t);
+    EXPECT_EQ(pl.join_node, pl.pair.t);
   }
   // Through-the-base funnels everything through the root: base traffic is
   // a large share of total.
@@ -142,8 +142,8 @@ TEST(OracleTest, OracleUsesPerNodeTruth) {
   JoinExecutor fixed(&wl_fixed, Opts(Algorithm::kInnet, {}, sel1));
   ASSERT_TRUE(fixed.Initiate().ok());
   int differing = 0;
-  for (const auto& [key, pl] : oracle.placements()) {
-    const auto& other = fixed.placements().at(key);
+  for (const auto& pl : oracle.placements()) {
+    const auto& other = *fixed.FindPlacement(pl.pair);
     if (pl.at_base != other.at_base || pl.join_node != other.join_node) {
       ++differing;
     }
