@@ -5,9 +5,14 @@
 // exhaust retries, fail over to the base, and forward their last w tuples
 // so the window is reconstructed. Delay rises by a few cycles; traffic
 // afterwards behaves like joining at the base.
+//
+// The failure is scripted through the scenario engine (a DynamicsSchedule
+// replayed by a ScenarioDriver on the executor's own scheduler) rather than
+// by splitting the run around a manual FailNode call.
 
 #include "bench/bench_util.h"
 #include "join/executor.h"
+#include "scenario/dynamics.h"
 
 using namespace aspen;
 using namespace aspen::benchutil;
@@ -34,18 +39,19 @@ Outcome RunOnce(const net::Topology& topo, double sigma_st, bool fail,
   if (!exec.Initiate().ok()) std::abort();
   const int cycles = 100;
   int fail_at = static_cast<int>(cycles * fail_frac);
+  // Kill the in-network join node (known after placement) mid-run.
+  scenario::DynamicsSchedule schedule;
   if (fail) {
-    (void)exec.RunCycles(fail_at);
-    // Kill the in-network join node if there is one.
     for (const auto& pl : exec.placements()) {
-      if (!pl.at_base && pl.join_node != pl.pair.s && pl.join_node != pl.pair.t) {
-        exec.FailNode(pl.join_node);
+      if (!pl.at_base && pl.join_node != pl.pair.s &&
+          pl.join_node != pl.pair.t) {
+        schedule.FailAt(fail_at, pl.join_node);
       }
     }
-    (void)exec.RunCycles(cycles - fail_at);
-  } else {
-    (void)exec.RunCycles(cycles);
   }
+  scenario::ScenarioDriver driver(&exec.network(), &schedule);
+  exec.scheduler()->AttachFront(&driver);
+  (void)exec.RunCycles(cycles);
   auto stats = exec.Stats();
   Outcome out;
   // The paper plots worst-case result delay around the failure window.

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <optional>
 #include <vector>
 
 #include "common/parallel.h"
@@ -10,12 +11,27 @@ namespace aspen {
 namespace core {
 
 Result<join::RunStats> RunExperiment(const workload::Workload& workload,
-                                     const join::ExecutorOptions& options,
+                                     const ExperimentOptions& options,
                                      int sampling_cycles) {
-  join::JoinExecutor exec(&workload, options);
+  join::JoinExecutor exec(&workload, options.executor);
   ASPEN_RETURN_NOT_OK(exec.Initiate());
+  std::optional<scenario::ScenarioDriver> driver;
+  if (options.dynamics != nullptr && !options.dynamics->empty()) {
+    driver.emplace(&exec.network(), options.dynamics);
+    // Front of the participant list: cycle-N events mutate the network
+    // before any sampling at cycle N.
+    exec.scheduler()->AttachFront(&*driver);
+  }
   ASPEN_RETURN_NOT_OK(exec.RunCycles(sampling_cycles));
   return exec.Stats();
+}
+
+Result<join::RunStats> RunExperiment(const workload::Workload& workload,
+                                     const join::ExecutorOptions& options,
+                                     int sampling_cycles) {
+  ExperimentOptions exp;
+  exp.executor = options;
+  return RunExperiment(workload, exp, sampling_cycles);
 }
 
 namespace {
@@ -41,7 +57,7 @@ struct Welford {
 }  // namespace
 
 Result<AggregatedStats> RunAveraged(const WorkloadFactory& factory,
-                                    const join::ExecutorOptions& options,
+                                    const ExperimentOptions& options,
                                     int sampling_cycles, int runs,
                                     uint64_t seed0, int num_threads) {
   // Repetitions are embarrassingly parallel: each owns its workload,
@@ -62,8 +78,8 @@ Result<AggregatedStats> RunAveraged(const WorkloadFactory& factory,
       failed.store(true, std::memory_order_relaxed);
       return;
     }
-    join::ExecutorOptions opts = options;
-    opts.seed = seed0 + r;
+    ExperimentOptions opts = options;
+    opts.executor.seed = seed0 + r;
     outcomes[r] = RunExperiment(*wl, opts, sampling_cycles);
     if (!outcomes[r].ok()) failed.store(true, std::memory_order_relaxed);
   });
@@ -106,6 +122,15 @@ Result<AggregatedStats> RunAveraged(const WorkloadFactory& factory,
   agg.migrations = migrations.Mean();
   agg.failovers = failovers.Mean();
   return agg;
+}
+
+Result<AggregatedStats> RunAveraged(const WorkloadFactory& factory,
+                                    const join::ExecutorOptions& options,
+                                    int sampling_cycles, int runs,
+                                    uint64_t seed0, int num_threads) {
+  ExperimentOptions exp;
+  exp.executor = options;
+  return RunAveraged(factory, exp, sampling_cycles, runs, seed0, num_threads);
 }
 
 }  // namespace core

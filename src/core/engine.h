@@ -4,6 +4,8 @@
 //   auto wl = workload::Workload::MakeQuery1(&topo, {0.5, 0.5, 0.2}, 3, 42);
 //   auto stats = core::RunExperiment(*wl, opts, /*cycles=*/100);
 // Multi-seed averaging matches the paper's methodology (9 runs, 95% CIs).
+// Scripted network dynamics (node churn, loss drift, bursts, blackouts)
+// attach through ExperimentOptions::dynamics — see scenario/dynamics.h.
 
 #ifndef ASPEN_CORE_ENGINE_H_
 #define ASPEN_CORE_ENGINE_H_
@@ -12,12 +14,28 @@
 
 #include "common/status.h"
 #include "join/executor.h"
+#include "scenario/dynamics.h"
 #include "workload/workload.h"
 
 namespace aspen {
 namespace core {
 
+/// \brief Everything configuring one experiment beyond the workload.
+struct ExperimentOptions {
+  join::ExecutorOptions executor;
+  /// Optional scripted network dynamics, replayed from the cycle clock
+  /// (events for cycle N apply before cycle N's sample phase). Not owned;
+  /// must outlive the call. RunAveraged replays the same schedule in every
+  /// repetition.
+  const scenario::DynamicsSchedule* dynamics = nullptr;
+};
+
 /// \brief Initiates and runs one experiment; returns its metrics.
+Result<join::RunStats> RunExperiment(const workload::Workload& workload,
+                                     const ExperimentOptions& options,
+                                     int sampling_cycles);
+
+/// Convenience overload without scenario dynamics.
 Result<join::RunStats> RunExperiment(const workload::Workload& workload,
                                      const join::ExecutorOptions& options,
                                      int sampling_cycles);
@@ -51,9 +69,16 @@ using WorkloadFactory =
 
 /// \brief Runs `runs` independent repetitions (seeds seed0, seed0+1, ...)
 /// in parallel on up to `num_threads` workers (0 = hardware concurrency)
-/// and aggregates. Each repetition owns its workload, network and RNG, and
-/// aggregation happens in seed order, so results are bit-identical for any
-/// thread count. Any failing repetition fails the whole call.
+/// and aggregates. Each repetition owns its workload, network, RNG and (if
+/// a schedule is configured) scenario driver, and aggregation happens in
+/// seed order, so results are bit-identical for any thread count. Any
+/// failing repetition fails the whole call.
+Result<AggregatedStats> RunAveraged(const WorkloadFactory& factory,
+                                    const ExperimentOptions& options,
+                                    int sampling_cycles, int runs,
+                                    uint64_t seed0 = 1, int num_threads = 0);
+
+/// Convenience overload without scenario dynamics.
 Result<AggregatedStats> RunAveraged(const WorkloadFactory& factory,
                                     const join::ExecutorOptions& options,
                                     int sampling_cycles, int runs,

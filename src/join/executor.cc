@@ -612,6 +612,7 @@ Status JoinExecutor::OnSample(int cycle) {
     return Status::FailedPrecondition("sample phase before Initiate");
   }
   cycle_ = cycle;
+  RetryPendingReplays();
   SampleAndSend(cycle);
   return Status::OK();
 }

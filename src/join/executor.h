@@ -72,6 +72,10 @@ class JoinExecutor : public sim::CycleParticipant {
 
   net::Network& network() { return *net_; }
   const net::Network& network() const { return *net_; }
+  /// The owned cycle scheduler driving RunCycles (nullptr on
+  /// medium-attached executors — attach scenario drivers to the medium's
+  /// scheduler instead).
+  sim::CycleScheduler* scheduler() { return sched_.get(); }
   int current_cycle() const { return cycle_; }
   uint64_t results() const { return results_; }
   uint64_t migrations() const { return migrations_; }
@@ -181,7 +185,13 @@ class JoinExecutor : public sim::CycleParticipant {
                  bool charge);
   void MigratePair(PairPlacement* placement, bool new_at_base,
                    net::NodeId new_join, int new_index);
-  void FailoverPairToBase(const PairKey& pair, net::NodeId producer);
+  void FailoverPairToBase(const PairKey& pair);
+  /// Ships `producer`'s buffered last-w tuples for `pair` to the base.
+  void SendWindowReplay(const PairKey& pair, net::NodeId producer, bool as_s);
+  /// Re-submits replays whose previous attempt was dropped (e.g. the dead
+  /// join node also blocked the producer's tree path to the base; once the
+  /// route heals — a recovery event — the retry gets through).
+  void RetryPendingReplays();
 
   // -- helpers -------------------------------------------------------------------
   PairPlacement* MutablePlacement(const PairKey& pair);
@@ -238,6 +248,8 @@ class JoinExecutor : public sim::CycleParticipant {
 
   /// Data arrivals buffered during transmit, keyed by producer.
   sim::NodeMailboxes<Arrival> arrivals_;
+  /// Failover replays awaiting a retry: (pair, as_s), in detection order.
+  std::vector<std::pair<PairKey, bool>> pending_replays_;
   int cycle_ = 0;
   uint64_t results_ = 0;
   double delay_sum_ = 0.0;

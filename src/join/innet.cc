@@ -604,22 +604,16 @@ void JoinExecutor::RunLearning(int cycle) {
 
 // ---- failure recovery (Section 7) ----------------------------------------------
 
-void JoinExecutor::FailoverPairToBase(const PairKey& pair, NodeId producer) {
-  PairPlacement* pl = MutablePlacement(pair);
-  if (pl == nullptr) return;
-  if (pl->at_base) return;
-  pl->at_base = true;
-  pl->failed_over = true;
-  ++failovers_;
-  // Forward the last w tuples so the base can reconstruct the join window.
-  bool as_s = producer == pair.s;
+void JoinExecutor::SendWindowReplay(const PairKey& pair, NodeId producer,
+                                    bool as_s) {
+  // Forward the producer's last w tuples so the base can reconstruct its
+  // side of the join window.
   const auto& recent = nodes_[producer].recent_sent[as_s];
   auto wt = std::make_shared<WindowTransferPayload>();
   wt->pair = pair;
   auto& dst = as_s ? wt->s_window : wt->t_window;
   dst.assign(recent.begin(), recent.end());
-  int tuples =
-      static_cast<int>(wt->s_window.size() + wt->t_window.size());
+  int tuples = static_cast<int>(wt->s_window.size() + wt->t_window.size());
   Message msg;
   msg.kind = MessageKind::kWindowTransfer;
   msg.mode = RoutingMode::kTreeToRoot;
@@ -628,14 +622,72 @@ void JoinExecutor::FailoverPairToBase(const PairKey& pair, NodeId producer) {
   msg.size_bytes = 4 + tuples * workload_->DataBytes();
   msg.payload = std::move(wt);
   (void)SubmitToNet(std::move(msg));
-  if (opts_.features.multicast) {
-    RebuildProducerRoute(producer, true, /*charge_traffic=*/true);
+}
+
+void JoinExecutor::FailoverPairToBase(const PairKey& pair) {
+  PairPlacement* pl = MutablePlacement(pair);
+  if (pl == nullptr) return;
+  if (pl->failed_over) return;   // already handled (both replays started)
+  if (pl->at_base) return;       // was never in-network: nothing to fail over
+  pl->at_base = true;
+  pl->failed_over = true;
+  ++failovers_;
+  // Both producers replay their buffered windows — the base needs both
+  // sides to reconstruct the join, and failover knowledge is instantly
+  // global here (the detecting producer's notification is not separately
+  // modeled, matching how placement decisions propagate elsewhere).
+  for (bool as_s : {true, false}) {
+    NodeId producer = as_s ? pair.s : pair.t;
+    if (net_->IsFailed(producer)) {
+      // Producer is down (churn): ship its window once it recovers.
+      pending_replays_.push_back({pair, as_s});
+      continue;
+    }
+    SendWindowReplay(pair, producer, as_s);
+    if (opts_.features.multicast) {
+      RebuildProducerRoute(producer, true, /*charge_traffic=*/true);
+    }
+  }
+}
+
+void JoinExecutor::RetryPendingReplays() {
+  if (pending_replays_.empty()) return;
+  net::TrafficStats::QueryScope scope(&net_->stats(), query_id_);
+  // A dropped retry re-queues itself via OnDrop during the next transmit
+  // phase, so the replay keeps probing (one attempt per sampling cycle,
+  // repair-style) until the route to the base heals.
+  std::vector<std::pair<PairKey, bool>> retrying;
+  retrying.swap(pending_replays_);
+  for (const auto& [pair, as_s] : retrying) {
+    NodeId producer = as_s ? pair.s : pair.t;
+    if (net_->IsFailed(producer)) {
+      // Producer itself is down (churn): its buffer survives in NodeState,
+      // so keep the replay pending until the producer comes back.
+      pending_replays_.push_back({pair, as_s});
+      continue;
+    }
+    SendWindowReplay(pair, producer, as_s);
   }
 }
 
 void JoinExecutor::OnDrop(const Message& msg, NodeId at, NodeId next) {
   (void)at;
   (void)next;
+  if (msg.kind == MessageKind::kWindowTransfer) {
+    // A failover replay died en route to the base (the dead join node, or
+    // churn, also severed the producer's tree path). Queue a retry for the
+    // next sample phase rather than giving up the buffered window.
+    const auto* wt =
+        static_cast<const WindowTransferPayload*>(msg.payload.get());
+    if (wt == nullptr) return;
+    bool as_s = msg.origin == wt->pair.s;
+    std::pair<PairKey, bool> key{wt->pair, as_s};
+    for (const auto& pending : pending_replays_) {
+      if (pending.first == key.first && pending.second == key.second) return;
+    }
+    pending_replays_.push_back(key);
+    return;
+  }
   if (msg.kind != MessageKind::kData) return;
   const auto* data = static_cast<const DataPayload*>(msg.payload.get());
   if (data == nullptr) return;
@@ -647,7 +699,7 @@ void JoinExecutor::OnDrop(const Message& msg, NodeId at, NodeId next) {
     for (int32_t pi : pair_idxs) {
       const PairPlacement& pl = placements_[pi];
       if (!pl.at_base && pl.join_node == j) {
-        FailoverPairToBase(pl.pair, p);
+        FailoverPairToBase(pl.pair);
       }
     }
   };

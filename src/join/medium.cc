@@ -1,5 +1,8 @@
 #include "join/medium.h"
 
+#include <cstdio>
+#include <string>
+
 #include "common/logging.h"
 
 namespace aspen {
@@ -27,14 +30,25 @@ SharedMedium::SharedMedium(const net::Topology* topology,
   });
 }
 
-JoinExecutor* SharedMedium::AddQuery(const workload::Workload* workload,
-                                     ExecutorOptions options) {
-  ASPEN_CHECK(&workload->topology() == topology_);
+Result<JoinExecutor*> SharedMedium::TryAddQuery(
+    const workload::Workload* workload, ExecutorOptions options) {
+  if (workload == nullptr) {
+    return Status::InvalidArgument("TryAddQuery: null workload");
+  }
+  if (&workload->topology() != topology_) {
+    return Status::InvalidArgument(
+        "TryAddQuery: workload is over a different topology than the medium");
+  }
   int interval = workload->join_query().window.sample_interval;
+  if (sched_ != nullptr && sched_->sample_interval() != interval) {
+    return Status::InvalidArgument(
+        "TryAddQuery: sample_interval " + std::to_string(interval) +
+        " mismatches the medium's scheduler (" +
+        std::to_string(sched_->sample_interval()) +
+        "); all queries on one medium share the sampling clock");
+  }
   if (sched_ == nullptr) {
     sched_ = std::make_unique<sim::CycleScheduler>(&net_, interval);
-  } else {
-    ASPEN_CHECK_EQ(sched_->sample_interval(), interval);
   }
   int id = next_query_id_++;
   auto exec = std::make_unique<JoinExecutor>(workload, options, &net_, id);
@@ -42,6 +56,17 @@ JoinExecutor* SharedMedium::AddQuery(const workload::Workload* workload,
   sched_->Attach(out);
   executors_.emplace(id, std::move(exec));
   return out;
+}
+
+JoinExecutor* SharedMedium::AddQuery(const workload::Workload* workload,
+                                     ExecutorOptions options) {
+  auto exec = TryAddQuery(workload, options);
+  if (!exec.ok()) {
+    std::fprintf(stderr, "[aspen] AddQuery: %s\n",
+                 exec.status().ToString().c_str());
+  }
+  ASPEN_CHECK(exec.ok());
+  return *exec;
 }
 
 Status SharedMedium::InitiateAll() {

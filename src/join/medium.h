@@ -31,10 +31,22 @@ class SharedMedium {
   SharedMedium(const net::Topology* topology, net::NetworkOptions options);
 
   /// \brief Creates an executor for `workload` attached to this medium.
-  /// The workload must be over the medium's topology and must outlive the
-  /// returned executor; the executor is owned by the medium.
+  /// The workload must be over the medium's topology, use the same
+  /// sample_interval as every query already registered (one scheduler, one
+  /// sampling clock), and outlive the returned executor; the executor is
+  /// owned by the medium. Violations return an error — nothing is
+  /// registered on failure.
+  Result<JoinExecutor*> TryAddQuery(const workload::Workload* workload,
+                                    ExecutorOptions options);
+
+  /// CHECK-failing convenience wrapper around TryAddQuery for callers with
+  /// statically-known-compatible workloads.
   JoinExecutor* AddQuery(const workload::Workload* workload,
                          ExecutorOptions options);
+
+  /// The shared cycle scheduler (nullptr until the first query is added);
+  /// scenario drivers attach here with AttachFront.
+  sim::CycleScheduler* scheduler() { return sched_.get(); }
 
   /// \brief Initiates every registered query (in registration order; their
   /// initiation traffic accumulates on the shared stats).

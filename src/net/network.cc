@@ -1,7 +1,6 @@
 #include "net/network.h"
 
 #include <algorithm>
-#include <map>
 #include <tuple>
 
 #include "common/logging.h"
@@ -24,6 +23,24 @@ void Network::FailNode(NodeId id) {
 void Network::ReviveNode(NodeId id) {
   ASPEN_CHECK(id >= 0 && id < topology_->num_nodes());
   failed_[id] = false;
+}
+
+void Network::SetLinkLoss(NodeId from, NodeId to, double p) {
+  ASPEN_CHECK(from >= 0 && from < topology_->num_nodes());
+  ASPEN_CHECK(to >= 0 && to < topology_->num_nodes());
+  link_loss_[LinkKey(from, to)] = p;
+}
+
+void Network::ClearLinkLoss(NodeId from, NodeId to) {
+  link_loss_.erase(LinkKey(from, to));
+}
+
+double Network::LinkLoss(NodeId from, NodeId to) const {
+  if (!link_loss_.empty()) {
+    auto it = link_loss_.find(LinkKey(from, to));
+    if (it != link_loss_.end()) return it->second;
+  }
+  return options_.loss_prob;
 }
 
 NodeId Network::ResolveNextHop(Frame* frame) const {
@@ -178,11 +195,11 @@ void Network::Step() {
   //                                 all children of `at` for this message)
   //   (1, at, next, dest, kind)    merge-eligible unicast data
   //   (2, at, index, 0, 0)         everything else: one packet per frame
-  using Key = std::tuple<int, int64_t, int64_t, int64_t, int>;
-  std::map<Key, std::vector<size_t>> groups;
+  group_scratch_.clear();
+  group_scratch_.reserve(in_flight_.size());
   for (size_t i = 0; i < in_flight_.size(); ++i) {
     const Frame& f = in_flight_[i];
-    Key key;
+    GroupKey key;
     if (f.route != nullptr) {
       key = {0, f.at, static_cast<int64_t>(f.msg.id), 0, 0};
     } else if (options_.enable_merging &&
@@ -192,23 +209,43 @@ void Network::Step() {
     } else {
       key = {2, f.at, static_cast<int64_t>(i), 0, 0};
     }
-    groups[key].push_back(i);
+    group_scratch_.emplace_back(key, i);
   }
+  // Sorting (key, index) pairs reproduces the ordered map's iteration
+  // exactly — keys ascending, members of a key in submission order — so the
+  // RNG stream (and therefore every run) is bit-identical to the old
+  // grouping.
+  std::sort(group_scratch_.begin(), group_scratch_.end());
 
-  for (auto& [key, members] : groups) {
-    const bool is_multicast = std::get<0>(key) == 0;
-    Frame& first = in_flight_[members[0]];
+  for (size_t lo = 0, hi; lo < group_scratch_.size(); lo = hi) {
+    hi = lo + 1;
+    while (hi < group_scratch_.size() &&
+           group_scratch_[hi].first == group_scratch_[lo].first) {
+      ++hi;
+    }
+    const bool is_multicast = std::get<0>(group_scratch_[lo].first) == 0;
+    Frame& first = in_flight_[group_scratch_[lo].second];
     NodeId sender = first.at;
-    if (failed_[sender]) continue;  // frames die with their holder
+    if (failed_[sender]) {
+      // Frames die with their holder — but not silently: the drop handler
+      // fires so protocol logic (e.g. failover replay retries) learns the
+      // frame is gone. No traffic is charged; nothing was transmitted.
+      for (size_t k = lo; k < hi; ++k) {
+        Frame& f = in_flight_[group_scratch_[k].second];
+        if (on_drop_) on_drop_(f.msg, f.at, f.next);
+      }
+      continue;
+    }
 
     if (is_multicast) {
       // One broadcast transmission reaches every child; receptions are
-      // independent.
+      // independent, with one unconditional loss draw each.
       int bytes = first.msg.size_bytes + WireFormat::kLinkHeaderBytes;
       stats_.RecordSend(sender, first.msg.kind, bytes, first.msg.query_id);
-      for (size_t idx : members) {
-        Frame& f = in_flight_[idx];
-        bool lost = failed_[f.next] || rng_.Bernoulli(options_.loss_prob);
+      for (size_t k = lo; k < hi; ++k) {
+        Frame& f = in_flight_[group_scratch_[k].second];
+        const bool loss_draw = DrawLoss(LinkLoss(sender, f.next));
+        const bool lost = loss_draw || failed_[f.next];
         if (lost) {
           ++f.attempts;
           if (f.attempts > options_.max_retries) {
@@ -224,18 +261,26 @@ void Network::Step() {
       continue;
     }
 
-    // Unicast physical packet (possibly several merged logical frames).
+    // Unicast physical packet (possibly several merged logical frames). The
+    // loss draw is taken once per physical transmission and unconditionally
+    // — a dead receiver must not skip the draw, or failing one node would
+    // perturb the loss outcome of every later transmission in the run (see
+    // the class comment).
     NodeId next = first.next;
-    bool lost = failed_[next] || rng_.Bernoulli(options_.loss_prob);
+    const bool loss_draw = DrawLoss(LinkLoss(sender, next));
+    const bool lost = loss_draw || failed_[next];
     bool charged_header = false;
-    for (size_t idx : members) {
-      Frame& f = in_flight_[idx];
+    for (size_t k = lo; k < hi; ++k) {
+      Frame& f = in_flight_[group_scratch_[k].second];
       int bytes = f.msg.size_bytes;
       if (!charged_header) {
         bytes += WireFormat::kLinkHeaderBytes;
         charged_header = true;
       }
       stats_.RecordSend(sender, f.msg.kind, bytes, f.msg.query_id);
+      // Snoop semantics (see header): neighbors overhear every on-air
+      // attempt — even one the receiver loses, and even the final attempt
+      // before the sender abandons the frame below.
       if (options_.enable_snooping && on_snoop_) {
         for (NodeId w : topology_->neighbors(sender)) {
           if (w != next && !failed_[w]) on_snoop_(f.msg, w, sender, next);

@@ -8,6 +8,22 @@
 // never acknowledge, so frames addressed to them exhaust their retries and
 // surface through the drop handler, which the failure-recovery logic
 // (Section 7) uses to detect dead join nodes.
+//
+// Loss draws are consumed unconditionally, one per physical transmission
+// (per reception for multicast broadcasts), even when the receiver is dead
+// or the effective loss probability is 0 or 1. Node failure therefore never
+// shifts the position of later draws: a failure scenario and its unfailed
+// baseline see the same loss stream for every transmission that occurs at
+// the same position in both runs.
+//
+// Snoop semantics: overhearing keys off the *sender's* transmission alone.
+// A neighbor snoops every on-air unicast attempt — including
+// retransmissions and the final attempt before the sender abandons a frame
+// — independent of whether the intended receiver loses the frame. Failed
+// nodes never snoop, the intended next hop is never reported as a snooper,
+// and merged packets snoop once per logical frame they carry. Multicast
+// broadcasts are already delivered to every listed child and do not
+// additionally snoop.
 
 #ifndef ASPEN_NET_NETWORK_H_
 #define ASPEN_NET_NETWORK_H_
@@ -15,7 +31,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <tuple>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -66,8 +84,8 @@ class Network {
   /// Delivery at the message's final destination (or a multicast target).
   /// `at` is the delivering node (differs per target for multicast).
   using DeliveryHandler = std::function<void(const Message&, NodeId at)>;
-  /// A frame was abandoned after exhausting retries; `at` held the frame,
-  /// `next_hop` was unreachable.
+  /// A frame was abandoned: it exhausted its retries toward `next_hop`, or
+  /// the node holding it (`at`) failed and the frame died with it.
   using DropHandler =
       std::function<void(const Message&, NodeId at, NodeId next_hop)>;
   /// `snooper` overheard a frame from `from` to `to` (no traffic charged).
@@ -113,11 +131,25 @@ class Network {
   const Topology& topology() const { return *topology_; }
   const NetworkOptions& options() const { return options_; }
 
+  // ---- scenario mutation API -----------------------------------------------
+  // The narrow surface scripted dynamics (src/scenario/) may mutate mid-run.
+  // Everything else about a network is fixed at construction.
+
   /// Marks a node dead: it stops forwarding, acking and originating.
   void FailNode(NodeId id);
   /// Brings a dead node back (used by repair experiments).
   void ReviveNode(NodeId id);
   bool IsFailed(NodeId id) const { return failed_[id]; }
+
+  /// Replaces the default per-transmission loss probability (applies to
+  /// every link without a per-link override).
+  void set_loss_prob(double p) { options_.loss_prob = p; }
+  /// Overrides the loss probability of the directed link from->to.
+  void SetLinkLoss(NodeId from, NodeId to, double p);
+  /// Removes a per-link override; the link falls back to the default.
+  void ClearLinkLoss(NodeId from, NodeId to);
+  /// Effective loss probability of the directed link from->to.
+  double LinkLoss(NodeId from, NodeId to) const;
 
  private:
   struct Frame {
@@ -143,6 +175,15 @@ class Network {
 
   void DeliverLocal(const Message& msg, NodeId at);
 
+  /// One unconditional loss draw (consumes exactly one RNG value for any p;
+  /// see the class comment on stream comparability).
+  bool DrawLoss(double p) { return rng_.UniformDouble() < p; }
+
+  static uint64_t LinkKey(NodeId from, NodeId to) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+           static_cast<uint32_t>(to);
+  }
+
   const Topology* topology_;
   NetworkOptions options_;
   Rng rng_;
@@ -156,6 +197,13 @@ class Network {
   std::vector<Frame> in_flight_;  // frames transmitting this cycle
   std::vector<Frame> pending_;    // frames queued for the next cycle
   std::vector<bool> failed_;
+  /// Per-link loss overrides, keyed by LinkKey; empty in the common case.
+  std::unordered_map<uint64_t, double> link_loss_;
+  /// Reused per-Step packet-grouping scratch: (group key, in_flight_ index),
+  /// sorted. Replaces a per-Step heap-allocated ordered map; numbers in
+  /// bench_micro.cc.
+  using GroupKey = std::tuple<int, int64_t, int64_t, int64_t, int>;
+  std::vector<std::pair<GroupKey, size_t>> group_scratch_;
   int64_t now_ = 0;
   uint64_t next_id_ = 1;
   bool in_step_ = false;

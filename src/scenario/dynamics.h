@@ -1,0 +1,161 @@
+// Scripted network dynamics: the scenario engine.
+//
+// The paper's failure-recovery experiment (Section 7, Figure 14) kills one
+// join node at one moment; real deployments see node churn, link-quality
+// drift, correlated interference bursts and regional outages. A
+// DynamicsSchedule scripts such a scenario as timed events, and a
+// ScenarioDriver replays it against a net::Network as a
+// sim::CycleParticipant — attach it with CycleScheduler::AttachFront so an
+// event scheduled for sampling cycle N mutates the network before any query
+// samples at cycle N.
+//
+// Determinism: a schedule is plain data, stochastic schedules (RandomChurn)
+// are pre-generated from their own seed, and the driver never draws from
+// the network's RNG — so a scenario run is reproducible bit-for-bit from
+// (workload seed, schedule) and is stream-for-stream comparable with its
+// unfailed baseline (see the unconditional-draw note in net/network.h).
+
+#ifndef ASPEN_SCENARIO_DYNAMICS_H_
+#define ASPEN_SCENARIO_DYNAMICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "sim/cycle_scheduler.h"
+
+namespace aspen {
+namespace scenario {
+
+/// \brief One timed mutation of the network.
+struct DynamicsEvent {
+  enum class Kind : uint8_t {
+    kFailNode,       ///< kill `node`
+    kRecoverNode,    ///< revive `node`
+    kLossDrift,      ///< ramp the default loss to `loss` over `duration`
+    kLossBurst,      ///< links within `radius_hops` of `node` lose at `loss`
+                     ///< for `duration` cycles, then revert to the default
+    kRegionBlackout  ///< nodes within `radius_m` of `node` (base excluded)
+                     ///< die for `duration` cycles, then revive
+  };
+
+  Kind kind = Kind::kFailNode;
+  int cycle = 0;         ///< sampling cycle the event fires at
+  net::NodeId node = -1; ///< subject node / burst / blackout center
+  double loss = 0.0;     ///< drift target / burst loss probability
+  int duration = 0;      ///< drift ramp length / burst / blackout cycles
+  double radius_m = 0.0; ///< blackout radius (meters)
+  int radius_hops = 0;   ///< burst radius (hops around the center)
+
+  bool operator==(const DynamicsEvent& o) const {
+    return kind == o.kind && cycle == o.cycle && node == o.node &&
+           loss == o.loss && duration == o.duration &&
+           radius_m == o.radius_m && radius_hops == o.radius_hops;
+  }
+};
+
+/// \brief An ordered script of timed events. Builder methods return *this
+/// so scenarios compose fluently:
+///
+///   DynamicsSchedule sched;
+///   sched.FailAt(45, join_node)
+///        .DriftLossTo(20, 0.15, /*over_cycles=*/30)
+///        .BlackoutAt(60, center, /*radius_m=*/40.0, /*duration=*/10);
+class DynamicsSchedule {
+ public:
+  /// The base station (node 0) is the query sink and is never failed: the
+  /// driver ignores fail/recover/blackout effects on it.
+  DynamicsSchedule& FailAt(int cycle, net::NodeId node);
+  DynamicsSchedule& RecoverAt(int cycle, net::NodeId node);
+  /// Linearly ramps the network-wide default loss probability from its
+  /// value when the event fires to `target` over `over_cycles` cycles
+  /// (immediately when 0).
+  DynamicsSchedule& DriftLossTo(int cycle, double target, int over_cycles);
+  /// Correlated interference: every link with an endpoint within
+  /// `radius_hops` hops of `center` loses at `loss` for `duration` cycles
+  /// (duration <= 0 is a no-op).
+  DynamicsSchedule& BurstAt(int cycle, net::NodeId center, int radius_hops,
+                            double loss, int duration);
+  /// Regional outage: every node within `radius_m` meters of `center`
+  /// (except the base station) fails for `duration` cycles (duration <= 0
+  /// is a no-op).
+  DynamicsSchedule& BlackoutAt(int cycle, net::NodeId center, double radius_m,
+                               int duration);
+  /// Appends a fully-specified event.
+  DynamicsSchedule& Add(DynamicsEvent event);
+
+  /// \brief Deterministically generates fail/recover churn: at each
+  /// sampling cycle in [0, cycles), every currently-alive non-base node
+  /// fails with probability `rate` and recovers `down_cycles` later. Equal
+  /// seeds yield equal schedules.
+  static DynamicsSchedule RandomChurn(const net::Topology& topology,
+                                      int cycles, double rate,
+                                      int down_cycles, uint64_t seed);
+
+  const std::vector<DynamicsEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<DynamicsEvent> events_;
+};
+
+/// \brief Replays a DynamicsSchedule against one network from the cycle
+/// clock. The schedule and network must outlive the driver.
+class ScenarioDriver : public sim::CycleParticipant {
+ public:
+  ScenarioDriver(net::Network* network, const DynamicsSchedule* schedule);
+
+  /// Applies every event due at `cycle`, plus active drifts/expiries.
+  Status OnSample(int cycle) override;
+  Status OnDeliver(int cycle) override;
+  Status OnLearn(int cycle) override;
+
+  // Applied-mutation counters, for tests and scenario reports.
+  int failures_applied() const { return failures_applied_; }
+  int recoveries_applied() const { return recoveries_applied_; }
+
+ private:
+  struct ActiveDrift {
+    int start_cycle = 0;
+    int duration = 0;
+    double from = 0.0;
+    double to = 0.0;
+  };
+  struct ActiveBurst {
+    int end_cycle = 0;
+    double loss = 0.0;
+    std::vector<std::pair<net::NodeId, net::NodeId>> links;  // directed
+  };
+  struct ActiveBlackout {
+    int end_cycle = 0;
+    std::vector<net::NodeId> nodes;  // the nodes this blackout holds down
+  };
+
+  void Apply(const DynamicsEvent& e, int cycle);
+  /// Failures are ownership-counted: a node stays dead until every
+  /// scripted failure holding it (explicit FailAt, churn, blackout) has
+  /// released it, so overlapping failure sources compose instead of an
+  /// early recovery reviving a node another event scripted as dead.
+  void FailOne(net::NodeId node);
+  void RecoverOne(net::NodeId node);
+
+  net::Network* net_;
+  /// Events sorted by (cycle, schedule order); `next_event_` advances
+  /// monotonically with the clock.
+  std::vector<DynamicsEvent> ordered_;
+  size_t next_event_ = 0;
+  std::vector<ActiveDrift> drifts_;
+  std::vector<ActiveBurst> bursts_;
+  std::vector<ActiveBlackout> blackouts_;
+  /// Per-node count of scripted failures currently holding the node down.
+  std::vector<int> fail_depth_;
+  int failures_applied_ = 0;
+  int recoveries_applied_ = 0;
+};
+
+}  // namespace scenario
+}  // namespace aspen
+
+#endif  // ASPEN_SCENARIO_DYNAMICS_H_

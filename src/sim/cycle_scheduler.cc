@@ -16,6 +16,11 @@ void CycleScheduler::Attach(CycleParticipant* participant) {
   participants_.push_back(participant);
 }
 
+void CycleScheduler::AttachFront(CycleParticipant* participant) {
+  ASPEN_CHECK(participant != nullptr);
+  participants_.insert(participants_.begin(), participant);
+}
+
 Status CycleScheduler::RunCycles(int n) {
   if (participants_.empty()) {
     return Status::FailedPrecondition("CycleScheduler has no participants");

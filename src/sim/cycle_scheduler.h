@@ -59,6 +59,12 @@ class CycleScheduler {
   /// Registers a participant. It must outlive the scheduler.
   void Attach(CycleParticipant* participant);
 
+  /// Registers a participant ahead of everything already attached. Scenario
+  /// dynamics (scenario::ScenarioDriver) attach here so a mutation
+  /// scheduled for cycle N is applied before any query samples at cycle N,
+  /// regardless of construction order.
+  void AttachFront(CycleParticipant* participant);
+
   /// \brief Runs `n` sampling cycles, then drains straggler frames (e.g.
   /// results emitted at the last cycle's end) and delivers them, so the
   /// metrics observed afterwards cover everything the run caused. May be

@@ -137,6 +137,44 @@ TEST(SharedMediumTest, EmptyMediumRejectsRun) {
   EXPECT_FALSE(medium.RunCycles(1).ok());
 }
 
+TEST(SharedMediumTest, TryAddQueryRejectsMismatchedSampleInterval) {
+  auto topo = net::Topology::Random(40, 7.0, 3);
+  ASSERT_TRUE(topo.ok());
+  auto wl = *Workload::MakeQuery1(&*topo, {0.5, 0.5, 0.2}, 3, 7);
+  // Same query, slower sampling clock: incompatible with the first query's
+  // scheduler.
+  query::JoinQuery slow_query = wl.join_query();
+  slow_query.window.sample_interval *= 2;
+  auto slow = Workload::FromQuery(&*topo, slow_query, {0.5, 0.5, 0.2}, 9);
+  ASSERT_TRUE(slow.ok());
+
+  SharedMedium medium(&*topo, {});
+  ExecutorOptions opts;
+  opts.algorithm = Algorithm::kBase;
+  ASSERT_TRUE(medium.TryAddQuery(&wl, opts).ok());
+  auto rejected = medium.TryAddQuery(&*slow, opts);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument());
+  // Nothing was registered by the failed call; the medium still runs.
+  EXPECT_EQ(medium.num_queries(), 1);
+  ASSERT_TRUE(medium.InitiateAll().ok());
+  EXPECT_TRUE(medium.RunCycles(1).ok());
+}
+
+TEST(SharedMediumTest, TryAddQueryRejectsForeignTopology) {
+  auto topo = net::Topology::Random(40, 7.0, 3);
+  auto other_topo = net::Topology::Random(40, 7.0, 4);
+  ASSERT_TRUE(topo.ok() && other_topo.ok());
+  auto wl = *Workload::MakeQuery1(&*other_topo, {0.5, 0.5, 0.2}, 3, 7);
+  SharedMedium medium(&*topo, {});
+  ExecutorOptions opts;
+  opts.algorithm = Algorithm::kBase;
+  auto rejected = medium.TryAddQuery(&wl, opts);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument());
+  EXPECT_EQ(medium.num_queries(), 0);
+}
+
 }  // namespace
 }  // namespace join
 }  // namespace aspen

@@ -1,3 +1,4 @@
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -264,6 +265,116 @@ TEST_F(NetworkTest, SnoopingFiresForNeighbors) {
   ASSERT_TRUE(net.Submit(MakeMsg(0, 4, RoutingMode::kSourcePath, path)).ok());
   net.StepUntilQuiet();
   EXPECT_FALSE(snoopers.empty());
+}
+
+TEST_F(NetworkTest, SnoopFiresEvenWhenReceiverLosesTheFrame) {
+  // Snoop semantics (network.h): overhearing keys off the sender's
+  // transmission alone, independent of receiver loss. With loss 1.0 and no
+  // retries the frame never arrives — every neighbor still overhears the
+  // one on-air attempt, and the drop callback fires alongside.
+  NetworkOptions opts;
+  opts.enable_snooping = true;
+  opts.loss_prob = 1.0;
+  opts.max_retries = 0;
+  Network net = MakeNet(opts);
+  int snoops = 0, drops = 0, deliveries = 0;
+  net.set_snoop_handler(
+      [&](const Message&, NodeId, NodeId, NodeId) { ++snoops; });
+  net.set_drop_handler([&](const Message&, NodeId, NodeId) { ++drops; });
+  net.set_delivery_handler([&](const Message&, NodeId) { ++deliveries; });
+  auto path = topo_->ShortestPath(0, 4);
+  ASSERT_TRUE(net.Submit(MakeMsg(0, 4, RoutingMode::kSourcePath, path)).ok());
+  net.StepUntilQuiet(100);
+  EXPECT_EQ(deliveries, 0);
+  EXPECT_EQ(drops, 1);
+  EXPECT_EQ(snoops, static_cast<int>(topo_->neighbors(0).size()) - 1);
+}
+
+TEST_F(NetworkTest, SnoopFiresOnEveryRetransmissionAttempt) {
+  NetworkOptions opts;
+  opts.enable_snooping = true;
+  opts.loss_prob = 1.0;
+  opts.max_retries = 2;  // 3 on-air attempts, then the frame is abandoned
+  Network net = MakeNet(opts);
+  std::map<NodeId, int> per_snooper;
+  net.set_snoop_handler([&](const Message&, NodeId snooper, NodeId from,
+                            NodeId) {
+    EXPECT_EQ(from, 0);
+    ++per_snooper[snooper];
+  });
+  auto path = topo_->ShortestPath(0, 4);
+  ASSERT_TRUE(net.Submit(MakeMsg(0, 4, RoutingMode::kSourcePath, path)).ok());
+  net.StepUntilQuiet(100);
+  ASSERT_FALSE(per_snooper.empty());
+  for (const auto& [snooper, count] : per_snooper) {
+    EXPECT_EQ(count, 3) << "snooper " << snooper;
+  }
+}
+
+TEST_F(NetworkTest, FailedNeighborsAndTheReceiverNeverSnoop) {
+  NetworkOptions opts;
+  opts.enable_snooping = true;
+  Network net = MakeNet(opts);
+  auto path = topo_->ShortestPath(0, 9);
+  ASSERT_GE(path.size(), 2u);
+  const NodeId next = path[1];
+  // Kill one neighbor of the sender that is not the next hop.
+  NodeId dead = -1;
+  for (NodeId w : topo_->neighbors(0)) {
+    if (w != next) {
+      dead = w;
+      break;
+    }
+  }
+  ASSERT_GE(dead, 0);
+  net.FailNode(dead);
+  std::vector<NodeId> snoopers;
+  net.set_snoop_handler([&](const Message&, NodeId snooper, NodeId from,
+                            NodeId to) {
+    if (from == 0) {
+      EXPECT_NE(snooper, to);
+      snoopers.push_back(snooper);
+    }
+  });
+  ASSERT_TRUE(net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  net.StepUntilQuiet();
+  EXPECT_FALSE(snoopers.empty());
+  for (NodeId s : snoopers) {
+    EXPECT_NE(s, dead);
+    EXPECT_NE(s, next);
+  }
+}
+
+TEST_F(NetworkTest, PerLinkLossOverridesDefaultAndClears) {
+  NetworkOptions opts;
+  opts.loss_prob = 0.25;
+  Network net = MakeNet(opts);
+  EXPECT_DOUBLE_EQ(net.LinkLoss(0, 1), 0.25);
+  net.SetLinkLoss(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(net.LinkLoss(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(net.LinkLoss(1, 0), 0.25);  // directed override
+  net.ClearLinkLoss(0, 1);
+  EXPECT_DOUBLE_EQ(net.LinkLoss(0, 1), 0.25);
+}
+
+TEST_F(NetworkTest, LossyLinkDropsWhileOthersDeliver) {
+  // A single poisoned link (loss 1.0) on an otherwise perfect radio: frames
+  // over the poisoned first hop die, frames elsewhere sail through.
+  Network net = MakeNet();
+  auto path = topo_->ShortestPath(0, 9);
+  ASSERT_GE(path.size(), 2u);
+  net.SetLinkLoss(path[0], path[1], 1.0);
+  int deliveries = 0, drops = 0;
+  net.set_delivery_handler([&](const Message&, NodeId) { ++deliveries; });
+  net.set_drop_handler([&](const Message&, NodeId, NodeId) { ++drops; });
+  ASSERT_TRUE(net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  // A frame between two unaffected nodes still gets through.
+  auto other = topo_->ShortestPath(4, 9);
+  ASSERT_TRUE(
+      net.Submit(MakeMsg(4, 9, RoutingMode::kSourcePath, other)).ok());
+  net.StepUntilQuiet(100);
+  EXPECT_EQ(drops, 1);
+  EXPECT_EQ(deliveries, 1);
 }
 
 TEST_F(NetworkTest, ClockAdvancesPerStep) {

@@ -1,0 +1,229 @@
+#include "scenario/dynamics.h"
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/topology.h"
+#include "sim/cycle_scheduler.h"
+
+namespace aspen {
+namespace scenario {
+namespace {
+
+using net::NodeId;
+using net::Topology;
+
+Topology TestTopology() { return *Topology::Grid(2, 5, 100.0); }
+
+/// Drives the driver's clock the way a CycleScheduler would.
+void Tick(ScenarioDriver* driver, int upto_cycle) {
+  for (int c = 0; c <= upto_cycle; ++c) {
+    ASSERT_TRUE(driver->OnSample(c).ok());
+    ASSERT_TRUE(driver->OnDeliver(c).ok());
+    ASSERT_TRUE(driver->OnLearn(c).ok());
+  }
+}
+
+TEST(DynamicsScheduleTest, RandomChurnIsDeterministicPerSeed) {
+  Topology topo = TestTopology();
+  auto a = DynamicsSchedule::RandomChurn(topo, 50, 0.05, 5, 42);
+  auto b = DynamicsSchedule::RandomChurn(topo, 50, 0.05, 5, 42);
+  auto c = DynamicsSchedule::RandomChurn(topo, 50, 0.05, 5, 43);
+  EXPECT_EQ(a.events(), b.events());
+  EXPECT_NE(a.events(), c.events());
+  ASSERT_FALSE(a.empty());
+  int fails = 0, recovers = 0;
+  for (const auto& e : a.events()) {
+    // The base station never churns, and a node that is down must not fail
+    // again before its recovery.
+    EXPECT_GT(e.node, 0);
+    if (e.kind == DynamicsEvent::Kind::kFailNode) ++fails;
+    if (e.kind == DynamicsEvent::Kind::kRecoverNode) ++recovers;
+  }
+  EXPECT_EQ(fails, recovers);  // every failure is paired with a recovery
+}
+
+TEST(ScenarioDriverTest, AppliesFailAndRecoverAtScheduledCycles) {
+  Topology topo = TestTopology();
+  net::Network net(&topo, {});
+  DynamicsSchedule sched;
+  sched.FailAt(2, 4).RecoverAt(5, 4);
+  ScenarioDriver driver(&net, &sched);
+
+  Tick(&driver, 1);
+  EXPECT_FALSE(net.IsFailed(4));
+  Tick(&driver, 2);  // re-ticking earlier cycles is harmless (events consumed)
+  EXPECT_TRUE(net.IsFailed(4));
+  Tick(&driver, 5);
+  EXPECT_FALSE(net.IsFailed(4));
+  EXPECT_EQ(driver.failures_applied(), 1);
+  EXPECT_EQ(driver.recoveries_applied(), 1);
+}
+
+TEST(ScenarioDriverTest, LossDriftRampsLinearlyToTarget) {
+  Topology topo = TestTopology();
+  net::NetworkOptions opts;
+  opts.loss_prob = 0.0;
+  net::Network net(&topo, opts);
+  DynamicsSchedule sched;
+  sched.DriftLossTo(/*cycle=*/0, /*target=*/0.2, /*over_cycles=*/4);
+  ScenarioDriver driver(&net, &sched);
+
+  ASSERT_TRUE(driver.OnSample(0).ok());
+  EXPECT_DOUBLE_EQ(net.options().loss_prob, 0.0);
+  ASSERT_TRUE(driver.OnSample(2).ok());
+  EXPECT_DOUBLE_EQ(net.options().loss_prob, 0.1);
+  ASSERT_TRUE(driver.OnSample(4).ok());
+  EXPECT_DOUBLE_EQ(net.options().loss_prob, 0.2);  // exact endpoint
+  ASSERT_TRUE(driver.OnSample(10).ok());
+  EXPECT_DOUBLE_EQ(net.options().loss_prob, 0.2);
+}
+
+TEST(ScenarioDriverTest, ImmediateDriftAppliesAtFireCycle) {
+  Topology topo = TestTopology();
+  net::Network net(&topo, {});
+  DynamicsSchedule sched;
+  sched.DriftLossTo(/*cycle=*/3, /*target=*/0.5, /*over_cycles=*/0);
+  ScenarioDriver driver(&net, &sched);
+  Tick(&driver, 2);
+  EXPECT_DOUBLE_EQ(net.options().loss_prob, 0.0);
+  Tick(&driver, 3);
+  EXPECT_DOUBLE_EQ(net.options().loss_prob, 0.5);
+}
+
+TEST(ScenarioDriverTest, BurstElevatesAndRestoresRegionLinkLoss) {
+  Topology topo = TestTopology();
+  net::NetworkOptions opts;
+  opts.loss_prob = 0.01;
+  net::Network net(&topo, opts);
+  const NodeId center = 2;
+  ASSERT_FALSE(topo.neighbors(center).empty());
+  const NodeId neighbor = topo.neighbors(center).front();
+  DynamicsSchedule sched;
+  sched.BurstAt(/*cycle=*/1, center, /*radius_hops=*/1, /*loss=*/0.9,
+                /*duration=*/2);
+  ScenarioDriver driver(&net, &sched);
+
+  Tick(&driver, 0);
+  EXPECT_DOUBLE_EQ(net.LinkLoss(center, neighbor), 0.01);
+  Tick(&driver, 1);
+  EXPECT_DOUBLE_EQ(net.LinkLoss(center, neighbor), 0.9);
+  EXPECT_DOUBLE_EQ(net.LinkLoss(neighbor, center), 0.9);
+  Tick(&driver, 2);  // still active
+  EXPECT_DOUBLE_EQ(net.LinkLoss(center, neighbor), 0.9);
+  Tick(&driver, 3);  // expired: back to the default
+  EXPECT_DOUBLE_EQ(net.LinkLoss(center, neighbor), 0.01);
+}
+
+TEST(ScenarioDriverTest, BlackoutKillsRegionAndRevivesIt) {
+  Topology topo = TestTopology();
+  net::Network net(&topo, {});
+  const NodeId center = 7;
+  DynamicsSchedule sched;
+  // Large radius: everything near the center dies — except the base.
+  sched.BlackoutAt(/*cycle=*/1, center, /*radius_m=*/60.0, /*duration=*/3);
+  ScenarioDriver driver(&net, &sched);
+
+  Tick(&driver, 1);
+  EXPECT_FALSE(net.IsFailed(0));  // the base station never blacks out
+  int killed = 0;
+  for (NodeId u = 1; u < topo.num_nodes(); ++u) {
+    if (topo.DistanceBetween(center, u) <= 60.0) {
+      EXPECT_TRUE(net.IsFailed(u));
+      ++killed;
+    }
+  }
+  EXPECT_GT(killed, 1);
+  Tick(&driver, 4);  // expired
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) EXPECT_FALSE(net.IsFailed(u));
+  EXPECT_EQ(driver.recoveries_applied(), driver.failures_applied());
+}
+
+TEST(ScenarioDriverTest, OverlappingFailureSourcesComposeByOwnership) {
+  // A node held down by two scripted sources (an explicit failure and a
+  // blackout) stays dead until *both* release it: the explicit recovery at
+  // cycle 3 must not revive it mid-blackout.
+  Topology topo = TestTopology();
+  net::Network net(&topo, {});
+  const NodeId u = 7;
+  DynamicsSchedule sched;
+  sched.FailAt(1, u)
+      .BlackoutAt(/*cycle=*/2, u, /*radius_m=*/1.0, /*duration=*/4)
+      .RecoverAt(3, u);
+  ScenarioDriver driver(&net, &sched);
+  Tick(&driver, 3);
+  EXPECT_TRUE(net.IsFailed(u));  // blackout (cycles 2-6) still holds it
+  Tick(&driver, 5);
+  EXPECT_TRUE(net.IsFailed(u));
+  Tick(&driver, 6);  // blackout expired: last owner released
+  EXPECT_FALSE(net.IsFailed(u));
+}
+
+TEST(ScenarioDriverTest, ExpiredBurstReassertsSurvivingOverlap) {
+  // Two bursts over the same region: when the short one expires, the
+  // longer one's loss must be re-asserted on the shared links rather than
+  // the links reverting to the default.
+  Topology topo = TestTopology();
+  net::NetworkOptions opts;
+  opts.loss_prob = 0.01;
+  net::Network net(&topo, opts);
+  const NodeId center = 2;
+  const NodeId neighbor = topo.neighbors(center).front();
+  DynamicsSchedule sched;
+  sched.BurstAt(/*cycle=*/0, center, /*radius_hops=*/1, /*loss=*/0.9,
+                /*duration=*/3);
+  sched.BurstAt(/*cycle=*/1, center, /*radius_hops=*/1, /*loss=*/0.5,
+                /*duration=*/10);
+  ScenarioDriver driver(&net, &sched);
+  Tick(&driver, 1);  // both active; the later burst owns the shared links
+  EXPECT_DOUBLE_EQ(net.LinkLoss(center, neighbor), 0.5);
+  Tick(&driver, 3);  // the short burst expired mid-overlap
+  EXPECT_DOUBLE_EQ(net.LinkLoss(center, neighbor), 0.5);
+  Tick(&driver, 11);  // both gone: default restored
+  EXPECT_DOUBLE_EQ(net.LinkLoss(center, neighbor), 0.01);
+}
+
+/// Records whether a watched node was already dead when sampling ran.
+class ProbeParticipant : public sim::CycleParticipant {
+ public:
+  ProbeParticipant(net::Network* net, NodeId watch)
+      : net_(net), watch_(watch) {}
+  Status OnSample(int cycle) override {
+    if (static_cast<size_t>(cycle) >= seen_failed_.size()) {
+      seen_failed_.resize(cycle + 1);
+    }
+    seen_failed_[cycle] = net_->IsFailed(watch_);
+    return Status::OK();
+  }
+  Status OnDeliver(int) override { return Status::OK(); }
+  Status OnLearn(int) override { return Status::OK(); }
+  const std::vector<bool>& seen_failed() const { return seen_failed_; }
+
+ private:
+  net::Network* net_;
+  NodeId watch_;
+  std::vector<bool> seen_failed_;
+};
+
+TEST(ScenarioDriverTest, AttachFrontAppliesEventsBeforeSampling) {
+  Topology topo = TestTopology();
+  net::Network net(&topo, {});
+  sim::CycleScheduler sched(&net, /*sample_interval=*/2);
+  ProbeParticipant probe(&net, /*watch=*/3);
+  sched.Attach(&probe);  // the "query", attached first like an executor
+
+  DynamicsSchedule dynamics;
+  dynamics.FailAt(2, 3).RecoverAt(4, 3);
+  ScenarioDriver driver(&net, &dynamics);
+  sched.AttachFront(&driver);
+
+  ASSERT_TRUE(sched.RunCycles(6).ok());
+  // The probe must observe the mutation at exactly the scheduled cycles:
+  // the driver runs before it even though it was attached afterwards.
+  EXPECT_EQ(probe.seen_failed(),
+            (std::vector<bool>{false, false, true, true, false, false}));
+}
+
+}  // namespace
+}  // namespace scenario
+}  // namespace aspen
