@@ -25,9 +25,31 @@
 //                              sorted scratch:     4480 ns  (~1.6x)
 //   BM_FullExperimentCycle                        12515 ns -> 12324 ns
 //   BM_SharedMediumCycle       unchanged within noise (~56 us)
+//
+// Before/after record for the zero-allocation data plane (interned routes,
+// pooled payloads/frames, POD message envelope; TrafficStats byte-identical,
+// same RNG stream — verified against golden bench outputs). RelWithDebInfo,
+// one core, --benchmark_min_time=1:
+//
+//   BM_FullExperimentCycle     shared_ptr+vectors: 11649 ns ( 87.0k cyc/s)
+//                              zero-alloc plane:    7277 ns (139.0k cyc/s)  1.60x
+//   BM_SharedMediumCycle                          55335 ns -> 38705 ns     1.43x
+//   BM_NetworkStepWithTraffic                      3958 ns ->  3433 ns     1.15x
+//   allocs per steady-state cycle: 0 after warm-up (asserted by
+//   tests/allocation_test.cc; tracked here as allocs_per_cycle)
+//
+// bench_mesh_10k (10,000-node grid, Innet-cm, 500 pairs, 100 cycles):
+//   before: 377 cycles/s, 4935 heap allocations per cycle
+//   after:  482 cycles/s,  0.07 heap allocations per cycle
+// Identical traffic (23.8 MB) and results (46880) on both sides.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "core/engine.h"
 #include "join/executor.h"
 #include "join/medium.h"
@@ -37,6 +59,27 @@
 #include "query/analyzer.h"
 #include "routing/multi_tree.h"
 #include "workload/workload.h"
+
+// Global allocation counter: the zero-allocation data plane makes
+// allocs/cycle a tracked perf metric (see BENCH_micro.json).
+static std::atomic<uint64_t> g_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace aspen {
 namespace {
@@ -124,6 +167,41 @@ void BM_TopologyGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TopologyGeneration)->Arg(100)->Arg(200);
 
+void BM_LinkLossNoOverrides(benchmark::State& state) {
+  // The common case: no per-link overrides installed. LinkLoss must answer
+  // from one branch — no unordered_map probe per transmission.
+  const net::Topology& topo = BenchTopology();
+  net::NetworkOptions opts;
+  opts.loss_prob = 0.1;
+  net::Network net(&topo, opts);
+  const int n = topo.num_nodes();
+  double acc = 0;
+  for (auto _ : state) {
+    for (net::NodeId u = 0; u < n; ++u) acc += net.LinkLoss(u, (u + 1) % n);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LinkLossNoOverrides);
+
+void BM_LinkLossWithOverrides(benchmark::State& state) {
+  // With any override present every lookup pays the hash probe (the
+  // scenario-dynamics case); kept as the comparison point.
+  const net::Topology& topo = BenchTopology();
+  net::NetworkOptions opts;
+  opts.loss_prob = 0.1;
+  net::Network net(&topo, opts);
+  net.SetLinkLoss(0, 1, 0.9);
+  const int n = topo.num_nodes();
+  double acc = 0;
+  for (auto _ : state) {
+    for (net::NodeId u = 0; u < n; ++u) acc += net.LinkLoss(u, (u + 1) % n);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LinkLossWithOverrides);
+
 void BM_FullExperimentCycle(benchmark::State& state) {
   const net::Topology& topo = BenchTopology();
   workload::SelectivityParams sel{0.5, 0.5, 0.2};
@@ -134,9 +212,20 @@ void BM_FullExperimentCycle(benchmark::State& state) {
   opts.assumed = sel;
   join::JoinExecutor exec(&wl, opts);
   if (!exec.Initiate().ok()) state.SkipWithError("initiate failed");
+  const uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const uint64_t bytes_before = exec.network().stats().TotalBytesSent();
   for (auto _ : state) {
     if (!exec.RunCycles(1).ok()) state.SkipWithError("run failed");
   }
+  const double cycles = static_cast<double>(state.iterations());
+  state.counters["allocs_per_cycle"] = benchmark::Counter(
+      static_cast<double>(g_allocs.load(std::memory_order_relaxed) -
+                          allocs_before) /
+      cycles);
+  state.counters["bytes_per_cycle"] = benchmark::Counter(
+      static_cast<double>(exec.network().stats().TotalBytesSent() -
+                          bytes_before) /
+      cycles);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FullExperimentCycle);
@@ -187,7 +276,46 @@ void BM_RunAveraged(benchmark::State& state) {
 }
 BENCHMARK(BM_RunAveraged)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
+/// Console output plus a flat BENCH_micro.json perf-trajectory record.
+class JsonFileReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonFileReporter(benchutil::JsonReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& r : runs) {
+      if (r.error_occurred) continue;
+      const std::string name = r.benchmark_name();
+      report_->Add(name, "ns_per_op", r.GetAdjustedRealTime());
+      for (const auto& [key, counter] : r.counters) {
+        report_->Add(name, key, counter.value);
+      }
+    }
+  }
+
+ private:
+  benchutil::JsonReport* report_;
+};
+
 }  // namespace
 }  // namespace aspen
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--smoke` (CI): run every benchmark briefly — catches bench bit-rot and
+  // hot-path regressions without a full timing pass.
+  const bool smoke = aspen::benchutil::ConsumeSmokeFlag(&argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  static char min_time_flag[] = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time_flag);
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  aspen::benchutil::JsonReport report("BENCH_micro.json");
+  aspen::JsonFileReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.Write();
+  return 0;
+}

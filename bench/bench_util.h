@@ -124,6 +124,78 @@ inline void PrintHeader(const char* figure, const char* what) {
   std::printf("==============================================================\n");
 }
 
+// ---- machine-readable bench output ------------------------------------------
+//
+// Perf-trajectory plumbing: benches emit a flat JSON file
+// (BENCH_<name>.json) of {bench: {metric: value}} so future changes can be
+// compared against committed numbers without scraping console output.
+// Typical metrics: cycles_per_sec, ns_per_cycle, bytes, allocs_per_cycle.
+
+/// \brief Collects named numeric metrics and writes them as JSON.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string path) : path_(std::move(path)) {}
+
+  void Add(const std::string& bench, const std::string& metric,
+           double value) {
+    for (auto& [name, metrics] : entries_) {
+      if (name == bench) {
+        metrics.emplace_back(metric, value);
+        return;
+      }
+    }
+    entries_.push_back({bench, {{metric, value}}});
+  }
+
+  /// Writes the collected metrics; returns false (and warns) on I/O error.
+  bool Write() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": {", entries_[i].name.c_str());
+      const auto& metrics = entries_[i].metrics;
+      for (size_t j = 0; j < metrics.size(); ++j) {
+        std::fprintf(f, "%s\"%s\": %.6g", j == 0 ? "" : ", ",
+                     metrics[j].first.c_str(), metrics[j].second);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string path_;
+  std::vector<Entry> entries_;
+};
+
+/// \brief Strips `--smoke` from argv; returns true when it was present.
+/// Smoke mode is a CI-facing fast pass: benches shrink their workloads so a
+/// full run finishes in seconds while still exercising every code path.
+inline bool ConsumeSmokeFlag(int* argc, char** argv) {
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return smoke;
+}
+
 }  // namespace benchutil
 }  // namespace aspen
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "net/data_plane.h"
 
 namespace aspen {
 namespace core {
@@ -13,7 +14,17 @@ namespace core {
 Result<join::RunStats> RunExperiment(const workload::Workload& workload,
                                      const ExperimentOptions& options,
                                      int sampling_cycles) {
-  join::JoinExecutor exec(&workload, options.executor);
+  // The experiment owns the data-plane arena (route table + payload pools)
+  // for its run. A caller-supplied plane (RunAveraged's per-worker arena)
+  // is recycled: emptied here, its capacity reused by this run.
+  net::DataPlane local_plane;
+  ExperimentOptions run_options = options;
+  if (run_options.executor.data_plane == nullptr) {
+    run_options.executor.data_plane = &local_plane;
+  } else {
+    run_options.executor.data_plane->Reset();
+  }
+  join::JoinExecutor exec(&workload, run_options.executor);
   ASPEN_RETURN_NOT_OK(exec.Initiate());
   std::optional<scenario::ScenarioDriver> driver;
   if (options.dynamics != nullptr && !options.dynamics->empty()) {
@@ -80,6 +91,11 @@ Result<AggregatedStats> RunAveraged(const WorkloadFactory& factory,
     }
     ExperimentOptions opts = options;
     opts.executor.seed = seed0 + r;
+    // One data-plane arena per worker thread, reused across the
+    // repetitions that thread claims: slab and route-table capacity warmed
+    // up by one repetition stays hot for the next.
+    thread_local net::DataPlane worker_plane;
+    opts.executor.data_plane = &worker_plane;
     outcomes[r] = RunExperiment(*wl, opts, sampling_cycles);
     if (!outcomes[r].ok()) failed.store(true, std::memory_order_relaxed);
   });

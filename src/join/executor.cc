@@ -50,8 +50,8 @@ JoinExecutor::JoinExecutor(const workload::Workload* workload,
   net_opts.enable_snooping = opts_.algorithm == Algorithm::kInnet &&
                              opts_.features.path_collapse && !opts_.mesh_mode;
   net_opts.seed = opts_.seed;
-  owned_net_ =
-      std::make_unique<net::Network>(&workload_->topology(), net_opts);
+  owned_net_ = std::make_unique<net::Network>(&workload_->topology(), net_opts,
+                                              opts_.data_plane);
   net_ = owned_net_.get();
   net_->set_delivery_handler(
       [this](const Message& m, NodeId at) { OnDeliverMsg(m, at); });
@@ -65,6 +65,11 @@ JoinExecutor::JoinExecutor(const workload::Workload* workload,
   sched_ = std::make_unique<sim::CycleScheduler>(
       net_, workload_->join_query().window.sample_interval);
   sched_->Attach(this);
+  data_pool_ = net_->payloads().GetOrCreate<DataPayload>(kPayloadTagData);
+  result_pool_ =
+      net_->payloads().GetOrCreate<ResultPayload>(kPayloadTagResult);
+  window_pool_ = net_->payloads().GetOrCreate<WindowTransferPayload>(
+      kPayloadTagWindowTransfer);
 }
 
 JoinExecutor::JoinExecutor(const workload::Workload* workload,
@@ -76,6 +81,11 @@ JoinExecutor::JoinExecutor(const workload::Workload* workload,
       query_id_(query_id) {
   ASPEN_CHECK(shared_network != nullptr);
   ASPEN_CHECK(&shared_network->topology() == &workload->topology());
+  data_pool_ = net_->payloads().GetOrCreate<DataPayload>(kPayloadTagData);
+  result_pool_ =
+      net_->payloads().GetOrCreate<ResultPayload>(kPayloadTagResult);
+  window_pool_ = net_->payloads().GetOrCreate<WindowTransferPayload>(
+      kPayloadTagWindowTransfer);
 }
 
 JoinExecutor::~JoinExecutor() {
@@ -90,10 +100,10 @@ Result<uint64_t> JoinExecutor::SubmitToNet(Message msg) {
   return net_->Submit(std::move(msg));
 }
 
-Result<uint64_t> JoinExecutor::SubmitMcastToNet(
-    Message msg, std::shared_ptr<const net::MulticastRoute> route) {
+Result<uint64_t> JoinExecutor::SubmitMcastToNet(Message msg,
+                                                net::McastId route) {
   msg.query_id = query_id_;
-  return net_->SubmitMulticast(std::move(msg), std::move(route));
+  return net_->SubmitMulticast(msg, route);
 }
 
 const routing::RoutingTree& JoinExecutor::primary_tree() const {
@@ -144,6 +154,16 @@ int JoinExecutor::HopsOnPath(const PairPlacement& p, bool from_s) {
   if (p.path_index < 0) return 0;
   return from_s ? p.path_index
                 : static_cast<int>(p.path.size()) - 1 - p.path_index;
+}
+
+void JoinExecutor::RoleSegment(const PairPlacement& pl, bool role_s,
+                               std::vector<net::NodeId>* seg) {
+  if (role_s) {
+    seg->assign(pl.path.begin(), pl.path.begin() + pl.path_index + 1);
+  } else {
+    seg->assign(pl.path.begin() + pl.path_index, pl.path.end());
+    std::reverse(seg->begin(), seg->end());
+  }
 }
 
 JoinExecutor::PairPlacement* JoinExecutor::MutablePlacement(
@@ -229,6 +249,7 @@ Status JoinExecutor::Initiate() {
   // trees are the identical deterministic BFS from the base).
   if (owned_net_ != nullptr) net_->set_parent_resolver(&primary_tree());
   initiated_ = true;
+  plans_dirty_ = true;  // build the per-producer send plans lazily
   return Status::OK();
 }
 
@@ -273,6 +294,9 @@ Status JoinExecutor::InitYang07() {
   for (auto& pl : placements_) {
     pl.at_base = false;
     pl.join_node = pl.pair.t;
+    // The root's relay route to this T partner, interned once.
+    pl.route_from_root =
+        net_->routes().InternPath(single_tree_->PathFromRoot(pl.pair.t));
   }
   init_latency_ = 0;
   return Status::OK();
@@ -341,41 +365,107 @@ Status JoinExecutor::InitGht() {
 
 // ---- data plane ---------------------------------------------------------------
 
-std::shared_ptr<DataPayload> JoinExecutor::MakeData(NodeId p, const Tuple& t,
-                                                    int cycle, bool as_s,
-                                                    bool as_t) {
-  auto d = std::make_shared<DataPayload>();
+net::PayloadHandle JoinExecutor::MakeData(NodeId p, const Tuple& t, int cycle,
+                                          bool as_s, bool as_t) {
+  net::PayloadHandle h = data_pool_->Allocate();
+  DataPayload* d = data_pool_->Get(h);
   d->producer = p;
-  d->tuple = t;
+  d->tuple = t;  // copy into the recycled slot's capacity
   d->sample_cycle = cycle;
   d->as_s = as_s;
   d->as_t = as_t;
-  return d;
+  return h;
+}
+
+void JoinExecutor::RebuildSendPlans() {
+  plans_dirty_ = false;
+  if (opts_.algorithm != Algorithm::kInnet &&
+      opts_.algorithm != Algorithm::kGht) {
+    return;
+  }
+  net::RouteTable& routes = net_->routes();
+  const int n = workload_->topology().num_nodes();
+  std::vector<NodeId> seg;
+  auto find_or_insert = [](std::vector<SendPlanEntry>* plan,
+                           NodeId dest) -> SendPlanEntry* {
+    auto it = std::lower_bound(plan->begin(), plan->end(), dest,
+                               [](const SendPlanEntry& e, NodeId d) {
+                                 return e.dest < d;
+                               });
+    if (it == plan->end() || it->dest != dest) {
+      it = plan->insert(it, SendPlanEntry{});
+      it->dest = dest;
+    }
+    return &*it;
+  };
+  for (NodeId p = 0; p < n; ++p) {
+    NodeState& node = nodes_[p];
+    node.plan.clear();
+    node.plan_base_s = false;
+    node.plan_base_t = false;
+    if (node.s_pairs.empty() && node.t_pairs.empty()) continue;
+    if (opts_.algorithm == Algorithm::kInnet) {
+      // Mirror the historical per-cycle destination collection: per role,
+      // the first in-network pair mapping to a join node defines the route.
+      auto collect = [&](const std::vector<int32_t>& pair_idxs, bool role_s) {
+        for (int32_t pi : pair_idxs) {
+          const PairPlacement& pl = placements_[pi];
+          if (pl.at_base || pl.path.empty()) {
+            (role_s ? node.plan_base_s : node.plan_base_t) = true;
+            continue;
+          }
+          SendPlanEntry* e = find_or_insert(&node.plan, pl.join_node);
+          bool& role_flag = role_s ? e->has_s : e->has_t;
+          if (role_flag) continue;
+          role_flag = true;
+          RoleSegment(pl, role_s, &seg);
+          (role_s ? e->route_s : e->route_t) = routes.InternPath(seg);
+        }
+      };
+      collect(node.s_pairs, true);
+      collect(node.t_pairs, false);
+    } else {
+      // GHT: one destination per distinct rendezvous node; mesh mode ships
+      // along the interned shortest path, mote mode routes geo-greedily.
+      auto collect = [&](const std::vector<int32_t>& pair_idxs, bool role_s) {
+        for (int32_t pi : pair_idxs) {
+          SendPlanEntry* e =
+              find_or_insert(&node.plan, placements_[pi].join_node);
+          (role_s ? e->has_s : e->has_t) = true;
+        }
+      };
+      collect(node.s_pairs, true);
+      collect(node.t_pairs, false);
+      if (opts_.mesh_mode) {
+        for (SendPlanEntry& e : node.plan) {
+          e.route_s = e.route_t = routes.InternPath(
+              workload_->topology().ShortestPath(p, e.dest));
+        }
+      }
+    }
+  }
 }
 
 void JoinExecutor::SampleAndSend(int cycle) {
   const bool naive = opts_.algorithm == Algorithm::kNaive;
   const int n = workload_->topology().num_nodes();
   const int w = workload_->join_query().window.size;
+  if (plans_dirty_) RebuildSendPlans();
+  Tuple& tuple = sample_scratch_;
   for (NodeId p = 0; p < n; ++p) {
     if (net_->IsFailed(p)) continue;
     NodeState& node = nodes_[p];
     const bool s_role = naive ? workload_->SEligible(p) : !node.s_pairs.empty();
     const bool t_role = naive ? workload_->TEligible(p) : !node.t_pairs.empty();
     if (!s_role && !t_role) continue;
-    Tuple tuple = workload_->Sample(p, cycle);
+    workload_->SampleInto(p, cycle, &tuple);
     bool send_s = s_role && workload_->PassSFilter(p, tuple, cycle);
     bool send_t = t_role && workload_->PassTFilter(p, tuple, cycle);
     if (!send_s && !send_t) continue;
     // Producers remember their last w sent tuples per role so a join window
     // can be reconstructed at the base after a join-node failure.
-    auto remember = [&](bool as_s) {
-      auto& dq = node.recent_sent[as_s];
-      if (static_cast<int>(dq.size()) == w) dq.pop_front();
-      dq.push_back(tuple);
-    };
-    if (send_s) remember(true);
-    if (send_t) remember(false);
+    if (send_s) node.recent_sent[1].Push(tuple, w);
+    if (send_t) node.recent_sent[0].Push(tuple, w);
     switch (opts_.algorithm) {
       case Algorithm::kNaive:
       case Algorithm::kBase:
@@ -403,7 +493,7 @@ void JoinExecutor::SendToBase(NodeId p, const Tuple& t, int cycle, bool as_s,
   msg.dest = 0;
   msg.size_bytes = workload_->DataBytes();
   msg.payload = MakeData(p, t, cycle, as_s, as_t);
-  (void)SubmitToNet(std::move(msg));
+  (void)SubmitToNet(msg);
 }
 
 void JoinExecutor::SendYang(NodeId p, const Tuple& t, int cycle, bool as_s,
@@ -417,45 +507,40 @@ void JoinExecutor::SendYang(NodeId p, const Tuple& t, int cycle, bool as_s,
     msg.dest = 0;
     msg.size_bytes = workload_->DataBytes();
     msg.payload = MakeData(p, t, cycle, /*as_s=*/true, /*as_t=*/false);
-    (void)SubmitToNet(std::move(msg));
+    (void)SubmitToNet(msg);
   }
   if (as_t && !nodes_[p].t_pairs.empty()) {
     // T producers never transmit their samples: they buffer them locally
     // and join arriving S tuples against them. Model the local buffering as
-    // a zero-cost arrival at the node itself.
-    auto data = MakeData(p, t, cycle, /*as_s=*/false, /*as_t=*/true);
-    arrivals_.Push(p, Arrival{p, std::move(data)});
+    // a zero-cost arrival at the node itself (the arrival owns the payload
+    // reference until the deliver phase).
+    arrivals_.Push(
+        p, Arrival{p, MakeData(p, t, cycle, /*as_s=*/false, /*as_t=*/true)});
   }
 }
 
 void JoinExecutor::SendGht(NodeId p, const Tuple& t, int cycle, bool as_s,
                            bool as_t) {
-  // One message per distinct rendezvous node over this producer's pairs.
-  std::map<NodeId, std::pair<bool, bool>> dests;  // j -> (as_s, as_t)
-  if (as_s) {
-    for (int32_t pi : nodes_[p].s_pairs) {
-      dests[placements_[pi].join_node].first = true;
-    }
-  }
-  if (as_t) {
-    for (int32_t pi : nodes_[p].t_pairs) {
-      dests[placements_[pi].join_node].second = true;
-    }
-  }
-  for (const auto& [j, flags] : dests) {
+  // One message per distinct rendezvous node over this producer's pairs,
+  // from the precomputed plan (entries ascend by rendezvous node, matching
+  // the old per-cycle ordered-map collection).
+  for (const SendPlanEntry& e : nodes_[p].plan) {
+    const bool use_s = as_s && e.has_s;
+    const bool use_t = as_t && e.has_t;
+    if (!use_s && !use_t) continue;
     Message msg;
     msg.kind = MessageKind::kData;
     msg.origin = p;
-    msg.dest = j;
+    msg.dest = e.dest;
     msg.size_bytes = workload_->DataBytes();
-    msg.payload = MakeData(p, t, cycle, flags.first, flags.second);
+    msg.payload = MakeData(p, t, cycle, use_s, use_t);
     if (opts_.mesh_mode) {
       msg.mode = RoutingMode::kSourcePath;
-      msg.path = workload_->topology().ShortestPath(p, j);
+      msg.route = e.route_s;
     } else {
       msg.mode = RoutingMode::kGeoGreedy;
     }
-    (void)SubmitToNet(std::move(msg));
+    (void)SubmitToNet(msg);
   }
 }
 
@@ -464,7 +549,7 @@ void JoinExecutor::SendGht(NodeId p, const Tuple& t, int cycle, bool as_s,
 void JoinExecutor::OnDeliverMsg(const Message& msg, NodeId at) {
   switch (msg.kind) {
     case MessageKind::kData: {
-      auto data = std::static_pointer_cast<const DataPayload>(msg.payload);
+      const DataPayload* data = data_pool_->Get(msg.payload);
       ASPEN_CHECK(data != nullptr);
       // Yang+07: the root relays S data down to every T partner.
       if (opts_.algorithm == Algorithm::kYang07 && at == 0 && data->as_s) {
@@ -476,26 +561,27 @@ void JoinExecutor::OnDeliverMsg(const Message& msg, NodeId at) {
           down.mode = RoutingMode::kSourcePath;
           down.origin = 0;
           down.dest = pl.pair.t;
-          down.path = primary_tree().PathFromRoot(pl.pair.t);
+          down.route = pl.route_from_root;
           down.size_bytes = workload_->DataBytes();
           down.payload = msg.payload;
-          (void)SubmitToNet(std::move(down));
+          net_->payloads().AddRef(down.payload);  // Submit consumes one ref
+          (void)SubmitToNet(down);
         }
         // Fall through to buffering: failed-over pairs join at the base.
       }
-      NodeId producer = data->producer;
-      arrivals_.Push(producer, Arrival{at, std::move(data)});
+      // The arrival keeps the payload alive past this borrowed delivery.
+      net_->payloads().AddRef(msg.payload);
+      arrivals_.Push(data->producer, Arrival{at, msg.payload});
       break;
     }
     case MessageKind::kJoinResult: {
-      const auto* res = static_cast<const ResultPayload*>(msg.payload.get());
+      const ResultPayload* res = result_pool_->Get(msg.payload);
       ASPEN_CHECK(res != nullptr);
       DeliverResultAtBase(1, res->sample_cycle);
       break;
     }
     case MessageKind::kWindowTransfer: {
-      const auto* wt =
-          static_cast<const WindowTransferPayload*>(msg.payload.get());
+      const WindowTransferPayload* wt = window_pool_->Get(msg.payload);
       ASPEN_CHECK(wt != nullptr);
       PairState& st = StateAt(at, wt->pair);
       // Tuples carry their sampling cycle in the seq attribute.
@@ -539,10 +625,17 @@ void JoinExecutor::ProcessArrivals(int cycle) {
   // as of its own insertion; same-cycle (s, t) pairs match exactly once —
   // when the T side is applied.
   arrivals_.ForEach([](NodeId, std::vector<Arrival>& items) {
-    std::stable_sort(items.begin(), items.end(),
-                     [](const Arrival& a, const Arrival& b) {
-                       return a.at < b.at;
-                     });
+    // Stable insertion sort by delivery location: boxes are tiny and, unlike
+    // std::stable_sort, this never touches the heap.
+    for (size_t i = 1; i < items.size(); ++i) {
+      const Arrival key = items[i];
+      size_t j = i;
+      while (j > 0 && key.at < items[j - 1].at) {
+        items[j] = items[j - 1];
+        --j;
+      }
+      items[j] = key;
+    }
   });
   for (bool s_phase : {true, false}) {
     arrivals_.ForEach([&](NodeId producer, std::vector<Arrival>& items) {
@@ -550,7 +643,7 @@ void JoinExecutor::ProcessArrivals(int cycle) {
       const auto& pair_idxs = s_phase ? pnode.s_pairs : pnode.t_pairs;
       if (pair_idxs.empty()) return;
       for (const Arrival& a : items) {
-        const DataPayload& data = *a.data;
+        const DataPayload& data = *data_pool_->Get(a.data);
         if (s_phase ? !data.as_s : !data.as_t) continue;
         for (int32_t pi : pair_idxs) {
           const PairPlacement& pl = placements_[pi];
@@ -561,9 +654,10 @@ void JoinExecutor::ProcessArrivals(int cycle) {
           auto& other_window = s_phase ? st.t_window : st.s_window;
           other_window.EvictExpired(data.sample_cycle);
           int matches = 0;
-          for (const auto& e : other_window.entries()) {
-            bool joins = s_phase ? workload_->TuplesJoin(data.tuple, e.tuple)
-                                 : workload_->TuplesJoin(e.tuple, data.tuple);
+          for (int e = 0; e < other_window.size(); ++e) {
+            const Tuple& other = other_window.entry(e).tuple;
+            bool joins = s_phase ? workload_->TuplesJoin(data.tuple, other)
+                                 : workload_->TuplesJoin(other, data.tuple);
             if (joins) ++matches;
           }
           if (s_phase) {
@@ -579,6 +673,10 @@ void JoinExecutor::ProcessArrivals(int cycle) {
       }
     });
   }
+  // The arrivals owned one payload reference each; drop them with the batch.
+  arrivals_.ForEach([&](NodeId, std::vector<Arrival>& items) {
+    for (const Arrival& a : items) net_->payloads().Release(a.data);
+  });
   arrivals_.Clear();
   (void)cycle;
 }
@@ -590,7 +688,8 @@ void JoinExecutor::EmitResults(NodeId at, const PairKey& pair, int count,
     return;
   }
   for (int i = 0; i < count; ++i) {
-    auto res = std::make_shared<ResultPayload>();
+    net::PayloadHandle h = result_pool_->Allocate();
+    ResultPayload* res = result_pool_->Get(h);
     res->s = pair.s;
     res->t = pair.t;
     res->sample_cycle = sample_cycle;
@@ -600,8 +699,8 @@ void JoinExecutor::EmitResults(NodeId at, const PairKey& pair, int count,
     msg.origin = at;
     msg.dest = 0;
     msg.size_bytes = workload_->ResultBytes();
-    msg.payload = std::move(res);
-    (void)SubmitToNet(std::move(msg));
+    msg.payload = h;
+    (void)SubmitToNet(msg);
   }
 }
 

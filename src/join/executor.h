@@ -99,6 +99,8 @@ class JoinExecutor : public sim::CycleParticipant {
     /// The pairwise cost-model decision, before any group (MPO) override.
     bool pairwise_at_base = true;
     bool failed_over = false;
+    /// Interned root->t distribution route (Yang+07 relay), built at init.
+    net::RouteId route_from_root = net::kInvalidRoute;
   };
 
   /// All placements, sorted by pair key (contiguous; index with
@@ -113,12 +115,13 @@ class JoinExecutor : public sim::CycleParticipant {
   void FailNode(net::NodeId id) { net_->FailNode(id); }
 
  private:
-  /// One buffered data arrival: `data` delivered at node `at`. Mailboxes
-  /// are keyed by producer so the deliver phase applies arrivals in
-  /// deterministic (producer, location) order.
+  /// One buffered data arrival: the pooled payload `data` delivered at node
+  /// `at` (the executor holds a payload reference until the deliver phase).
+  /// Mailboxes are keyed by producer so the deliver phase applies arrivals
+  /// in deterministic (producer, location) order.
   struct Arrival {
     net::NodeId at;
-    std::shared_ptr<const DataPayload> data;
+    net::PayloadHandle data;
   };
 
   // -- kernel phases (sim::CycleParticipant) ---------------------------------
@@ -141,6 +144,9 @@ class JoinExecutor : public sim::CycleParticipant {
   void BuildMulticastRoutes(bool charge_traffic);
 
   // -- per-cycle data plane ----------------------------------------------------
+  /// Rebuilds every producer's SendPlan (destinations + interned routes)
+  /// from the placement table. Invoked lazily when `plans_dirty_`.
+  void RebuildSendPlans();
   void SampleAndSend(int cycle);
   void SendToBase(net::NodeId p, const query::Tuple& t, int cycle, bool as_s,
                   bool as_t);
@@ -151,8 +157,10 @@ class JoinExecutor : public sim::CycleParticipant {
   void SendYang(net::NodeId p, const query::Tuple& t, int cycle, bool as_s,
                 bool as_t);
 
-  std::shared_ptr<DataPayload> MakeData(net::NodeId p, const query::Tuple& t,
-                                        int cycle, bool as_s, bool as_t);
+  /// Allocates a pooled DataPayload (one owned reference, transferred to
+  /// the network on submit).
+  net::PayloadHandle MakeData(net::NodeId p, const query::Tuple& t, int cycle,
+                              bool as_s, bool as_t);
 
   // -- arrival processing -------------------------------------------------------
   void OnDeliverMsg(const net::Message& msg, net::NodeId at);
@@ -206,6 +214,11 @@ class JoinExecutor : public sim::CycleParticipant {
                        net::MessageKind kind);
   /// Producer's hop distance to its pair's join node along the stored path.
   static int HopsOnPath(const PairPlacement& p, bool from_s);
+  /// The producer->join-node segment of a placement's path for one role:
+  /// S walks path[0..path_index], T walks path[path_index..end] reversed.
+  /// The single definition shared by send plans and multicast trees.
+  static void RoleSegment(const PairPlacement& pl, bool role_s,
+                          std::vector<net::NodeId>* seg);
   double ComputeDeltaCp(net::NodeId member, bool as_s,
                         const workload::SelectivityParams& est) const;
   void ApplyGroupDecision(const opt::JoinGroup& group, bool in_network);
@@ -213,8 +226,7 @@ class JoinExecutor : public sim::CycleParticipant {
 
   /// Stamps the executor's query id and submits (unicast / multicast).
   Result<uint64_t> SubmitToNet(net::Message msg);
-  Result<uint64_t> SubmitMcastToNet(
-      net::Message msg, std::shared_ptr<const net::MulticastRoute> route);
+  Result<uint64_t> SubmitMcastToNet(net::Message msg, net::McastId route);
 
   friend class SharedMedium;
 
@@ -245,6 +257,19 @@ class JoinExecutor : public sim::CycleParticipant {
   /// Placement index -> index into groups_ (-1 when ungrouped).
   std::vector<int32_t> pair_group_;
   int group_decision_seq_ = 0;
+
+  /// Typed payload pools on the network's data plane (shared by every
+  /// executor on a medium). Not owned.
+  net::TypedPool<DataPayload>* data_pool_ = nullptr;
+  net::TypedPool<ResultPayload>* result_pool_ = nullptr;
+  net::TypedPool<WindowTransferPayload>* window_pool_ = nullptr;
+
+  /// Reused per-producer sampling scratch (avoids a tuple allocation per
+  /// producer per cycle).
+  query::Tuple sample_scratch_;
+  /// Set whenever a placement mutates; the next sample phase rebuilds the
+  /// per-producer send plans before sending.
+  bool plans_dirty_ = false;
 
   /// Data arrivals buffered during transmit, keyed by producer.
   sim::NodeMailboxes<Arrival> arrivals_;

@@ -187,54 +187,44 @@ Status JoinExecutor::ExplorePairs() {
 
 void JoinExecutor::SendInnet(NodeId p, const Tuple& t, int cycle, bool as_s,
                              bool as_t) {
-  bool base_s = false, base_t = false;
-  std::map<NodeId, std::pair<bool, bool>> dests;           // j -> role flags
-  std::map<NodeId, std::vector<NodeId>> dest_paths;        // j -> p..j
-  auto collect = [&](const std::vector<int32_t>& pair_idxs, bool role_s) {
-    for (int32_t pi : pair_idxs) {
-      const PairPlacement& pl = placements_[pi];
-      if (pl.at_base || pl.path.empty()) {
-        (role_s ? base_s : base_t) = true;
-        continue;
-      }
-      auto& flags = dests[pl.join_node];
-      (role_s ? flags.first : flags.second) = true;
-      if (dest_paths.find(pl.join_node) == dest_paths.end()) {
-        std::vector<NodeId> seg;
-        if (role_s) {
-          seg.assign(pl.path.begin(), pl.path.begin() + pl.path_index + 1);
-        } else {
-          seg.assign(pl.path.begin() + pl.path_index, pl.path.end());
-          std::reverse(seg.begin(), seg.end());
-        }
-        dest_paths[pl.join_node] = std::move(seg);
-      }
+  // The destination set, role flags and route segments are precomputed in
+  // the producer's SendPlan (rebuilt on placement changes); a steady-state
+  // send walks the plan and allocates nothing.
+  const NodeState& node = nodes_[p];
+  const bool base_s = as_s && node.plan_base_s;
+  const bool base_t = as_t && node.plan_base_t;
+  bool any_dest = false;
+  for (const SendPlanEntry& e : node.plan) {
+    if ((as_s && e.has_s) || (as_t && e.has_t)) {
+      any_dest = true;
+      break;
     }
-  };
-  if (as_s) collect(nodes_[p].s_pairs, true);
-  if (as_t) collect(nodes_[p].t_pairs, false);
-
-  if (!dests.empty()) {
-    const auto& route = nodes_[p].mcast_route;
-    if (opts_.features.multicast && route != nullptr) {
+  }
+  if (any_dest) {
+    if (opts_.features.multicast && node.mcast_route != net::kInvalidRoute) {
       Message msg;
       msg.kind = MessageKind::kData;
       msg.origin = p;
       msg.dest = p;  // multicast delivery is target-driven
       msg.size_bytes = workload_->DataBytes();
       msg.payload = MakeData(p, t, cycle, as_s, as_t);
-      (void)SubmitMcastToNet(std::move(msg), route);
+      (void)SubmitMcastToNet(msg, node.mcast_route);
     } else {
-      for (const auto& [j, flags] : dests) {
+      for (const SendPlanEntry& e : node.plan) {
+        const bool use_s = as_s && e.has_s;
+        const bool use_t = as_t && e.has_t;
+        if (!use_s && !use_t) continue;
         Message msg;
         msg.kind = MessageKind::kData;
         msg.mode = RoutingMode::kSourcePath;
         msg.origin = p;
-        msg.dest = j;
-        msg.path = dest_paths[j];
+        msg.dest = e.dest;
+        // When both roles fire toward one join node, the S route wins —
+        // the order the per-cycle collection historically filled in paths.
+        msg.route = use_s ? e.route_s : e.route_t;
         msg.size_bytes = workload_->DataBytes();
-        msg.payload = MakeData(p, t, cycle, flags.first, flags.second);
-        (void)SubmitToNet(std::move(msg));
+        msg.payload = MakeData(p, t, cycle, use_s, use_t);
+        (void)SubmitToNet(msg);
       }
     }
   }
@@ -284,6 +274,7 @@ void JoinExecutor::ApplyGroupDecision(const opt::JoinGroup& group,
       NodeId to = new_at_base ? 0 : pl->join_node;
       MoveState(pl->pair, from, to, /*charge=*/true);
       pl->at_base = new_at_base;
+      plans_dirty_ = true;
       if (initiated_) ++migrations_;  // adaptive relocation, not setup
     }
   }
@@ -365,17 +356,12 @@ void JoinExecutor::RebuildProducerRoute(NodeId p, bool /*as_s*/,
     }
   };
   auto collect = [&](const std::vector<int32_t>& pair_idxs, bool role_s) {
+    std::vector<NodeId> seg;
     for (int32_t pi : pair_idxs) {
       const PairPlacement& pl = placements_[pi];
       if (pl.at_base || pl.path.empty()) continue;
       targets.insert(pl.join_node);
-      std::vector<NodeId> seg;
-      if (role_s) {
-        seg.assign(pl.path.begin(), pl.path.begin() + pl.path_index + 1);
-      } else {
-        seg.assign(pl.path.begin() + pl.path_index, pl.path.end());
-        std::reverse(seg.begin(), seg.end());
-      }
+      RoleSegment(pl, role_s, &seg);
       add_segment(seg);
     }
   };
@@ -384,7 +370,7 @@ void JoinExecutor::RebuildProducerRoute(NodeId p, bool /*as_s*/,
 
   NodeState& pnode = nodes_[p];
   if (targets.empty()) {
-    pnode.mcast_route = nullptr;
+    pnode.mcast_route = net::kInvalidRoute;
     return;
   }
   for (const auto& [a, b] : pnode.extra_links) {
@@ -409,32 +395,36 @@ void JoinExecutor::RebuildProducerRoute(NodeId p, bool /*as_s*/,
       }
     }
   }
-  auto route = std::make_shared<net::MulticastRoute>();
+  net::MulticastRoute route;
   std::set<std::pair<NodeId, NodeId>> tree_edges;
   for (NodeId t : targets) {
     if (parent.find(t) == parent.end()) continue;  // unreachable: stale link
-    route->targets.push_back(t);
+    route.targets.push_back(t);
     for (NodeId u = t; u != p; u = parent[u]) {
       tree_edges.insert({parent[u], u});
     }
   }
-  for (const auto& [u, v] : tree_edges) route->children[u].push_back(v);
+  route.edges.assign(tree_edges.begin(), tree_edges.end());
 
   // 10%-improvement rule (Appendix E): only push an updated tree when it is
   // meaningfully smaller than the one currently cached in the network.
-  const auto& existing = pnode.mcast_route;
+  const bool has_existing = pnode.mcast_route != net::kInvalidRoute;
   size_t old_edges = SIZE_MAX;
-  if (existing != nullptr) {
-    old_edges = 0;
-    for (const auto& [u, kids] : existing->children) old_edges += kids.size();
+  if (has_existing) {
+    old_edges = net_->routes().Multicast(pnode.mcast_route).edges.size();
   }
-  bool adopt = existing == nullptr || tree_edges.size() * 10 <= old_edges * 9;
+  bool adopt = !has_existing || tree_edges.size() * 10 <= old_edges * 9;
   // A placement change (targets moved) always forces adoption: the cached
   // tree no longer covers the right targets.
   if (!adopt) {
-    std::set<NodeId> old_targets(existing->targets.begin(),
-                                 existing->targets.end());
-    if (old_targets != targets) adopt = true;
+    const auto& old_targets =
+        net_->routes().Multicast(pnode.mcast_route).targets;
+    // Both sides are sorted unique (`targets` is a std::set).
+    if (old_targets.size() != targets.size() ||
+        !std::equal(old_targets.begin(), old_targets.end(),
+                    targets.begin())) {
+      adopt = true;
+    }
   }
   if (!adopt) return;
   if (charge_traffic) {
@@ -447,7 +437,7 @@ void JoinExecutor::RebuildProducerRoute(NodeId p, bool /*as_s*/,
                                          net::WireFormat::kLinkHeaderBytes);
     }
   }
-  pnode.mcast_route = std::move(route);
+  pnode.mcast_route = net_->routes().InternMulticast(std::move(route));
 }
 
 void JoinExecutor::BuildMulticastRoutes(bool charge_traffic) {
@@ -465,7 +455,7 @@ void JoinExecutor::OnSnoop(const Message& msg, NodeId snooper, NodeId from,
       !opts_.features.multicast) {
     return;
   }
-  const auto* data = static_cast<const DataPayload*>(msg.payload.get());
+  const DataPayload* data = data_pool_->Get(msg.payload);
   if (data == nullptr) return;
   NodeId p = data->producer;
   if (snooper == p || from == p || to == p) return;
@@ -522,6 +512,7 @@ void JoinExecutor::MigratePair(PairPlacement* pl, bool new_at_base,
     pl->join_node = new_join;
     pl->path_index = new_index;
   }
+  plans_dirty_ = true;
 }
 
 void JoinExecutor::RunLearning(int cycle) {
@@ -608,11 +599,15 @@ void JoinExecutor::SendWindowReplay(const PairKey& pair, NodeId producer,
                                     bool as_s) {
   // Forward the producer's last w tuples so the base can reconstruct its
   // side of the join window.
-  const auto& recent = nodes_[producer].recent_sent[as_s];
-  auto wt = std::make_shared<WindowTransferPayload>();
+  const RecentRing& recent = nodes_[producer].recent_sent[as_s];
+  net::PayloadHandle h = window_pool_->Allocate();
+  WindowTransferPayload* wt = window_pool_->Get(h);
   wt->pair = pair;
+  wt->s_window.clear();
+  wt->t_window.clear();
   auto& dst = as_s ? wt->s_window : wt->t_window;
-  dst.assign(recent.begin(), recent.end());
+  dst.resize(recent.size());
+  for (int i = 0; i < recent.size(); ++i) dst[i] = recent.at(i);
   int tuples = static_cast<int>(wt->s_window.size() + wt->t_window.size());
   Message msg;
   msg.kind = MessageKind::kWindowTransfer;
@@ -620,8 +615,8 @@ void JoinExecutor::SendWindowReplay(const PairKey& pair, NodeId producer,
   msg.origin = producer;
   msg.dest = 0;
   msg.size_bytes = 4 + tuples * workload_->DataBytes();
-  msg.payload = std::move(wt);
-  (void)SubmitToNet(std::move(msg));
+  msg.payload = h;
+  (void)SubmitToNet(msg);
 }
 
 void JoinExecutor::FailoverPairToBase(const PairKey& pair) {
@@ -631,6 +626,7 @@ void JoinExecutor::FailoverPairToBase(const PairKey& pair) {
   if (pl->at_base) return;       // was never in-network: nothing to fail over
   pl->at_base = true;
   pl->failed_over = true;
+  plans_dirty_ = true;
   ++failovers_;
   // Both producers replay their buffered windows — the base needs both
   // sides to reconstruct the join, and failover knowledge is instantly
@@ -677,8 +673,7 @@ void JoinExecutor::OnDrop(const Message& msg, NodeId at, NodeId next) {
     // A failover replay died en route to the base (the dead join node, or
     // churn, also severed the producer's tree path). Queue a retry for the
     // next sample phase rather than giving up the buffered window.
-    const auto* wt =
-        static_cast<const WindowTransferPayload*>(msg.payload.get());
+    const WindowTransferPayload* wt = window_pool_->Get(msg.payload);
     if (wt == nullptr) return;
     bool as_s = msg.origin == wt->pair.s;
     std::pair<PairKey, bool> key{wt->pair, as_s};
@@ -689,7 +684,7 @@ void JoinExecutor::OnDrop(const Message& msg, NodeId at, NodeId next) {
     return;
   }
   if (msg.kind != MessageKind::kData) return;
-  const auto* data = static_cast<const DataPayload*>(msg.payload.get());
+  const DataPayload* data = data_pool_->Get(msg.payload);
   if (data == nullptr) return;
   NodeId j = msg.dest;
   if (j < 0 || !net_->IsFailed(j)) return;  // congestion loss, not death

@@ -4,17 +4,16 @@
 // indexed by NodeId, replacing the former global map<pair<NodeId, ...>>
 // registries. Everything the per-cycle hot path touches — which pairs a
 // producer serves, the join windows held at a node, the producer's cached
-// multicast route — is one array index away; the small per-node pair tables
-// are sorted vectors, so iteration order stays deterministic ((node, pair)
-// ascending, exactly the order the old ordered maps produced).
+// multicast route and precomputed send plan — is one array index away; the
+// small per-node pair tables are sorted vectors, so iteration order stays
+// deterministic ((node, pair) ascending, exactly the order the old ordered
+// maps produced).
 
 #ifndef ASPEN_JOIN_NODE_STATE_H_
 #define ASPEN_JOIN_NODE_STATE_H_
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
-#include <memory>
 #include <optional>
 #include <set>
 #include <utility>
@@ -29,6 +28,62 @@
 namespace aspen {
 namespace join {
 
+/// \brief One destination of a producer's precomputed send plan: a join
+/// node this producer ships samples to, with the interned route per role.
+/// Entries are sorted by `dest`, reproducing the ordered-map iteration of
+/// the former per-cycle destination collection.
+struct SendPlanEntry {
+  net::NodeId dest = -1;
+  /// Which of the producer's roles route samples to `dest`.
+  bool has_s = false;
+  bool has_t = false;
+  /// Route taken when the S (resp. T) role fires; when both fire the S
+  /// route wins, matching the historical first-collected-path behavior.
+  net::RouteId route_s = net::kInvalidRoute;
+  net::RouteId route_t = net::kInvalidRoute;
+};
+
+/// \brief Fixed-capacity ring of the last `w` tuples a producer sent in one
+/// role (window reconstruction on failover, Section 7). Slots are recycled
+/// with their capacity, so steady-state remembering allocates nothing.
+class RecentRing {
+ public:
+  /// Appends a copy of `t`, evicting the oldest entry once `cap` entries
+  /// are held. `cap` is fixed per run (the window size).
+  void Push(const query::Tuple& t, int cap) {
+    if (static_cast<int>(slots_.size()) != cap) slots_.resize(cap);
+    if (count_ == cap) {
+      slots_[head_] = t;
+      head_ = Next(head_);
+    } else {
+      slots_[Index(count_)] = t;
+      ++count_;
+    }
+  }
+
+  int size() const { return count_; }
+  /// The i-th remembered tuple, oldest first.
+  const query::Tuple& at(int i) const { return slots_[Index(i)]; }
+  void Clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  int Next(int i) const {
+    return i + 1 == static_cast<int>(slots_.size()) ? 0 : i + 1;
+  }
+  int Index(int i) const {
+    int idx = head_ + i;
+    const int cap = static_cast<int>(slots_.size());
+    return idx >= cap ? idx - cap : idx;
+  }
+
+  std::vector<query::Tuple> slots_;
+  int head_ = 0;
+  int count_ = 0;
+};
+
 /// \brief All node-local state of one query at one node.
 struct NodeState {
   /// Placement-table indices of the pairs this node produces for, per role
@@ -40,12 +95,20 @@ struct NodeState {
   /// sorted by pair key for deterministic iteration.
   std::vector<PairState> states;
 
-  /// Last w tuples this producer sent per role (window reconstruction on
-  /// failover, Section 7). Indexed by as_s.
-  std::deque<query::Tuple> recent_sent[2];
+  /// Last w tuples this producer sent per role (failover replay). Indexed
+  /// by as_s.
+  RecentRing recent_sent[2];
 
-  /// Cached multicast tree rooted at this producer (Innet-m).
-  std::shared_ptr<const net::MulticastRoute> mcast_route;
+  /// Precomputed per-producer destinations (sorted by dest) with interned
+  /// routes; rebuilt lazily when placements change. base_s/base_t mark
+  /// whether any pair of the role joins at the base.
+  std::vector<SendPlanEntry> plan;
+  bool plan_base_s = false;
+  bool plan_base_t = false;
+
+  /// Cached multicast tree rooted at this producer (Innet-m), interned in
+  /// the network's route table.
+  net::McastId mcast_route = net::kInvalidRoute;
 
   /// Links discovered by path-collapse snooping for this producer.
   std::set<std::pair<net::NodeId, net::NodeId>> extra_links;

@@ -1,4 +1,12 @@
 // Typed message payloads exchanged by the join executors.
+//
+// Payloads are plain structs stored in pooled slabs (net/payload_pool.h)
+// and referenced from message envelopes by PayloadHandle. Each type has a
+// process-wide pool tag; the typed pools are created on the network's
+// DataPlane arena, so every executor sharing a medium shares the slabs.
+// Pool slots are recycled without reconstruction — writers must assign
+// every field they later read (containers keep their capacity, which is
+// what makes the steady-state cycle allocation-free).
 
 #ifndef ASPEN_JOIN_PAYLOADS_H_
 #define ASPEN_JOIN_PAYLOADS_H_
@@ -12,8 +20,16 @@
 namespace aspen {
 namespace join {
 
+/// Pool tags for the payload types that travel on messages (PayloadHandle
+/// tag 0 means "no payload").
+enum PayloadTag : uint32_t {
+  kPayloadTagData = 1,
+  kPayloadTagResult = 2,
+  kPayloadTagWindowTransfer = 3,
+};
+
 /// \brief A producer sample en route to one or more join nodes.
-struct DataPayload : net::Payload {
+struct DataPayload {
   net::NodeId producer = -1;
   query::Tuple tuple;
   int sample_cycle = 0;
@@ -24,7 +40,7 @@ struct DataPayload : net::Payload {
 };
 
 /// \brief A join result (or a count of results for merged reporting).
-struct ResultPayload : net::Payload {
+struct ResultPayload {
   net::NodeId s = -1;
   net::NodeId t = -1;
   /// Sampling cycle of the newer of the two joined tuples.
@@ -33,20 +49,21 @@ struct ResultPayload : net::Payload {
 
 /// \brief Join-window snapshot shipped on join-node migration (Section 6)
 /// or base fallback after failure (Section 7).
-struct WindowTransferPayload : net::Payload {
+struct WindowTransferPayload {
   PairKey pair;
   std::vector<query::Tuple> s_window;
   std::vector<query::Tuple> t_window;
 };
 
 /// \brief MPO cost report: a member's delta-Cp to the group coordinator.
-struct CostReportPayload : net::Payload {
+/// (Charged along tree paths; not attached to simulated messages.)
+struct CostReportPayload {
   net::NodeId member = -1;
   double delta_cp = 0.0;
 };
 
 /// \brief MPO decision broadcast (Algorithm 1).
-struct GroupDecisionPayload : net::Payload {
+struct GroupDecisionPayload {
   bool in_network = true;
   int seq = 0;
 };
@@ -54,7 +71,7 @@ struct GroupDecisionPayload : net::Payload {
 /// \brief Path-collapse opportunity: snooper `via` heard a transmission and
 /// knows a link (via, neighbor) that can shortcut two of the producer's
 /// paths (Appendix E, Algorithm 2's output tuple, simplified).
-struct CollapseHintPayload : net::Payload {
+struct CollapseHintPayload {
   net::NodeId via = -1;       ///< the snooping node (on one path)
   net::NodeId neighbor = -1;  ///< the transmitting node (on the other path)
 };

@@ -12,6 +12,10 @@
 #include "workload/selectivity.h"
 
 namespace aspen {
+namespace net {
+class DataPlane;
+}  // namespace net
+
 namespace join {
 
 /// \brief The join algorithm classes of Section 2.2.
@@ -82,6 +86,14 @@ struct ExecutorOptions {
   int max_retries = 3;
 
   uint64_t seed = 1;
+
+  /// Optional borrowed data-plane arena (route table + payload pools) for
+  /// executors that own their network. Not owned; must outlive the
+  /// executor. When null the network owns a private plane.
+  /// core::RunExperiment supplies one per run so core::RunAveraged can
+  /// reuse warmed-up capacity across repetitions. Ignored by
+  /// medium-attached executors (the medium's network owns the plane).
+  net::DataPlane* data_plane = nullptr;
 };
 
 /// \brief Metrics of one executed run (the paper's evaluation quantities).

@@ -3,16 +3,22 @@
 // The network transports opaque payloads hop-by-hop and charges traffic per
 // transmitted frame: `size_bytes` per hop in mote mode, one message per hop
 // in mesh mode (Appendix F: 802.11/TCP header overhead dominates, so the
-// paper counts messages there). Algorithms attach typed payloads via
-// shared_ptr and downcast on delivery.
+// paper counts messages there).
+//
+// The envelope is plain data: routes travel as RouteIds interned in the
+// network's RouteTable (net/route_table.h) and algorithm state travels as a
+// PayloadHandle into the pooled payload slabs (net/payload_pool.h), so
+// copying or queueing a Message is a memcpy — no allocation, no refcount
+// traffic. See Network's header for the payload ownership protocol.
 
 #ifndef ASPEN_NET_MESSAGE_H_
 #define ASPEN_NET_MESSAGE_H_
 
 #include <cstdint>
-#include <memory>
-#include <vector>
+#include <type_traits>
 
+#include "net/payload_pool.h"
+#include "net/route_table.h"
 #include "net/topology.h"
 
 namespace aspen {
@@ -59,26 +65,21 @@ bool IsInitiationKind(MessageKind kind);
 
 /// \brief How the network resolves each next hop.
 enum class RoutingMode : uint8_t {
-  kSourcePath,   ///< follow the explicit `path` vector
+  kSourcePath,   ///< follow the interned `route` path
   kTreeToRoot,   ///< forward to the primary-tree parent until the root
   kGeoGreedy,    ///< forward to the neighbor nearest `geo_target`
-  kLocalHop,     ///< `path` holds exactly [origin, neighbor]
+  kLocalHop,     ///< `route` holds exactly [origin, neighbor]
 };
 
-/// \brief Base class for typed payloads carried by messages.
-struct Payload {
-  virtual ~Payload() = default;
-};
-
-/// \brief A routed message. Envelope fields are owned by the network layer;
-/// algorithm state travels in `payload`.
+/// \brief A routed message: a POD envelope. Envelope fields are owned by
+/// the network layer; algorithm state travels in the pooled `payload`.
 struct Message {
   MessageKind kind = MessageKind::kControl;
   RoutingMode mode = RoutingMode::kSourcePath;
   NodeId origin = -1;
   NodeId dest = -1;
-  /// Explicit route for kSourcePath/kLocalHop: origin first, dest last.
-  std::vector<NodeId> path;
+  /// Interned route for kSourcePath/kLocalHop: origin first, dest last.
+  RouteId route = kInvalidRoute;
   /// Geographic target for kGeoGreedy.
   Point geo_target;
   /// Payload size excluding per-hop link header.
@@ -88,8 +89,12 @@ struct Message {
   /// Owning query when several queries share one medium (SharedMedium
   /// dispatches deliveries by this id); 0 for single-query executors.
   int query_id = 0;
-  std::shared_ptr<const Payload> payload;
+  /// Pooled payload handle (invalid = no payload).
+  PayloadHandle payload;
 };
+
+static_assert(std::is_trivially_copyable<Message>::value,
+              "Message must stay a POD envelope");
 
 }  // namespace net
 }  // namespace aspen

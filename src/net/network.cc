@@ -8,12 +8,20 @@
 namespace aspen {
 namespace net {
 
-Network::Network(const Topology* topology, NetworkOptions options)
+Network::Network(const Topology* topology, NetworkOptions options,
+                 DataPlane* plane)
     : topology_(topology),
       options_(options),
       rng_(options.seed),
       stats_(topology->num_nodes()),
-      failed_(topology->num_nodes(), false) {}
+      failed_(topology->num_nodes(), false) {
+  if (plane == nullptr) {
+    owned_plane_ = std::make_unique<DataPlane>();
+    plane_ = owned_plane_.get();
+  } else {
+    plane_ = plane;
+  }
+}
 
 void Network::FailNode(NodeId id) {
   ASPEN_CHECK(id >= 0 && id < topology_->num_nodes());
@@ -35,12 +43,19 @@ void Network::ClearLinkLoss(NodeId from, NodeId to) {
   link_loss_.erase(LinkKey(from, to));
 }
 
-double Network::LinkLoss(NodeId from, NodeId to) const {
-  if (!link_loss_.empty()) {
-    auto it = link_loss_.find(LinkKey(from, to));
-    if (it != link_loss_.end()) return it->second;
+double Network::LinkLossLookup(NodeId from, NodeId to) const {
+  auto it = link_loss_.find(LinkKey(from, to));
+  return it != link_loss_.end() ? it->second : options_.loss_prob;
+}
+
+int32_t Network::AllocFrame() {
+  if (!free_frames_.empty()) {
+    int32_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
   }
-  return options_.loss_prob;
+  frames_.emplace_back();
+  return static_cast<int32_t>(frames_.size() - 1);
 }
 
 NodeId Network::ResolveNextHop(Frame* frame) const {
@@ -49,8 +64,10 @@ NodeId Network::ResolveNextHop(Frame* frame) const {
   switch (msg.mode) {
     case RoutingMode::kSourcePath:
     case RoutingMode::kLocalHop: {
-      if (frame->path_idx + 1 >= msg.path.size()) return -1;
-      return msg.path[frame->path_idx + 1];
+      const RouteTable& rt = plane_->routes();
+      if (!rt.IsValidPath(msg.route)) return -1;
+      if (frame->path_idx + 1 >= rt.PathLength(msg.route)) return -1;
+      return rt.PathNode(msg.route, frame->path_idx + 1);
     }
     case RoutingMode::kTreeToRoot: {
       if (parent_resolver_ == nullptr) return -1;
@@ -65,71 +82,91 @@ NodeId Network::ResolveNextHop(Frame* frame) const {
 Result<uint64_t> Network::Submit(Message msg) {
   if (msg.origin < 0 || msg.origin >= topology_->num_nodes() ||
       msg.dest < 0 || msg.dest >= topology_->num_nodes()) {
+    plane_->payloads().Release(msg.payload);
     return Status::InvalidArgument("Submit: origin/dest out of range");
   }
   if (failed_[msg.origin]) {
+    plane_->payloads().Release(msg.payload);
     return Status::FailedPrecondition("Submit: origin node has failed");
   }
   msg.id = next_id_++;
   if (msg.origin == msg.dest) {
     DeliverLocal(msg, msg.dest);
+    plane_->payloads().Release(msg.payload);
     return msg.id;
   }
   if (msg.mode == RoutingMode::kSourcePath ||
       msg.mode == RoutingMode::kLocalHop) {
-    if (msg.path.size() < 2 || msg.path.front() != msg.origin ||
-        msg.path.back() != msg.dest) {
+    const RouteTable& rt = plane_->routes();
+    if (!rt.IsValidPath(msg.route) || rt.PathLength(msg.route) < 2 ||
+        rt.PathFront(msg.route) != msg.origin ||
+        rt.PathBack(msg.route) != msg.dest) {
+      plane_->payloads().Release(msg.payload);
       return Status::InvalidArgument(
-          "Submit: path must run from origin to dest");
+          "Submit: route must run from origin to dest");
     }
   }
   if (msg.mode == RoutingMode::kTreeToRoot && parent_resolver_ == nullptr) {
+    plane_->payloads().Release(msg.payload);
     return Status::FailedPrecondition("Submit: no parent resolver installed");
   }
-  Frame frame;
-  frame.msg = std::move(msg);
-  frame.at = frame.msg.origin;
+  const int32_t idx = AllocFrame();
+  Frame& frame = frames_[idx];
+  frame = Frame{};
+  frame.msg = msg;
+  frame.at = msg.origin;
   frame.path_idx = 0;
   frame.submit_time = now_;
   NodeId next = ResolveNextHop(&frame);
   if (next < 0) {
+    FreeFrame(idx);
+    plane_->payloads().Release(msg.payload);
     return Status::Unreachable("Submit: no route from origin");
   }
   frame.next = next;
-  uint64_t id = frame.msg.id;
-  pending_.push_back(std::move(frame));
-  return id;
+  pending_.push_back(idx);
+  return msg.id;
 }
 
-Result<uint64_t> Network::SubmitMulticast(
-    Message msg, std::shared_ptr<const MulticastRoute> route) {
+Result<uint64_t> Network::SubmitMulticast(Message msg, McastId route) {
   if (msg.origin < 0 || msg.origin >= topology_->num_nodes()) {
+    plane_->payloads().Release(msg.payload);
     return Status::InvalidArgument("SubmitMulticast: origin out of range");
   }
   if (failed_[msg.origin]) {
+    plane_->payloads().Release(msg.payload);
     return Status::FailedPrecondition("SubmitMulticast: origin has failed");
   }
-  if (route == nullptr) {
-    return Status::InvalidArgument("SubmitMulticast: null route");
+  if (!plane_->routes().IsValidMulticast(route)) {
+    plane_->payloads().Release(msg.payload);
+    return Status::InvalidArgument("SubmitMulticast: unknown route");
   }
   msg.id = next_id_++;
-  uint64_t id = msg.id;
-  // Deliver locally if the origin itself is a target.
-  for (NodeId t : route->targets) {
-    if (t == msg.origin) DeliverLocal(msg, msg.origin);
+  const uint64_t id = msg.id;
+  // Children span: raw pointers into the route's edge storage, which stays
+  // put even if a delivery handler interns new routes below.
+  const MulticastRoute& r = plane_->routes().Multicast(route);
+  const bool origin_is_target = r.IsTarget(msg.origin);
+  auto [child, child_end] = r.ChildrenOf(msg.origin);
+  if (origin_is_target) DeliverLocal(msg, msg.origin);
+  const int fanout = static_cast<int>(child_end - child);
+  if (fanout == 0) {
+    plane_->payloads().Release(msg.payload);
+    return id;
   }
-  auto it = route->children.find(msg.origin);
-  if (it != route->children.end()) {
-    for (NodeId child : it->second) {
-      Frame frame;
-      frame.msg = msg;
-      frame.msg.dest = child;  // per-edge destination; fan-out continues
-      frame.route = route;
-      frame.at = msg.origin;
-      frame.next = child;
-      frame.submit_time = now_;
-      pending_.push_back(std::move(frame));
-    }
+  // The message's one payload reference becomes `fanout` frame references.
+  for (int i = 1; i < fanout; ++i) plane_->payloads().AddRef(msg.payload);
+  for (; child != child_end; ++child) {
+    const int32_t idx = AllocFrame();
+    Frame& frame = frames_[idx];
+    frame = Frame{};
+    frame.msg = msg;
+    frame.msg.dest = child->second;  // per-edge destination; fan-out continues
+    frame.mcast = route;
+    frame.at = msg.origin;
+    frame.next = child->second;
+    frame.submit_time = now_;
+    pending_.push_back(idx);
   }
   return id;
 }
@@ -138,52 +175,87 @@ void Network::DeliverLocal(const Message& msg, NodeId at) {
   if (on_deliver_) on_deliver_(msg, at);
 }
 
-void Network::Arrive(Frame frame) {
-  frame.at = frame.next;
-  frame.attempts = 0;
-  if (frame.route != nullptr) {
-    // Multicast: deliver at targets, then fan out to children.
-    const MulticastRoute& route = *frame.route;
-    bool is_target = std::find(route.targets.begin(), route.targets.end(),
-                               frame.at) != route.targets.end();
-    if (is_target) DeliverLocal(frame.msg, frame.at);
-    auto it = route.children.find(frame.at);
-    if (it != route.children.end()) {
-      for (NodeId child : it->second) {
-        Frame next_frame = frame;
-        next_frame.next = child;
-        next_frame.msg.dest = child;
-        pending_.push_back(std::move(next_frame));
-      }
+void Network::DropAndRelease(const Message& msg, NodeId at, NodeId next) {
+  if (on_drop_) on_drop_(msg, at, next);
+  plane_->payloads().Release(msg.payload);
+}
+
+void Network::Arrive(int32_t idx) {
+  Frame& f = frames_[idx];
+  f.at = f.next;
+  f.attempts = 0;
+  if (f.mcast != kInvalidRoute) {
+    // Multicast: deliver at targets, then fan out to children. Copy the
+    // frame first — the delivery handler may Submit, and fan-out allocates
+    // slots; both can grow the slab and invalidate references into it.
+    const Frame base = f;
+    const MulticastRoute& route = plane_->routes().Multicast(base.mcast);
+    const bool is_target = route.IsTarget(base.at);
+    auto [child, child_end] = route.ChildrenOf(base.at);
+    if (is_target) DeliverLocal(base.msg, base.at);
+    const int fanout = static_cast<int>(child_end - child);
+    if (fanout == 0) {
+      FreeFrame(idx);
+      plane_->payloads().Release(base.msg.payload);
+      return;
+    }
+    for (int i = 1; i < fanout; ++i) plane_->payloads().AddRef(base.msg.payload);
+    bool reused_slot = false;
+    for (; child != child_end; ++child) {
+      const int32_t nidx = reused_slot ? AllocFrame() : idx;
+      reused_slot = true;
+      Frame& nf = frames_[nidx];
+      nf = base;
+      nf.next = child->second;
+      nf.msg.dest = child->second;
+      pending_.push_back(nidx);
     }
     return;
   }
-  if (frame.at == frame.msg.dest) {
-    DeliverLocal(frame.msg, frame.at);
+  if (f.at == f.msg.dest) {
+    // Terminal: copy the envelope, free the slot, then hand the copy to
+    // the handler (which may Submit into the freed slot).
+    const Message m = f.msg;
+    const NodeId at = f.at;
+    FreeFrame(idx);
+    DeliverLocal(m, at);
+    plane_->payloads().Release(m.payload);
     return;
   }
-  if (frame.msg.mode == RoutingMode::kSourcePath ||
-      frame.msg.mode == RoutingMode::kLocalHop) {
-    ++frame.path_idx;
-    // Guard against corrupted paths where the arrival node disagrees with
-    // the path vector.
-    if (frame.path_idx >= frame.msg.path.size() ||
-        frame.msg.path[frame.path_idx] != frame.at) {
-      if (on_drop_) on_drop_(frame.msg, frame.at, -1);
+  if (f.msg.mode == RoutingMode::kSourcePath ||
+      f.msg.mode == RoutingMode::kLocalHop) {
+    ++f.path_idx;
+    // Guard against corrupted routes where the arrival node disagrees with
+    // the interned path.
+    const RouteTable& rt = plane_->routes();
+    if (f.path_idx >= rt.PathLength(f.msg.route) ||
+        rt.PathNode(f.msg.route, f.path_idx) != f.at) {
+      const Message m = f.msg;
+      const NodeId at = f.at;
+      FreeFrame(idx);
+      DropAndRelease(m, at, -1);
       return;
     }
   }
-  NodeId next = ResolveNextHop(&frame);
+  NodeId next = ResolveNextHop(&f);
   if (next == -2) {
-    DeliverLocal(frame.msg, frame.at);
+    const Message m = f.msg;
+    const NodeId at = f.at;
+    FreeFrame(idx);
+    DeliverLocal(m, at);
+    plane_->payloads().Release(m.payload);
     return;
   }
   if (next < 0) {
-    if (on_drop_) on_drop_(frame.msg, frame.at, -1);
+    const Message m = f.msg;
+    const NodeId at = f.at;
+    FreeFrame(idx);
+    DropAndRelease(m, at, -1);
     return;
   }
-  frame.next = next;
-  pending_.push_back(std::move(frame));
+  // Forwarding: the frame stays in its slot; only its index moves.
+  f.next = next;
+  pending_.push_back(idx);
 }
 
 void Network::Step() {
@@ -198,9 +270,9 @@ void Network::Step() {
   group_scratch_.clear();
   group_scratch_.reserve(in_flight_.size());
   for (size_t i = 0; i < in_flight_.size(); ++i) {
-    const Frame& f = in_flight_[i];
+    const Frame& f = frames_[in_flight_[i]];
     GroupKey key;
-    if (f.route != nullptr) {
+    if (f.mcast != kInvalidRoute) {
       key = {0, f.at, static_cast<int64_t>(f.msg.id), 0, 0};
     } else if (options_.enable_merging &&
                (f.msg.kind == MessageKind::kData ||
@@ -224,15 +296,19 @@ void Network::Step() {
       ++hi;
     }
     const bool is_multicast = std::get<0>(group_scratch_[lo].first) == 0;
-    Frame& first = in_flight_[group_scratch_[lo].second];
-    NodeId sender = first.at;
+    const Frame& first = frames_[in_flight_[group_scratch_[lo].second]];
+    const NodeId sender = first.at;
     if (failed_[sender]) {
       // Frames die with their holder — but not silently: the drop handler
       // fires so protocol logic (e.g. failover replay retries) learns the
       // frame is gone. No traffic is charged; nothing was transmitted.
       for (size_t k = lo; k < hi; ++k) {
-        Frame& f = in_flight_[group_scratch_[k].second];
-        if (on_drop_) on_drop_(f.msg, f.at, f.next);
+        const int32_t fidx = in_flight_[group_scratch_[k].second];
+        const Message m = frames_[fidx].msg;
+        const NodeId at = frames_[fidx].at;
+        const NodeId next = frames_[fidx].next;
+        FreeFrame(fidx);
+        DropAndRelease(m, at, next);
       }
       continue;
     }
@@ -240,22 +316,28 @@ void Network::Step() {
     if (is_multicast) {
       // One broadcast transmission reaches every child; receptions are
       // independent, with one unconditional loss draw each.
-      int bytes = first.msg.size_bytes + WireFormat::kLinkHeaderBytes;
+      const int bytes = first.msg.size_bytes + WireFormat::kLinkHeaderBytes;
       stats_.RecordSend(sender, first.msg.kind, bytes, first.msg.query_id);
       for (size_t k = lo; k < hi; ++k) {
-        Frame& f = in_flight_[group_scratch_[k].second];
+        const int32_t fidx = in_flight_[group_scratch_[k].second];
+        // Re-fetch per iteration: Arrive below may grow the slab.
+        Frame& f = frames_[fidx];
         const bool loss_draw = DrawLoss(LinkLoss(sender, f.next));
         const bool lost = loss_draw || failed_[f.next];
         if (lost) {
           ++f.attempts;
           if (f.attempts > options_.max_retries) {
-            if (on_drop_) on_drop_(f.msg, f.at, f.next);
+            const Message m = f.msg;
+            const NodeId at = f.at;
+            const NodeId next = f.next;
+            FreeFrame(fidx);
+            DropAndRelease(m, at, next);
           } else {
-            pending_.push_back(std::move(f));
+            pending_.push_back(fidx);
           }
         } else {
           stats_.RecordReceive(f.next, bytes);
-          Arrive(std::move(f));
+          Arrive(fidx);
         }
       }
       continue;
@@ -266,36 +348,46 @@ void Network::Step() {
     // — a dead receiver must not skip the draw, or failing one node would
     // perturb the loss outcome of every later transmission in the run (see
     // the class comment).
-    NodeId next = first.next;
+    const NodeId next = first.next;
     const bool loss_draw = DrawLoss(LinkLoss(sender, next));
     const bool lost = loss_draw || failed_[next];
     bool charged_header = false;
     for (size_t k = lo; k < hi; ++k) {
-      Frame& f = in_flight_[group_scratch_[k].second];
-      int bytes = f.msg.size_bytes;
-      if (!charged_header) {
-        bytes += WireFormat::kLinkHeaderBytes;
-        charged_header = true;
+      const int32_t fidx = in_flight_[group_scratch_[k].second];
+      {
+        const Frame& f = frames_[fidx];
+        int bytes = f.msg.size_bytes;
+        if (!charged_header) {
+          bytes += WireFormat::kLinkHeaderBytes;
+          charged_header = true;
+        }
+        stats_.RecordSend(sender, f.msg.kind, bytes, f.msg.query_id);
+        if (!lost) stats_.RecordReceive(next, bytes);
       }
-      stats_.RecordSend(sender, f.msg.kind, bytes, f.msg.query_id);
       // Snoop semantics (see header): neighbors overhear every on-air
       // attempt — even one the receiver loses, and even the final attempt
-      // before the sender abandons the frame below.
+      // before the sender abandons the frame below. The envelope is copied
+      // because a snoop handler may touch the network.
       if (options_.enable_snooping && on_snoop_) {
+        const Message m = frames_[fidx].msg;
         for (NodeId w : topology_->neighbors(sender)) {
-          if (w != next && !failed_[w]) on_snoop_(f.msg, w, sender, next);
+          if (w != next && !failed_[w]) on_snoop_(m, w, sender, next);
         }
       }
       if (lost) {
+        Frame& f = frames_[fidx];  // re-fetch: snoop may have grown the slab
         ++f.attempts;
         if (f.attempts > options_.max_retries) {
-          if (on_drop_) on_drop_(f.msg, f.at, f.next);
+          const Message m = f.msg;
+          const NodeId at = f.at;
+          const NodeId fnext = f.next;
+          FreeFrame(fidx);
+          DropAndRelease(m, at, fnext);
         } else {
-          pending_.push_back(std::move(f));
+          pending_.push_back(fidx);
         }
       } else {
-        stats_.RecordReceive(next, bytes);
-        Arrive(std::move(f));
+        Arrive(fidx);
       }
     }
   }

@@ -24,6 +24,18 @@
 // and merged packets snoop once per logical frame they carry. Multicast
 // broadcasts are already delivered to every listed child and do not
 // additionally snoop.
+//
+// Data plane: messages are POD envelopes (net/message.h). Routes are
+// interned in the plane's RouteTable and referenced by id; payloads live in
+// pooled slabs referenced by PayloadHandle. Frames are stored in a
+// free-list slab and the step queues move slab indices, so a steady-state
+// Step allocates nothing.
+//
+// Payload ownership: Submit/SubmitMulticast take over the payload
+// reference carried by the message (releasing it even when submission
+// fails). Delivery, drop and snoop handlers *borrow* the payload for the
+// duration of the call; a handler that keeps the handle must AddRef it
+// through the plane's PayloadArena.
 
 #ifndef ASPEN_NET_NETWORK_H_
 #define ASPEN_NET_NETWORK_H_
@@ -38,6 +50,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "net/data_plane.h"
 #include "net/geo_routing.h"
 #include "net/message.h"
 #include "net/topology.h"
@@ -53,14 +66,6 @@ class ParentResolver {
   virtual ~ParentResolver() = default;
   /// Next hop from `at` toward the root, or -1 at the root.
   virtual NodeId ParentOf(NodeId at) const = 0;
-};
-
-/// \brief Explicit multicast route: a tree rooted at the origin. Delivery
-/// fires at every node listed in `targets`.
-struct MulticastRoute {
-  /// children[u] = downstream hops of u in the tree.
-  std::unordered_map<NodeId, std::vector<NodeId>> children;
-  std::vector<NodeId> targets;
 };
 
 struct NetworkOptions {
@@ -92,8 +97,11 @@ class Network {
   using SnoopHandler = std::function<void(const Message&, NodeId snooper,
                                           NodeId from, NodeId to)>;
 
-  /// `topology` must outlive the network.
-  Network(const Topology* topology, NetworkOptions options);
+  /// `topology` must outlive the network. `plane` (route table + payload
+  /// pools) is borrowed when given and must outlive the network; when null
+  /// the network owns a private plane.
+  Network(const Topology* topology, NetworkOptions options,
+          DataPlane* plane = nullptr);
 
   void set_delivery_handler(DeliveryHandler h) { on_deliver_ = std::move(h); }
   void set_drop_handler(DropHandler h) { on_drop_ = std::move(h); }
@@ -103,16 +111,22 @@ class Network {
     parent_resolver_ = resolver;
   }
 
+  DataPlane& plane() { return *plane_; }
+  RouteTable& routes() { return plane_->routes(); }
+  const RouteTable& routes() const { return plane_->routes(); }
+  PayloadArena& payloads() { return plane_->payloads(); }
+
   /// \brief Injects a message at its origin. Returns the assigned id.
   ///
   /// If origin == dest the message is delivered immediately at zero cost.
-  /// Invalid routes (empty path, missing resolver) return an error.
+  /// Invalid routes (no interned route, missing resolver) return an error.
+  /// The payload reference is consumed in every case.
   Result<uint64_t> Submit(Message msg);
 
-  /// \brief Injects a multicast message rooted at msg.origin following
-  /// `route`. One frame per tree edge; shared prefixes are transmitted once.
-  Result<uint64_t> SubmitMulticast(Message msg,
-                                   std::shared_ptr<const MulticastRoute> route);
+  /// \brief Injects a multicast message rooted at msg.origin following the
+  /// interned tree `route`. One frame per tree edge; shared prefixes are
+  /// transmitted once.
+  Result<uint64_t> SubmitMulticast(Message msg, McastId route);
 
   /// Advances one transmission cycle.
   void Step();
@@ -148,36 +162,52 @@ class Network {
   void SetLinkLoss(NodeId from, NodeId to, double p);
   /// Removes a per-link override; the link falls back to the default.
   void ClearLinkLoss(NodeId from, NodeId to);
-  /// Effective loss probability of the directed link from->to.
-  double LinkLoss(NodeId from, NodeId to) const;
+  /// Effective loss probability of the directed link from->to. The common
+  /// no-overrides case is a single branch — no hash probe on the hot path.
+  double LinkLoss(NodeId from, NodeId to) const {
+    return link_loss_.empty() ? options_.loss_prob
+                              : LinkLossLookup(from, to);
+  }
 
  private:
   struct Frame {
     Message msg;
-    std::shared_ptr<const MulticastRoute> route;  // null for unicast
+    McastId mcast = kInvalidRoute;  // kInvalidRoute for unicast
     NodeId at = -1;
     NodeId next = -1;
     int attempts = 0;
-    size_t path_idx = 0;  // index of `at` within msg.path (kSourcePath)
+    int32_t path_idx = 0;  // index of `at` within the route (kSourcePath)
     int64_t submit_time = 0;
     /// GPSR greedy/perimeter routing state (kGeoGreedy frames).
     GeoRouteState geo;
   };
+  static_assert(std::is_trivially_copyable<Frame>::value,
+                "Frame must stay POD so the slab can memcpy it");
+
+  /// Slab allocation: returns the index of a (recycled or new) frame slot.
+  /// May grow `frames_` — references into the slab are invalidated.
+  int32_t AllocFrame();
+  void FreeFrame(int32_t idx) { free_frames_.push_back(idx); }
 
   /// Computes the hop after `frame->at`, updating geo escape state;
   /// returns -1 when no progress is possible (caller drops) and -2 when
   /// `frame->at` is the final dest.
   NodeId ResolveNextHop(Frame* frame) const;
 
-  /// Called when a frame arrives at `frame.next`; handles delivery,
-  /// multicast fan-out and re-queuing toward the next hop.
-  void Arrive(Frame frame);
+  /// Called when the frame in slab slot `idx` arrives at its `next` node;
+  /// handles delivery, multicast fan-out and re-queuing toward the next
+  /// hop. Terminal outcomes free the slot and release the payload.
+  void Arrive(int32_t idx);
 
   void DeliverLocal(const Message& msg, NodeId at);
+  /// Fires the drop handler (borrowing) and releases the payload.
+  void DropAndRelease(const Message& msg, NodeId at, NodeId next);
 
   /// One unconditional loss draw (consumes exactly one RNG value for any p;
   /// see the class comment on stream comparability).
   bool DrawLoss(double p) { return rng_.UniformDouble() < p; }
+
+  double LinkLossLookup(NodeId from, NodeId to) const;
 
   static uint64_t LinkKey(NodeId from, NodeId to) {
     return (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
@@ -189,19 +219,25 @@ class Network {
   Rng rng_;
   TrafficStats stats_;
   const ParentResolver* parent_resolver_ = nullptr;
+  std::unique_ptr<DataPlane> owned_plane_;  // null when plane is borrowed
+  DataPlane* plane_;
 
   DeliveryHandler on_deliver_;
   DropHandler on_drop_;
   SnoopHandler on_snoop_;
 
-  std::vector<Frame> in_flight_;  // frames transmitting this cycle
-  std::vector<Frame> pending_;    // frames queued for the next cycle
+  /// Frame slab + free list; the step queues below hold slab indices, so
+  /// moving a frame between cycles moves one int32.
+  std::vector<Frame> frames_;
+  std::vector<int32_t> free_frames_;
+  std::vector<int32_t> in_flight_;  // frames transmitting this cycle
+  std::vector<int32_t> pending_;    // frames queued for the next cycle
   std::vector<bool> failed_;
   /// Per-link loss overrides, keyed by LinkKey; empty in the common case.
   std::unordered_map<uint64_t, double> link_loss_;
-  /// Reused per-Step packet-grouping scratch: (group key, in_flight_ index),
-  /// sorted. Replaces a per-Step heap-allocated ordered map; numbers in
-  /// bench_micro.cc.
+  /// Reused per-Step packet-grouping scratch: (group key, in_flight_
+  /// position), sorted. Replaces a per-Step heap-allocated ordered map;
+  /// numbers in bench_micro.cc.
   using GroupKey = std::tuple<int, int64_t, int64_t, int64_t, int>;
   std::vector<std::pair<GroupKey, size_t>> group_scratch_;
   int64_t now_ = 0;

@@ -1,0 +1,92 @@
+#include "net/route_table.h"
+
+#include <algorithm>
+
+namespace aspen {
+namespace net {
+
+namespace {
+
+/// FNV-1a over a sequence of int32 values.
+uint64_t HashInts(uint64_t h, const int32_t* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint32_t>(data[i]);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+
+}  // namespace
+
+void MulticastRoute::Normalize() {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+}
+
+bool MulticastRoute::IsTarget(NodeId id) const {
+  return std::binary_search(targets.begin(), targets.end(), id);
+}
+
+std::pair<const std::pair<NodeId, NodeId>*, const std::pair<NodeId, NodeId>*>
+MulticastRoute::ChildrenOf(NodeId id) const {
+  auto lo = std::lower_bound(
+      edges.begin(), edges.end(), id,
+      [](const std::pair<NodeId, NodeId>& e, NodeId u) { return e.first < u; });
+  auto hi = lo;
+  while (hi != edges.end() && hi->first == id) ++hi;
+  return {edges.data() + (lo - edges.begin()),
+          edges.data() + (hi - edges.begin())};
+}
+
+RouteId RouteTable::InternPath(const NodeId* path, int len) {
+  if (len <= 0) return kInvalidRoute;
+  uint64_t h = HashInts(kFnvOffset, path, static_cast<size_t>(len));
+  auto& bucket = path_dedup_[h];
+  for (RouteId id : bucket) {
+    if (PathLength(id) == len &&
+        std::equal(path, path + len, PathData(id))) {
+      return id;
+    }
+  }
+  Span span;
+  span.off = static_cast<uint32_t>(nodes_.size());
+  span.len = static_cast<uint32_t>(len);
+  nodes_.insert(nodes_.end(), path, path + len);
+  RouteId id = static_cast<RouteId>(spans_.size());
+  spans_.push_back(span);
+  bucket.push_back(id);
+  return id;
+}
+
+McastId RouteTable::InternMulticast(MulticastRoute route) {
+  route.Normalize();
+  uint64_t h = kFnvOffset;
+  for (const auto& [u, v] : route.edges) {
+    const int32_t pair[2] = {u, v};
+    h = HashInts(h, pair, 2);
+  }
+  h = HashInts(h, route.targets.data(), route.targets.size());
+  auto& bucket = mcast_dedup_[h];
+  for (McastId id : bucket) {
+    if (mcasts_[id] == route) return id;
+  }
+  McastId id = static_cast<McastId>(mcasts_.size());
+  mcasts_.push_back(std::move(route));
+  bucket.push_back(id);
+  return id;
+}
+
+void RouteTable::Reset() {
+  nodes_.clear();
+  spans_.clear();
+  mcasts_.clear();
+  path_dedup_.clear();
+  mcast_dedup_.clear();
+}
+
+}  // namespace net
+}  // namespace aspen

@@ -1,0 +1,111 @@
+// Interned routes: source paths and multicast trees registered once,
+// referenced by dense ids from then on.
+//
+// The protocol layer's routes (producer -> join node segments, root ->
+// producer distribution paths, multicast trees) stay fixed for thousands of
+// sampling cycles. Instead of copying a path vector into every message, a
+// route is interned here once and the message envelope carries its RouteId;
+// the network resolves hops through the table. Interning dedupes by
+// content, so re-registering an unchanged route after a placement rebuild
+// returns the existing id and the table stays bounded.
+//
+// Ids are append-only and remain valid for the table's lifetime (until
+// Reset), so frames in flight keep resolving a route even after its owner
+// cached a newer one.
+
+#ifndef ASPEN_NET_ROUTE_TABLE_H_
+#define ASPEN_NET_ROUTE_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace aspen {
+namespace net {
+
+/// Dense id of an interned unicast path (kInvalidRoute = none).
+using RouteId = int32_t;
+/// Dense id of an interned multicast tree (kInvalidRoute = none).
+using McastId = int32_t;
+constexpr int32_t kInvalidRoute = -1;
+
+/// \brief Explicit multicast route: a tree rooted at the origin. Delivery
+/// fires at every node listed in `targets`.
+///
+/// Edges are stored as one flat (parent, child) vector sorted ascending —
+/// fan-out order is therefore child-ascending per parent by construction,
+/// never dependent on hash-map iteration order. `targets` is sorted unique.
+struct MulticastRoute {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<NodeId> targets;
+
+  /// Normalizes (sorts) edges and targets; call after bulk construction.
+  void Normalize();
+
+  bool IsTarget(NodeId id) const;
+  /// [first, last) span of `edges` whose parent is `id`.
+  std::pair<const std::pair<NodeId, NodeId>*, const std::pair<NodeId, NodeId>*>
+  ChildrenOf(NodeId id) const;
+
+  bool operator==(const MulticastRoute& o) const {
+    return edges == o.edges && targets == o.targets;
+  }
+};
+
+/// \brief Interns unicast paths and multicast trees; hands out dense ids.
+class RouteTable {
+ public:
+  /// Interns `path` (returns the existing id when an identical path was
+  /// interned before). Empty paths return kInvalidRoute.
+  RouteId InternPath(const NodeId* path, int len);
+  RouteId InternPath(const std::vector<NodeId>& path) {
+    return InternPath(path.data(), static_cast<int>(path.size()));
+  }
+
+  int PathLength(RouteId id) const { return spans_[id].len; }
+  const NodeId* PathData(RouteId id) const {
+    return nodes_.data() + spans_[id].off;
+  }
+  NodeId PathNode(RouteId id, int i) const { return PathData(id)[i]; }
+  NodeId PathFront(RouteId id) const { return PathData(id)[0]; }
+  NodeId PathBack(RouteId id) const {
+    return PathData(id)[spans_[id].len - 1];
+  }
+  bool IsValidPath(RouteId id) const {
+    return id >= 0 && id < static_cast<RouteId>(spans_.size());
+  }
+
+  /// Interns `route` (normalized; deduped by content).
+  McastId InternMulticast(MulticastRoute route);
+  const MulticastRoute& Multicast(McastId id) const { return mcasts_[id]; }
+  bool IsValidMulticast(McastId id) const {
+    return id >= 0 && id < static_cast<McastId>(mcasts_.size());
+  }
+
+  size_t num_paths() const { return spans_.size(); }
+  size_t num_multicasts() const { return mcasts_.size(); }
+
+  /// Drops every route but keeps the backing capacity for the next run.
+  void Reset();
+
+ private:
+  struct Span {
+    uint32_t off = 0;
+    uint32_t len = 0;
+  };
+
+  std::vector<NodeId> nodes_;  ///< concatenated path storage
+  std::vector<Span> spans_;
+  std::vector<MulticastRoute> mcasts_;
+  /// Content-hash -> candidate ids (verified exactly on lookup).
+  std::unordered_map<uint64_t, std::vector<RouteId>> path_dedup_;
+  std::unordered_map<uint64_t, std::vector<McastId>> mcast_dedup_;
+};
+
+}  // namespace net
+}  // namespace aspen
+
+#endif  // ASPEN_NET_ROUTE_TABLE_H_

@@ -6,11 +6,17 @@
 //  - time-based (footnote 5): every tuple sampled within the last `w`
 //    sampling cycles; the owner evicts expired entries before each use and
 //    capacity is bounded by the maximum expected rate (one per cycle).
+//
+// Storage is a ring over a slot vector: eviction moves the head index and
+// insertion copy-assigns into a recycled slot, so a warmed-up window's
+// tuples keep their heap buffers and the steady-state push/evict cycle
+// allocates nothing.
 
 #ifndef ASPEN_QUERY_WINDOW_H_
 #define ASPEN_QUERY_WINDOW_H_
 
-#include <deque>
+#include <algorithm>
+#include <vector>
 
 #include "common/logging.h"
 #include "query/schema.h"
@@ -33,12 +39,14 @@ class JoinWindow {
 
   /// Enqueues a sample taken at `cycle`. In tuple mode the oldest entry is
   /// evicted when full; in time mode expired entries are evicted lazily via
-  /// EvictExpired.
-  void Push(Tuple tuple, int cycle) {
-    if (!time_based_ && static_cast<int>(buffer_.size()) == size_) {
-      buffer_.pop_front();
-    }
-    buffer_.push_back(Entry{cycle, std::move(tuple)});
+  /// EvictExpired. The tuple is copied into a recycled slot.
+  void Push(const Tuple& tuple, int cycle) {
+    if (!time_based_ && count_ == size_) PopFront();
+    if (count_ == static_cast<int>(slots_.size())) Grow();
+    Entry& e = slots_[Index(count_)];
+    e.cycle = cycle;
+    e.tuple = tuple;  // reuses the recycled slot's capacity
+    ++count_;
   }
 
   /// Time mode: drops entries sampled before `now - size + 1`. No-op in
@@ -46,25 +54,52 @@ class JoinWindow {
   void EvictExpired(int now) {
     if (!time_based_) return;
     const int min_cycle = now - size_ + 1;
-    while (!buffer_.empty() && buffer_.front().cycle < min_cycle) {
-      buffer_.pop_front();
-    }
+    while (count_ > 0 && slots_[head_].cycle < min_cycle) PopFront();
   }
 
-  const std::deque<Entry>& entries() const { return buffer_; }
-  int size() const { return static_cast<int>(buffer_.size()); }
+  /// The i-th buffered entry, oldest first (0 <= i < size()).
+  const Entry& entry(int i) const { return slots_[Index(i)]; }
+
+  int size() const { return count_; }
   int window_size() const { return size_; }
   bool time_based() const { return time_based_; }
-  bool empty() const { return buffer_.empty(); }
-  void Clear() { buffer_.clear(); }
+  bool empty() const { return count_ == 0; }
+  void Clear() {
+    head_ = 0;
+    count_ = 0;
+  }
 
   /// Storage cost in bytes (Table 3's storage rows).
   int StorageBytes() const { return size() * Schema::WireBytes(kNumAttrs); }
 
  private:
+  int Index(int i) const {
+    int idx = head_ + i;
+    const int cap = static_cast<int>(slots_.size());
+    return idx >= cap ? idx - cap : idx;
+  }
+
+  void PopFront() {
+    head_ = Index(1);
+    --count_;
+  }
+
+  /// Doubles the slot vector, unrolling the ring so entries stay in age
+  /// order. Tuples are moved, keeping their buffers.
+  void Grow() {
+    const int old_cap = static_cast<int>(slots_.size());
+    const int new_cap = old_cap == 0 ? std::min(size_, 8) : old_cap * 2;
+    std::vector<Entry> grown(new_cap);
+    for (int i = 0; i < count_; ++i) grown[i] = std::move(slots_[Index(i)]);
+    slots_.swap(grown);
+    head_ = 0;
+  }
+
   int size_;
   bool time_based_;
-  std::deque<Entry> buffer_;
+  std::vector<Entry> slots_;
+  int head_ = 0;
+  int count_ = 0;
 };
 
 }  // namespace query

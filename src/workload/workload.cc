@@ -284,7 +284,15 @@ const FilterDesign& Workload::FilterFor(const SelectivityParams& p) const {
 // ---- sampling ---------------------------------------------------------------
 
 query::Tuple Workload::Sample(net::NodeId id, int cycle) const {
-  query::Tuple t = statics_.tuple(id);
+  query::Tuple t;
+  SampleInto(id, cycle, &t);
+  return t;
+}
+
+void Workload::SampleInto(net::NodeId id, int cycle,
+                          query::Tuple* out) const {
+  query::Tuple& t = *out;
+  t = statics_.tuple(id);  // copy-assign reuses the caller's capacity
   const SelectivityParams& p = ParamsAt(id, cycle);
   const int domain = p.UDomain();
   // Counter-hash draws keep the trace a pure function of (node, cycle).
@@ -298,7 +306,6 @@ query::Tuple Workload::Sample(net::NodeId id, int cycle) const {
       200 + static_cast<int32_t>(routing::HashKey(cycle, seed_ ^ id ^ 0x77) % 80);
   t[AttrId::kAttrBattery] = 2900;
   t[AttrId::kAttrMemFree] = 4096;
-  return t;
 }
 
 bool Workload::PassSFilter(net::NodeId id, const query::Tuple& tuple,

@@ -98,6 +98,11 @@ class Workload {
   /// The full sensor tuple sampled by `id` at `cycle`. Pure function.
   query::Tuple Sample(net::NodeId id, int cycle) const;
 
+  /// Sample() into a caller-owned tuple, reusing its capacity (the per-node
+  /// hot path samples thousands of times per run; this variant never
+  /// allocates once `out` is warm).
+  void SampleInto(net::NodeId id, int cycle, query::Tuple* out) const;
+
   /// Whether the sample passes the S-side (resp. T-side) dynamic selection
   /// (the hash-gate hP(u); always true for Query 3).
   bool PassSFilter(net::NodeId id, const query::Tuple& tuple,

@@ -236,7 +236,7 @@ TEST(FailureRecoveryTest, FailingOneNodeLeavesOtherLinksLossStreamIntact) {
       m.mode = net::RoutingMode::kSourcePath;
       m.origin = 0;
       m.dest = 9;
-      m.path = path;
+      m.route = net.routes().InternPath(path);
       m.size_bytes = 8;
       EXPECT_TRUE(net.Submit(std::move(m)).ok());
       net::Message to_f;
@@ -244,7 +244,7 @@ TEST(FailureRecoveryTest, FailingOneNodeLeavesOtherLinksLossStreamIntact) {
       to_f.mode = net::RoutingMode::kLocalHop;
       to_f.origin = o;
       to_f.dest = f;
-      to_f.path = {o, f};
+      to_f.route = net.routes().InternPath({o, f});
       to_f.size_bytes = 8;
       EXPECT_TRUE(net.Submit(std::move(to_f)).ok());
       net.StepUntilQuiet(100);

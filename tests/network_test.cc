@@ -35,14 +35,15 @@ class NetworkTest : public ::testing::Test {
     return net;
   }
 
-  Message MakeMsg(NodeId from, NodeId to, RoutingMode mode,
-                  std::vector<NodeId> path = {}) {
+  /// Builds a message, interning `path` (if any) in `net`'s route table.
+  Message MakeMsg(Network& net, NodeId from, NodeId to, RoutingMode mode,
+                  const std::vector<NodeId>& path = {}) {
     Message m;
     m.kind = MessageKind::kData;
     m.mode = mode;
     m.origin = from;
     m.dest = to;
-    m.path = std::move(path);
+    if (!path.empty()) m.route = net.routes().InternPath(path);
     m.size_bytes = 10;
     return m;
   }
@@ -58,7 +59,7 @@ TEST_F(NetworkTest, SourcePathDeliversAlongPath) {
       [&](const Message& m, NodeId at) { delivered.push_back(at); });
   auto path = topo_->ShortestPath(0, 9);
   ASSERT_GE(path.size(), 2u);
-  auto id = net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path));
+  auto id = net.Submit(MakeMsg(net, 0, 9, RoutingMode::kSourcePath, path));
   ASSERT_TRUE(id.ok());
   int steps = net.StepUntilQuiet();
   EXPECT_EQ(steps, static_cast<int>(path.size()) - 1);  // one hop per cycle
@@ -70,7 +71,7 @@ TEST_F(NetworkTest, SelfAddressedDeliversImmediatelyAtZeroCost) {
   Network net = MakeNet();
   int deliveries = 0;
   net.set_delivery_handler([&](const Message&, NodeId) { ++deliveries; });
-  ASSERT_TRUE(net.Submit(MakeMsg(3, 3, RoutingMode::kTreeToRoot)).ok());
+  ASSERT_TRUE(net.Submit(MakeMsg(net, 3, 3, RoutingMode::kTreeToRoot)).ok());
   EXPECT_EQ(deliveries, 1);
   EXPECT_EQ(net.stats().TotalBytesSent(), 0u);
 }
@@ -78,10 +79,10 @@ TEST_F(NetworkTest, SelfAddressedDeliversImmediatelyAtZeroCost) {
 TEST_F(NetworkTest, InvalidPathRejected) {
   Network net = MakeNet();
   // Path not starting at origin.
-  auto bad = MakeMsg(0, 2, RoutingMode::kSourcePath, {1, 2});
+  auto bad = MakeMsg(net, 0, 2, RoutingMode::kSourcePath, {1, 2});
   EXPECT_FALSE(net.Submit(std::move(bad)).ok());
   // Empty path.
-  auto bad2 = MakeMsg(0, 2, RoutingMode::kSourcePath, {});
+  auto bad2 = MakeMsg(net, 0, 2, RoutingMode::kSourcePath, {});
   EXPECT_FALSE(net.Submit(std::move(bad2)).ok());
 }
 
@@ -90,14 +91,14 @@ TEST_F(NetworkTest, TreeToRootReachesBase) {
   NodeId delivered_at = -1;
   net.set_delivery_handler(
       [&](const Message&, NodeId at) { delivered_at = at; });
-  ASSERT_TRUE(net.Submit(MakeMsg(9, 0, RoutingMode::kTreeToRoot)).ok());
+  ASSERT_TRUE(net.Submit(MakeMsg(net, 9, 0, RoutingMode::kTreeToRoot)).ok());
   net.StepUntilQuiet();
   EXPECT_EQ(delivered_at, 0);
 }
 
 TEST_F(NetworkTest, TreeToRootWithoutResolverFails) {
   Network net(topo_.get(), {});
-  EXPECT_FALSE(net.Submit(MakeMsg(9, 0, RoutingMode::kTreeToRoot)).ok());
+  EXPECT_FALSE(net.Submit(MakeMsg(net, 9, 0, RoutingMode::kTreeToRoot)).ok());
 }
 
 TEST_F(NetworkTest, GeoGreedyReachesDestination) {
@@ -105,7 +106,7 @@ TEST_F(NetworkTest, GeoGreedyReachesDestination) {
   NodeId delivered_at = -1;
   net.set_delivery_handler(
       [&](const Message&, NodeId at) { delivered_at = at; });
-  ASSERT_TRUE(net.Submit(MakeMsg(0, 9, RoutingMode::kGeoGreedy)).ok());
+  ASSERT_TRUE(net.Submit(MakeMsg(net, 0, 9, RoutingMode::kGeoGreedy)).ok());
   net.StepUntilQuiet(1000);
   EXPECT_EQ(delivered_at, 9);
 }
@@ -113,7 +114,7 @@ TEST_F(NetworkTest, GeoGreedyReachesDestination) {
 TEST_F(NetworkTest, TrafficChargedPerHopWithHeader) {
   Network net = MakeNet();
   auto path = topo_->ShortestPath(0, 9);
-  ASSERT_TRUE(net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  ASSERT_TRUE(net.Submit(MakeMsg(net, 0, 9, RoutingMode::kSourcePath, path)).ok());
   net.StepUntilQuiet();
   const int hops = static_cast<int>(path.size()) - 1;
   const uint64_t per_hop = 10 + WireFormat::kLinkHeaderBytes;
@@ -137,7 +138,7 @@ TEST_F(NetworkTest, LossCausesRetransmissionCharges) {
   const int hops = static_cast<int>(path.size()) - 1;
   for (int i = 0; i < 20; ++i) {
     ASSERT_TRUE(
-        net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+        net.Submit(MakeMsg(net, 0, 9, RoutingMode::kSourcePath, path)).ok());
   }
   net.StepUntilQuiet(10000);
   EXPECT_EQ(deliveries, 20);
@@ -159,7 +160,7 @@ TEST_F(NetworkTest, ExhaustedRetriesDropWithCallback) {
     drop_at = at;
   });
   auto path = topo_->ShortestPath(0, 9);
-  ASSERT_TRUE(net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  ASSERT_TRUE(net.Submit(MakeMsg(net, 0, 9, RoutingMode::kSourcePath, path)).ok());
   net.StepUntilQuiet(100);
   EXPECT_EQ(drops, 1);
   EXPECT_EQ(drop_at, 0);  // never left the origin
@@ -172,7 +173,7 @@ TEST_F(NetworkTest, FailedNodeNeverAcks) {
       [&](const Message&, NodeId, NodeId) { ++drops; });
   auto path = topo_->ShortestPath(0, 9);
   net.FailNode(path[1]);
-  ASSERT_TRUE(net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  ASSERT_TRUE(net.Submit(MakeMsg(net, 0, 9, RoutingMode::kSourcePath, path)).ok());
   net.StepUntilQuiet(100);
   EXPECT_EQ(drops, 1);
   // Sender kept transmitting (and being charged) until retries ran out.
@@ -184,10 +185,10 @@ TEST_F(NetworkTest, FailedOriginRejectsSubmit) {
   Network net = MakeNet();
   net.FailNode(4);
   EXPECT_TRUE(net.IsFailed(4));
-  EXPECT_FALSE(net.Submit(MakeMsg(4, 0, RoutingMode::kTreeToRoot)).ok());
+  EXPECT_FALSE(net.Submit(MakeMsg(net, 4, 0, RoutingMode::kTreeToRoot)).ok());
   net.ReviveNode(4);
   EXPECT_FALSE(net.IsFailed(4));
-  EXPECT_TRUE(net.Submit(MakeMsg(4, 0, RoutingMode::kTreeToRoot)).ok());
+  EXPECT_TRUE(net.Submit(MakeMsg(net, 4, 0, RoutingMode::kTreeToRoot)).ok());
 }
 
 TEST_F(NetworkTest, MergingSharesOneHeaderPerPacket) {
@@ -200,13 +201,13 @@ TEST_F(NetworkTest, MergingSharesOneHeaderPerPacket) {
   Network merged = MakeNet(merged_opts);
   for (int i = 0; i < 2; ++i) {
     ASSERT_TRUE(
-        merged.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+        merged.Submit(MakeMsg(merged, 0, 9, RoutingMode::kSourcePath, path)).ok());
   }
   merged.StepUntilQuiet();
   Network plain = MakeNet();
   for (int i = 0; i < 2; ++i) {
     ASSERT_TRUE(
-        plain.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+        plain.Submit(MakeMsg(plain, 0, 9, RoutingMode::kSourcePath, path)).ok());
   }
   plain.StepUntilQuiet();
   EXPECT_EQ(plain.stats().TotalBytesSent(),
@@ -224,12 +225,12 @@ TEST_F(NetworkTest, MulticastChargesOncePerBroadcast) {
       [&](const Message&, NodeId at) { delivered.push_back(at); });
   // Node 2's neighbors in Grid(2,5) include 1, 3, 6, 7 (row-major layout).
   // Build a one-level tree: 2 -> {1, 3}.
-  auto route = std::make_shared<MulticastRoute>();
-  route->children[2] = {1, 3};
-  route->targets = {1, 3};
-  Message m = MakeMsg(2, 2, RoutingMode::kSourcePath);
-  m.path.clear();
-  ASSERT_TRUE(net.SubmitMulticast(std::move(m), route).ok());
+  MulticastRoute route;
+  route.edges = {{2, 1}, {2, 3}};
+  route.targets = {1, 3};
+  McastId route_id = net.routes().InternMulticast(std::move(route));
+  Message m = MakeMsg(net, 2, 2, RoutingMode::kSourcePath);
+  ASSERT_TRUE(net.SubmitMulticast(std::move(m), route_id).ok());
   net.StepUntilQuiet();
   EXPECT_EQ(delivered.size(), 2u);
   // One broadcast transmission (header+payload), two receptions.
@@ -239,15 +240,38 @@ TEST_F(NetworkTest, MulticastChargesOncePerBroadcast) {
             static_cast<uint64_t>(10 + WireFormat::kLinkHeaderBytes));
 }
 
+TEST_F(NetworkTest, MulticastFanOutOrderIsParentChildAscending) {
+  // Regression for determinism: fan-out order must be (parent, child)
+  // ascending by construction — never a function of hash-map iteration —
+  // and independent of the order the route's edges were assembled in.
+  Network net = MakeNet();
+  std::vector<NodeId> delivered;
+  net.set_delivery_handler(
+      [&](const Message&, NodeId at) { delivered.push_back(at); });
+  // Two-level tree on Grid(2,5): 2 -> {1, 3}, 3 -> {4}; edges deliberately
+  // listed out of order (Normalize inside InternMulticast sorts them).
+  MulticastRoute route;
+  route.edges = {{3, 4}, {2, 3}, {2, 1}};
+  route.targets = {4, 3, 1};
+  McastId route_id = net.routes().InternMulticast(std::move(route));
+  Message m = MakeMsg(net, 2, 2, RoutingMode::kSourcePath);
+  ASSERT_TRUE(net.SubmitMulticast(std::move(m), route_id).ok());
+  net.StepUntilQuiet();
+  // Level 1 delivers 2's children ascending (1, then 3); level 2 delivers
+  // 3's child.
+  EXPECT_EQ(delivered, (std::vector<NodeId>{1, 3, 4}));
+}
+
 TEST_F(NetworkTest, MulticastDeliversAtOriginTarget) {
   Network net = MakeNet();
   std::vector<NodeId> delivered;
   net.set_delivery_handler(
       [&](const Message&, NodeId at) { delivered.push_back(at); });
-  auto route = std::make_shared<MulticastRoute>();
-  route->targets = {2};
-  Message m = MakeMsg(2, 2, RoutingMode::kSourcePath);
-  ASSERT_TRUE(net.SubmitMulticast(std::move(m), route).ok());
+  MulticastRoute route;
+  route.targets = {2};
+  McastId route_id = net.routes().InternMulticast(std::move(route));
+  Message m = MakeMsg(net, 2, 2, RoutingMode::kSourcePath);
+  ASSERT_TRUE(net.SubmitMulticast(std::move(m), route_id).ok());
   EXPECT_EQ(delivered, std::vector<NodeId>{2});
 }
 
@@ -262,7 +286,7 @@ TEST_F(NetworkTest, SnoopingFiresForNeighbors) {
         snoopers.push_back(snooper);
       });
   auto path = topo_->ShortestPath(0, 4);
-  ASSERT_TRUE(net.Submit(MakeMsg(0, 4, RoutingMode::kSourcePath, path)).ok());
+  ASSERT_TRUE(net.Submit(MakeMsg(net, 0, 4, RoutingMode::kSourcePath, path)).ok());
   net.StepUntilQuiet();
   EXPECT_FALSE(snoopers.empty());
 }
@@ -283,7 +307,7 @@ TEST_F(NetworkTest, SnoopFiresEvenWhenReceiverLosesTheFrame) {
   net.set_drop_handler([&](const Message&, NodeId, NodeId) { ++drops; });
   net.set_delivery_handler([&](const Message&, NodeId) { ++deliveries; });
   auto path = topo_->ShortestPath(0, 4);
-  ASSERT_TRUE(net.Submit(MakeMsg(0, 4, RoutingMode::kSourcePath, path)).ok());
+  ASSERT_TRUE(net.Submit(MakeMsg(net, 0, 4, RoutingMode::kSourcePath, path)).ok());
   net.StepUntilQuiet(100);
   EXPECT_EQ(deliveries, 0);
   EXPECT_EQ(drops, 1);
@@ -303,7 +327,7 @@ TEST_F(NetworkTest, SnoopFiresOnEveryRetransmissionAttempt) {
     ++per_snooper[snooper];
   });
   auto path = topo_->ShortestPath(0, 4);
-  ASSERT_TRUE(net.Submit(MakeMsg(0, 4, RoutingMode::kSourcePath, path)).ok());
+  ASSERT_TRUE(net.Submit(MakeMsg(net, 0, 4, RoutingMode::kSourcePath, path)).ok());
   net.StepUntilQuiet(100);
   ASSERT_FALSE(per_snooper.empty());
   for (const auto& [snooper, count] : per_snooper) {
@@ -336,7 +360,7 @@ TEST_F(NetworkTest, FailedNeighborsAndTheReceiverNeverSnoop) {
       snoopers.push_back(snooper);
     }
   });
-  ASSERT_TRUE(net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  ASSERT_TRUE(net.Submit(MakeMsg(net, 0, 9, RoutingMode::kSourcePath, path)).ok());
   net.StepUntilQuiet();
   EXPECT_FALSE(snoopers.empty());
   for (NodeId s : snoopers) {
@@ -367,11 +391,11 @@ TEST_F(NetworkTest, LossyLinkDropsWhileOthersDeliver) {
   int deliveries = 0, drops = 0;
   net.set_delivery_handler([&](const Message&, NodeId) { ++deliveries; });
   net.set_drop_handler([&](const Message&, NodeId, NodeId) { ++drops; });
-  ASSERT_TRUE(net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  ASSERT_TRUE(net.Submit(MakeMsg(net, 0, 9, RoutingMode::kSourcePath, path)).ok());
   // A frame between two unaffected nodes still gets through.
   auto other = topo_->ShortestPath(4, 9);
   ASSERT_TRUE(
-      net.Submit(MakeMsg(4, 9, RoutingMode::kSourcePath, other)).ok());
+      net.Submit(MakeMsg(net, 4, 9, RoutingMode::kSourcePath, other)).ok());
   net.StepUntilQuiet(100);
   EXPECT_EQ(drops, 1);
   EXPECT_EQ(deliveries, 1);
@@ -388,10 +412,10 @@ TEST_F(NetworkTest, ClockAdvancesPerStep) {
 TEST_F(NetworkTest, StatsByKindAndInitiationSplit) {
   Network net = MakeNet();
   auto path = topo_->ShortestPath(0, 9);
-  Message explore = MakeMsg(0, 9, RoutingMode::kSourcePath, path);
+  Message explore = MakeMsg(net, 0, 9, RoutingMode::kSourcePath, path);
   explore.kind = MessageKind::kExploration;
   ASSERT_TRUE(net.Submit(std::move(explore)).ok());
-  ASSERT_TRUE(net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  ASSERT_TRUE(net.Submit(MakeMsg(net, 0, 9, RoutingMode::kSourcePath, path)).ok());
   net.StepUntilQuiet();
   EXPECT_GT(net.stats().BytesByKind(MessageKind::kExploration), 0u);
   EXPECT_GT(net.stats().BytesByKind(MessageKind::kData), 0u);
@@ -406,7 +430,7 @@ TEST_F(NetworkTest, TopLoadedNodesSortedDescending) {
   auto path = topo_->ShortestPath(0, 9);
   for (int i = 0; i < 3; ++i) {
     ASSERT_TRUE(
-        net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+        net.Submit(MakeMsg(net, 0, 9, RoutingMode::kSourcePath, path)).ok());
   }
   net.StepUntilQuiet();
   auto top = net.stats().TopLoadedNodes(5);
@@ -417,7 +441,7 @@ TEST_F(NetworkTest, TopLoadedNodesSortedDescending) {
 TEST_F(NetworkTest, StatsReset) {
   Network net = MakeNet();
   auto path = topo_->ShortestPath(0, 9);
-  ASSERT_TRUE(net.Submit(MakeMsg(0, 9, RoutingMode::kSourcePath, path)).ok());
+  ASSERT_TRUE(net.Submit(MakeMsg(net, 0, 9, RoutingMode::kSourcePath, path)).ok());
   net.StepUntilQuiet();
   EXPECT_GT(net.stats().TotalBytesSent(), 0u);
   net.stats().Reset();

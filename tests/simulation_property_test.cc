@@ -45,8 +45,9 @@ TEST_P(ConservationTest, EveryMessageDeliveredOrDropped) {
     } else {
       m.mode = net::RoutingMode::kSourcePath;
       m.dest = static_cast<net::NodeId>(rng.UniformInt(60));
-      m.path = topo.ShortestPath(m.origin, m.dest);
-      if (m.path.size() < 2 && m.origin != m.dest) continue;
+      auto path = topo.ShortestPath(m.origin, m.dest);
+      if (path.size() < 2 && m.origin != m.dest) continue;
+      m.route = net.routes().InternPath(path);
     }
     m.size_bytes = 6;
     if (net.Submit(std::move(m)).ok()) ++submitted;

@@ -178,8 +178,8 @@ TEST(JoinWindowTest, TupleModeEvictsOldest) {
   w.Push(mk(2), 1);
   w.Push(mk(3), 2);
   ASSERT_EQ(w.size(), 2);
-  EXPECT_EQ(w.entries()[0].tuple[AttrId::kAttrId], 2);
-  EXPECT_EQ(w.entries()[1].tuple[AttrId::kAttrId], 3);
+  EXPECT_EQ(w.entry(0).tuple[AttrId::kAttrId], 2);
+  EXPECT_EQ(w.entry(1).tuple[AttrId::kAttrId], 3);
   EXPECT_GT(w.StorageBytes(), 0);
   w.Clear();
   EXPECT_TRUE(w.empty());
@@ -201,7 +201,7 @@ TEST(JoinWindowTest, TimeModeKeepsAllRecentAndEvictsByCycle) {
   // At cycle 3, cycle 0 entries expire (window covers cycles 1..3).
   w.EvictExpired(3);
   ASSERT_EQ(w.size(), 2);
-  EXPECT_EQ(w.entries()[0].cycle, 1);
+  EXPECT_EQ(w.entry(0).cycle, 1);
   // At cycle 10 everything is gone.
   w.EvictExpired(10);
   EXPECT_TRUE(w.empty());
