@@ -67,6 +67,7 @@ int Main(int argc, char** argv) {
   opts.features = join::InnetFeatures::Cm();
   opts.assumed = sel;
   opts.mesh_mode = true;
+  opts.shards = benchutil::ShardsFromEnv();
 
   join::JoinExecutor exec(&wl, opts);
   auto t0 = std::chrono::steady_clock::now();
@@ -102,6 +103,7 @@ int Main(int argc, char** argv) {
       static_cast<double>(allocs) / measured_cycles;
 
   std::printf("nodes                 %d\n", topo.num_nodes());
+  std::printf("shards                %d\n", opts.shards);
   std::printf("pairs                 %zu\n", exec.pairs().size());
   std::printf("initiation            %.2f s\n", init_s);
   std::printf("measured cycles       %d (after %d warm-up)\n",
@@ -117,12 +119,31 @@ int Main(int argc, char** argv) {
 
   benchutil::JsonReport report("BENCH_mesh_10k.json");
   report.Add("mesh_10k", "nodes", topo.num_nodes());
+  report.Add("mesh_10k", "shards", opts.shards);
   report.Add("mesh_10k", "cycles_per_sec", cycles_per_sec);
   report.Add("mesh_10k", "ms_per_cycle", 1e3 * run_s / measured_cycles);
   report.Add("mesh_10k", "bytes", static_cast<double>(bytes));
   report.Add("mesh_10k", "allocs_per_cycle", allocs_per_cycle);
   report.Add("mesh_10k", "init_seconds", init_s);
   report.Write();
+
+  // Deterministic subset for the CI shard-determinism gate (the console
+  // output above contains timing and cannot be diffed byte for byte).
+  benchutil::DeterminismLog det;
+  if (det.enabled()) {
+    const auto& stats = exec.network().stats();
+    det.Add("nodes", topo.num_nodes());
+    det.Add("results", exec.results());
+    det.Add("measured_bytes", bytes);
+    det.Add("total_bytes", stats.TotalBytesSent());
+    det.Add("total_messages", stats.TotalMessagesSent());
+    det.Add("base_bytes", stats.BaseStationBytes());
+    det.Add("traffic_fingerprint", benchutil::TrafficFingerprint(stats));
+    auto rs = exec.Stats();
+    det.AddDoubleBits("avg_result_delay", rs.avg_result_delay_cycles);
+    det.AddDoubleBits("max_result_delay", rs.max_result_delay_cycles);
+    if (!det.Write()) return 1;
+  }
   return 0;
 }
 

@@ -76,10 +76,21 @@ void* operator new[](std::size_t size) {
   if (p == nullptr) throw std::bad_alloc();
   return p;
 }
+// The replaced operator new above allocates with malloc, so freeing with
+// free() is correct; GCC's -Wmismatched-new-delete cannot see the pairing
+// when these deletes inline into the benchmark library's static
+// initializers, so silence that one diagnostic here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace aspen {
 namespace {

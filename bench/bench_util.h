@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,18 @@ inline int CyclesFromEnv(int default_cycles) {
   return default_cycles;
 }
 
+/// Shard count for every executor a bench builds (ASPEN_SHARDS, default 1).
+/// The CI determinism gate runs each gated bench at ASPEN_SHARDS=1 and =4
+/// and fails on any byte difference in the deterministic outputs.
+inline int ShardsFromEnv() {
+  const char* env = std::getenv("ASPEN_SHARDS");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 1;
+}
+
 inline join::ExecutorOptions MakeOptions(
     const AlgoSpec& spec, const workload::SelectivityParams& assumed,
     bool mesh = false) {
@@ -95,6 +108,7 @@ inline join::ExecutorOptions MakeOptions(
   opts.features = spec.features;
   opts.assumed = assumed;
   opts.mesh_mode = mesh;
+  opts.shards = ShardsFromEnv();
   return opts;
 }
 
@@ -177,6 +191,79 @@ class JsonReport {
   };
   std::string path_;
   std::vector<Entry> entries_;
+};
+
+// ---- determinism digest ------------------------------------------------------
+//
+// The CI determinism gate runs a bench at several shard counts and compares
+// outputs byte for byte. Benches whose stdout contains timing write the
+// deterministic subset of their results here instead: key=value lines to
+// the file named by ASPEN_STATS_OUT (no-op when the variable is unset).
+
+/// FNV-1a fingerprint of the complete per-node traffic table: any
+/// divergence in any node's counters changes the digest.
+inline uint64_t TrafficFingerprint(const net::TrafficStats& s) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (net::NodeId id = 0; id < s.num_nodes(); ++id) {
+    const net::NodeTraffic& t = s.node(id);
+    mix(t.bytes_sent);
+    mix(t.bytes_received);
+    mix(t.messages_sent);
+    mix(t.messages_received);
+  }
+  return h;
+}
+
+/// \brief key=value lines of deterministic run quantities.
+class DeterminismLog {
+ public:
+  DeterminismLog() {
+    const char* env = std::getenv("ASPEN_STATS_OUT");
+    if (env != nullptr) path_ = env;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& key, uint64_t value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    lines_ += key + "=" + buf + "\n";
+  }
+
+  /// Doubles are logged as raw bit patterns: the gate checks bit equality,
+  /// not approximate equality.
+  void AddDoubleBits(const std::string& key, double value) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+    std::memcpy(&bits, &value, sizeof(bits));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(bits));
+    lines_ += key + "=0x" + buf + "\n";
+  }
+
+  bool Write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "DeterminismLog: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fputs(lines_.c_str(), f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::string lines_;
 };
 
 /// \brief Strips `--smoke` from argv; returns true when it was present.

@@ -32,5 +32,70 @@ void ParallelFor(int n, int num_threads, const std::function<void(int)>& fn) {
   for (auto& th : threads) th.join();
 }
 
+WorkerPool::WorkerPool(int num_workers) {
+  threads_.reserve(num_workers > 0 ? num_workers : 0);
+  for (int t = 0; t < num_workers; ++t) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  job_ready_.notify_all();
+  for (auto& th : threads_) th.join();
+}
+
+void WorkerPool::WorkerLoop() {
+  uint64_t seen = 0;
+  while (true) {
+    const std::function<void(int)>* job;
+    int size;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_ready_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+      size = job_size_;
+    }
+    for (int i = next_index_.fetch_add(1); i < size;
+         i = next_index_.fetch_add(1)) {
+      (*job)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--inflight_workers_ == 0) job_done_.notify_one();
+    }
+  }
+}
+
+void WorkerPool::Run(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (threads_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_size_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    inflight_workers_ = static_cast<int>(threads_.size());
+    ++generation_;
+  }
+  job_ready_.notify_all();
+  // The caller is a peer of the workers: it drains indices too, so the job
+  // finishes even if a worker is slow to wake.
+  for (int i = next_index_.fetch_add(1); i < n; i = next_index_.fetch_add(1)) {
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  job_done_.wait(lock, [&] { return inflight_workers_ == 0; });
+  job_ = nullptr;
+}
+
 }  // namespace common
 }  // namespace aspen

@@ -6,7 +6,12 @@
 #ifndef ASPEN_COMMON_PARALLEL_H_
 #define ASPEN_COMMON_PARALLEL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace aspen {
 namespace common {
@@ -21,6 +26,46 @@ int DefaultThreadCount();
 ///
 /// `fn` must be safe to call concurrently from multiple threads.
 void ParallelFor(int n, int num_threads, const std::function<void(int)>& fn);
+
+/// \brief Persistent fork-join pool for phase-structured work.
+///
+/// Unlike ParallelFor, the worker threads are spawned once and parked on a
+/// condition variable between jobs, so a Run() costs two wakeup/park cycles
+/// instead of thread creation — cheap enough to call once per simulation
+/// phase (the sharded kernel runs several Run()s per transmission cycle).
+/// Run() holds the job by pointer and never copies the callable, so a
+/// steady-state Run() performs no heap allocation.
+class WorkerPool {
+ public:
+  /// Spawns `num_workers` parked threads (0 is valid: every Run() then
+  /// executes inline on the caller).
+  explicit WorkerPool(int num_workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Invokes `fn(i)` for every i in [0, n); the caller participates, so all
+  /// n indices complete even with zero workers. Blocks until done. Not
+  /// reentrant; only one Run() may be active at a time.
+  void Run(int n, const std::function<void(int)>& fn);
+
+  int num_workers() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  const std::function<void(int)>* job_ = nullptr;  // borrowed during Run()
+  int job_size_ = 0;
+  uint64_t generation_ = 0;
+  std::atomic<int> next_index_{0};
+  int inflight_workers_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
 
 }  // namespace common
 }  // namespace aspen

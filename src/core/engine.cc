@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <optional>
@@ -75,6 +76,15 @@ Result<AggregatedStats> RunAveraged(const WorkloadFactory& factory,
   // network and RNG. Run them on the pool, then aggregate serially in seed
   // order so the floating-point reduction is identical for any thread
   // count.
+  //
+  // Sharded repetitions multiply the thread footprint: each repetition
+  // spins up its own shard pool, so divide the repetition workers by the
+  // shard count to keep the total near the hardware concurrency. (The
+  // result is unaffected: both levels are bit-deterministic.)
+  if (num_threads <= 0) num_threads = common::DefaultThreadCount();
+  if (options.executor.shards > 1) {
+    num_threads = std::max(1, num_threads / options.executor.shards);
+  }
   std::vector<Result<join::RunStats>> outcomes(
       runs, Result<join::RunStats>(Status::Internal("repetition not run")));
   // Fail fast: once any repetition errors, later ones are skipped (indices

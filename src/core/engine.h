@@ -72,7 +72,10 @@ using WorkloadFactory =
 /// and aggregates. Each repetition owns its workload, network, RNG and (if
 /// a schedule is configured) scenario driver, and aggregation happens in
 /// seed order, so results are bit-identical for any thread count. Any
-/// failing repetition fails the whole call.
+/// failing repetition fails the whole call. When the executor options
+/// request sharded runs (ExecutorOptions::shards > 1), the repetition
+/// worker count is divided by the shard count so the two parallelism
+/// levels together stay near the hardware concurrency.
 Result<AggregatedStats> RunAveraged(const WorkloadFactory& factory,
                                     const ExperimentOptions& options,
                                     int sampling_cycles, int runs,

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "sim/sharded_scheduler.h"
 
 namespace aspen {
 namespace join {
@@ -62,8 +63,16 @@ JoinExecutor::JoinExecutor(const workload::Workload* workload,
       [this](const Message& m, NodeId snooper, NodeId from, NodeId to) {
         OnSnoop(m, snooper, from, to);
       });
-  sched_ = std::make_unique<sim::CycleScheduler>(
-      net_, workload_->join_query().window.sample_interval);
+  const int interval = workload_->join_query().window.sample_interval;
+  if (opts_.shards > 1) {
+    auto sharded =
+        std::make_unique<sim::ShardedScheduler>(net_, interval, opts_.shards);
+    scratch_.resize(sharded->num_shards());
+    sched_ = std::move(sharded);
+  } else {
+    sched_ = std::make_unique<sim::CycleScheduler>(net_, interval);
+    scratch_.resize(1);
+  }
   sched_->Attach(this);
   data_pool_ = net_->payloads().GetOrCreate<DataPayload>(kPayloadTagData);
   result_pool_ =
@@ -81,6 +90,7 @@ JoinExecutor::JoinExecutor(const workload::Workload* workload,
       query_id_(query_id) {
   ASPEN_CHECK(shared_network != nullptr);
   ASPEN_CHECK(&shared_network->topology() == &workload->topology());
+  scratch_.resize(1);  // medium-attached executors run unsharded
   data_pool_ = net_->payloads().GetOrCreate<DataPayload>(kPayloadTagData);
   result_pool_ =
       net_->payloads().GetOrCreate<ResultPayload>(kPayloadTagResult);
@@ -446,42 +456,74 @@ void JoinExecutor::RebuildSendPlans() {
   }
 }
 
-void JoinExecutor::SampleAndSend(int cycle) {
-  const bool naive = opts_.algorithm == Algorithm::kNaive;
-  const int n = workload_->topology().num_nodes();
-  const int w = workload_->join_query().window.size;
+void JoinExecutor::OnSampleBegin(int cycle) {
+  cycle_ = cycle;
+  RetryPendingReplays();
   if (plans_dirty_) RebuildSendPlans();
-  Tuple& tuple = sample_scratch_;
-  for (NodeId p = 0; p < n; ++p) {
+  // The shard passes call PassS/TFilter concurrently; warming here (after
+  // any between-cycle parameter mutation) makes those calls read-only.
+  workload_->WarmFilterCache();
+}
+
+void JoinExecutor::OnSampleShard(int cycle, int shard, NodeId begin,
+                                 NodeId end) {
+  // Pure per-node work: sampling, filters and the producer-local last-w
+  // buffers. Submissions happen at commit, in node order, so the network
+  // sees the identical stream for any shard count.
+  const bool naive = opts_.algorithm == Algorithm::kNaive;
+  const int w = workload_->join_query().window.size;
+  ShardScratch& sc = scratch_[shard];
+  sc.staged_count = 0;
+  for (NodeId p = begin; p < end; ++p) {
     if (net_->IsFailed(p)) continue;
     NodeState& node = nodes_[p];
     const bool s_role = naive ? workload_->SEligible(p) : !node.s_pairs.empty();
     const bool t_role = naive ? workload_->TEligible(p) : !node.t_pairs.empty();
     if (!s_role && !t_role) continue;
-    workload_->SampleInto(p, cycle, &tuple);
-    bool send_s = s_role && workload_->PassSFilter(p, tuple, cycle);
-    bool send_t = t_role && workload_->PassTFilter(p, tuple, cycle);
-    if (!send_s && !send_t) continue;
+    if (sc.staged_count == static_cast<int>(sc.staged.size())) {
+      sc.staged.emplace_back();
+    }
+    StagedSample& slot = sc.staged[sc.staged_count];
+    workload_->SampleInto(p, cycle, &slot.tuple);
+    bool send_s = s_role && workload_->PassSFilter(p, slot.tuple, cycle);
+    bool send_t = t_role && workload_->PassTFilter(p, slot.tuple, cycle);
+    if (!send_s && !send_t) continue;  // slot stays staged-free for reuse
+    slot.p = p;
+    slot.send_s = send_s;
+    slot.send_t = send_t;
+    ++sc.staged_count;
     // Producers remember their last w sent tuples per role so a join window
     // can be reconstructed at the base after a join-node failure.
-    if (send_s) node.recent_sent[1].Push(tuple, w);
-    if (send_t) node.recent_sent[0].Push(tuple, w);
-    switch (opts_.algorithm) {
-      case Algorithm::kNaive:
-      case Algorithm::kBase:
-        SendToBase(p, tuple, cycle, send_s, send_t);
-        break;
-      case Algorithm::kYang07:
-        SendYang(p, tuple, cycle, send_s, send_t);
-        break;
-      case Algorithm::kGht:
-        SendGht(p, tuple, cycle, send_s, send_t);
-        break;
-      case Algorithm::kInnet:
-        SendInnet(p, tuple, cycle, send_s, send_t);
-        break;
-    }
+    if (send_s) node.recent_sent[1].Push(slot.tuple, w);
+    if (send_t) node.recent_sent[0].Push(slot.tuple, w);
   }
+}
+
+Status JoinExecutor::OnSampleCommit(int cycle) {
+  // Shards are contiguous ascending node ranges, so walking them in order
+  // submits in exactly the node order of the unsharded loop.
+  for (ShardScratch& sc : scratch_) {
+    for (int i = 0; i < sc.staged_count; ++i) {
+      const StagedSample& s = sc.staged[i];
+      switch (opts_.algorithm) {
+        case Algorithm::kNaive:
+        case Algorithm::kBase:
+          SendToBase(s.p, s.tuple, cycle, s.send_s, s.send_t);
+          break;
+        case Algorithm::kYang07:
+          SendYang(s.p, s.tuple, cycle, s.send_s, s.send_t);
+          break;
+        case Algorithm::kGht:
+          SendGht(s.p, s.tuple, cycle, s.send_s, s.send_t);
+          break;
+        case Algorithm::kInnet:
+          SendInnet(s.p, s.tuple, cycle, s.send_s, s.send_t);
+          break;
+      }
+    }
+    sc.staged_count = 0;
+  }
+  return Status::OK();
 }
 
 void JoinExecutor::SendToBase(NodeId p, const Tuple& t, int cycle, bool as_s,
@@ -615,18 +657,23 @@ PairState& JoinExecutor::StateAt(NodeId at, const PairKey& pair) {
   return nodes_[at].StateAt(pair, window.size, window.time_based);
 }
 
+PairState& JoinExecutor::StateAtShard(int shard, NodeId at,
+                                      const PairKey& pair) {
+  const auto& window = workload_->join_query().window;
+  scratch_[shard].touched_sites.push_back(at);
+  return nodes_[at].StateAt(pair, window.size, window.time_based);
+}
+
 PairState* JoinExecutor::FindState(NodeId at, const PairKey& pair) {
   return nodes_[at].FindState(pair);
 }
 
-void JoinExecutor::ProcessArrivals(int cycle) {
-  // Deterministic ordering: all S-side applications first, then T-side,
-  // each in (producer, location) order. A tuple joins the opposite window
-  // as of its own insertion; same-cycle (s, t) pairs match exactly once —
-  // when the T side is applied.
+void JoinExecutor::OnDeliverBegin(int cycle) {
+  (void)cycle;
   arrivals_.ForEach([](NodeId, std::vector<Arrival>& items) {
     // Stable insertion sort by delivery location: boxes are tiny and, unlike
-    // std::stable_sort, this never touches the heap.
+    // std::stable_sort, this never touches the heap. ForEach also sorts the
+    // active-node list, so the concurrent shard passes below are read-only.
     for (size_t i = 1; i < items.size(); ++i) {
       const Arrival key = items[i];
       size_t j = i;
@@ -637,19 +684,38 @@ void JoinExecutor::ProcessArrivals(int cycle) {
       items[j] = key;
     }
   });
-  for (bool s_phase : {true, false}) {
-    arrivals_.ForEach([&](NodeId producer, std::vector<Arrival>& items) {
+}
+
+void JoinExecutor::OnDeliverShard(int cycle, int shard, NodeId begin,
+                                  NodeId end) {
+  // Deterministic ordering: all S-side applications first, then T-side,
+  // each in (producer, location) order. A tuple joins the opposite window
+  // as of its own insertion; same-cycle (s, t) pairs match exactly once —
+  // when the T side is applied. Join state lives at the delivery location,
+  // so each shard owns the probes and window mutations of its node range;
+  // result emissions touch shared state and are deferred to the commit.
+  (void)cycle;
+  ShardScratch& sc = scratch_[shard];
+  sc.emits.clear();
+  sc.touched_sites.clear();
+  for (uint8_t phase = 0; phase < 2; ++phase) {
+    const bool s_phase = phase == 0;
+    arrivals_.ForEachConst([&](NodeId producer,
+                               const std::vector<Arrival>& items) {
       const NodeState& pnode = nodes_[producer];
       const auto& pair_idxs = s_phase ? pnode.s_pairs : pnode.t_pairs;
       if (pair_idxs.empty()) return;
-      for (const Arrival& a : items) {
+      for (int32_t bi = 0; bi < static_cast<int32_t>(items.size()); ++bi) {
+        const Arrival& a = items[bi];
+        if (a.at < begin || a.at >= end) continue;
         const DataPayload& data = *data_pool_->Get(a.data);
         if (s_phase ? !data.as_s : !data.as_t) continue;
-        for (int32_t pi : pair_idxs) {
-          const PairPlacement& pl = placements_[pi];
+        for (int32_t pp = 0; pp < static_cast<int32_t>(pair_idxs.size());
+             ++pp) {
+          const PairPlacement& pl = placements_[pair_idxs[pp]];
           NodeId expect = pl.at_base ? 0 : pl.join_node;
           if (expect != a.at) continue;
-          PairState& st = StateAt(a.at, pl.pair);
+          PairState& st = StateAtShard(shard, a.at, pl.pair);
           auto& own_window = s_phase ? st.s_window : st.t_window;
           auto& other_window = s_phase ? st.t_window : st.s_window;
           other_window.EvictExpired(data.sample_cycle);
@@ -667,18 +733,53 @@ void JoinExecutor::ProcessArrivals(int cycle) {
           }
           own_window.Push(data.tuple, data.sample_cycle);
           if (matches > 0) {
-            EmitResults(a.at, pl.pair, matches, data.sample_cycle);
+            DeferredEmit e;
+            e.phase = phase;
+            e.producer = producer;
+            e.box_pos = bi;
+            e.pair_pos = pp;
+            e.at = a.at;
+            e.pair = pl.pair;
+            e.matches = matches;
+            e.sample_cycle = data.sample_cycle;
+            sc.emits.push_back(e);
           }
         }
       }
     });
   }
+}
+
+Status JoinExecutor::OnDeliverCommit(int cycle) {
+  (void)cycle;
+  for (ShardScratch& sc : scratch_) {
+    for (NodeId site : sc.touched_sites) TouchSite(site);
+    sc.touched_sites.clear();
+  }
+  // Replay deferred emissions in the exact order the unsharded pass emits:
+  // S side before T side, producers ascending, arrivals in box order,
+  // pairs in the producer's pair-list order. Every key component is
+  // content, so the merged order is identical for any shard count.
+  emit_merge_.clear();
+  for (const ShardScratch& sc : scratch_) {
+    for (const DeferredEmit& e : sc.emits) emit_merge_.push_back(&e);
+  }
+  std::sort(emit_merge_.begin(), emit_merge_.end(),
+            [](const DeferredEmit* x, const DeferredEmit* y) {
+              return std::tie(x->phase, x->producer, x->box_pos, x->pair_pos) <
+                     std::tie(y->phase, y->producer, y->box_pos, y->pair_pos);
+            });
+  for (const DeferredEmit* e : emit_merge_) {
+    EmitResults(e->at, e->pair, e->matches, e->sample_cycle);
+  }
+  emit_merge_.clear();
+  for (ShardScratch& sc : scratch_) sc.emits.clear();
   // The arrivals owned one payload reference each; drop them with the batch.
   arrivals_.ForEach([&](NodeId, std::vector<Arrival>& items) {
     for (const Arrival& a : items) net_->payloads().Release(a.data);
   });
   arrivals_.Clear();
-  (void)cycle;
+  return Status::OK();
 }
 
 void JoinExecutor::EmitResults(NodeId at, const PairKey& pair, int count,
@@ -710,18 +811,20 @@ Status JoinExecutor::OnSample(int cycle) {
   if (!initiated_) {
     return Status::FailedPrecondition("sample phase before Initiate");
   }
-  cycle_ = cycle;
-  RetryPendingReplays();
-  SampleAndSend(cycle);
-  return Status::OK();
+  // Begin + one full-range shard pass + commit: the sharded schedule with
+  // one shard, so sharded and sequential runs are the same code path.
+  OnSampleBegin(cycle);
+  OnSampleShard(cycle, /*shard=*/0, 0, workload_->topology().num_nodes());
+  return OnSampleCommit(cycle);
 }
 
 Status JoinExecutor::OnDeliver(int cycle) {
   if (!initiated_) {
     return Status::FailedPrecondition("deliver phase before Initiate");
   }
-  ProcessArrivals(cycle);
-  return Status::OK();
+  OnDeliverBegin(cycle);
+  OnDeliverShard(cycle, /*shard=*/0, 0, workload_->topology().num_nodes());
+  return OnDeliverCommit(cycle);
 }
 
 Status JoinExecutor::OnLearn(int cycle) {

@@ -37,7 +37,16 @@ namespace aspen {
 namespace join {
 
 /// \brief Runs one join query with one algorithm over one workload.
-class JoinExecutor : public sim::CycleParticipant {
+///
+/// The sample and deliver phases implement the sharded split (see
+/// sim::ShardPhaseParticipant): sampling stages pure per-node work into
+/// per-shard scratch and commits the submissions in node order; delivery
+/// probes each shard's own join sites concurrently and replays deferred
+/// result emissions in canonical (side, producer, arrival, pair) order.
+/// The plain OnSample/OnDeliver hooks are exactly Begin + one full-range
+/// shard pass + Commit, so sharded and sequential runs are byte-identical.
+class JoinExecutor : public sim::CycleParticipant,
+                     public sim::ShardPhaseParticipant {
  public:
   /// `workload` must outlive the executor. Owns its own network and cycle
   /// scheduler.
@@ -128,6 +137,17 @@ class JoinExecutor : public sim::CycleParticipant {
   Status OnSample(int cycle) override;
   Status OnDeliver(int cycle) override;
   Status OnLearn(int cycle) override;
+  sim::ShardPhaseParticipant* sharded() override { return this; }
+
+  // -- sharded phase split (sim::ShardPhaseParticipant) ----------------------
+  void OnSampleBegin(int cycle) override;
+  void OnSampleShard(int cycle, int shard, net::NodeId begin,
+                     net::NodeId end) override;
+  Status OnSampleCommit(int cycle) override;
+  void OnDeliverBegin(int cycle) override;
+  void OnDeliverShard(int cycle, int shard, net::NodeId begin,
+                      net::NodeId end) override;
+  Status OnDeliverCommit(int cycle) override;
 
   // -- initiation ------------------------------------------------------------
   Status InitCommon();
@@ -147,7 +167,6 @@ class JoinExecutor : public sim::CycleParticipant {
   /// Rebuilds every producer's SendPlan (destinations + interned routes)
   /// from the placement table. Invoked lazily when `plans_dirty_`.
   void RebuildSendPlans();
-  void SampleAndSend(int cycle);
   void SendToBase(net::NodeId p, const query::Tuple& t, int cycle, bool as_s,
                   bool as_t);
   void SendInnet(net::NodeId p, const query::Tuple& t, int cycle, bool as_s,
@@ -167,13 +186,14 @@ class JoinExecutor : public sim::CycleParticipant {
   void OnDrop(const net::Message& msg, net::NodeId at, net::NodeId next);
   void OnSnoop(const net::Message& msg, net::NodeId snooper, net::NodeId from,
                net::NodeId to);
-  /// Applies buffered arrivals with deterministic ordering (S side first).
-  void ProcessArrivals(int cycle);
   void EmitResults(net::NodeId at, const PairKey& pair, int count,
                    int sample_cycle);
   void DeliverResultAtBase(int count, int sample_cycle);
 
   PairState& StateAt(net::NodeId at, const PairKey& pair);
+  /// StateAt for concurrent shard passes: the touched site is recorded in
+  /// the shard's scratch instead of the shared active-site list.
+  PairState& StateAtShard(int shard, net::NodeId at, const PairKey& pair);
   PairState* FindState(net::NodeId at, const PairKey& pair);
   /// Registers `at` as a join site (deterministic state iteration order).
   void TouchSite(net::NodeId at);
@@ -264,9 +284,41 @@ class JoinExecutor : public sim::CycleParticipant {
   net::TypedPool<ResultPayload>* result_pool_ = nullptr;
   net::TypedPool<WindowTransferPayload>* window_pool_ = nullptr;
 
-  /// Reused per-producer sampling scratch (avoids a tuple allocation per
-  /// producer per cycle).
-  query::Tuple sample_scratch_;
+  /// One staged producer sample: the pure per-node work of the sample
+  /// phase, computed in parallel and submitted in node order at commit.
+  /// Slots are recycled with their tuple capacity.
+  struct StagedSample {
+    net::NodeId p = -1;
+    bool send_s = false;
+    bool send_t = false;
+    query::Tuple tuple;
+  };
+
+  /// One deferred EmitResults call of a deliver shard pass, with the
+  /// canonical merge key (side, producer, arrival position, pair position)
+  /// that reproduces the sequential emission order exactly.
+  struct DeferredEmit {
+    uint8_t phase = 0;  // 0 = S side, 1 = T side
+    net::NodeId producer = -1;
+    int32_t box_pos = 0;
+    int32_t pair_pos = 0;
+    net::NodeId at = -1;
+    PairKey pair;
+    int matches = 0;
+    int sample_cycle = 0;
+  };
+
+  /// Everything one shard's sample/deliver passes stage.
+  struct ShardScratch {
+    std::vector<StagedSample> staged;
+    int staged_count = 0;
+    std::vector<DeferredEmit> emits;
+    std::vector<net::NodeId> touched_sites;
+  };
+
+  std::vector<ShardScratch> scratch_;
+  /// Reused canonical-merge scratch for deferred emissions.
+  std::vector<const DeferredEmit*> emit_merge_;
   /// Set whenever a placement mutates; the next sample phase rebuilds the
   /// per-producer send plans before sending.
   bool plans_dirty_ = false;

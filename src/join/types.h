@@ -85,6 +85,13 @@ struct ExecutorOptions {
   double loss_prob = 0.0;
   int max_retries = 3;
 
+  /// Shards one run's execution across this many worker-driven node
+  /// partitions (sim::ShardedScheduler); 1 = single-threaded. Results,
+  /// TrafficStats and RNG streams are byte-identical for every value
+  /// (clamped to the node count). Only owned-network executors shard;
+  /// medium-attached executors ignore it.
+  int shards = 1;
+
   uint64_t seed = 1;
 
   /// Optional borrowed data-plane arena (route table + payload pools) for

@@ -11,10 +11,26 @@
 //
 // Loss draws are consumed unconditionally, one per physical transmission
 // (per reception for multicast broadcasts), even when the receiver is dead
-// or the effective loss probability is 0 or 1. Node failure therefore never
-// shifts the position of later draws: a failure scenario and its unfailed
-// baseline see the same loss stream for every transmission that occurs at
-// the same position in both runs.
+// or the effective loss probability is 0 or 1. Each *sender* owns an
+// independent loss stream (seeded from the run seed and the node id), so a
+// transmission's draw is a function of (sender, per-sender transmission
+// ordinal) alone — independent of how transmissions at different nodes
+// interleave. Node failure therefore never shifts the position of another
+// node's draws, and the sharded step (below) reproduces the exact
+// single-shard stream for any shard count.
+//
+// Sharded stepping: nodes are partitioned into contiguous id ranges
+// (shards), each owning a frame slab and the step queues of the frames
+// currently held by its nodes. A Step() is a compute phase — every shard
+// transmits its senders' frames, draws losses from its own nodes' streams
+// and forwards in-shard arrivals locally — followed by an exchange phase
+// that merges each shard's deferred externally-visible effects (handler
+// invocations, payload refcounts, cross-shard arrivals, per-kind/per-query
+// stats) in one canonical content order. Frames are totally ordered by
+// (packet class, holder, message id, destination), never by queue
+// position, so the observable outcome of a Step is byte-identical for
+// every shard count, including 1; shard count only decides which thread
+// runs each shard's compute phase. See DESIGN.md ("sharded execution").
 //
 // Snoop semantics: overhearing keys off the *sender's* transmission alone.
 // A neighbor snoops every on-air unicast attempt — including
@@ -48,6 +64,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "net/data_plane.h"
@@ -128,16 +145,35 @@ class Network {
   /// transmitted once.
   Result<uint64_t> SubmitMulticast(Message msg, McastId route);
 
-  /// Advances one transmission cycle.
+  /// \brief Repartitions the node space into shards. `starts[i]` is the
+  /// first node id of shard i; starts[0] must be 0 and starts must ascend.
+  /// `pool` (borrowed, may be null = inline) runs the per-shard compute
+  /// phases of subsequent Step() calls. Must be called while no traffic is
+  /// in flight. A network starts with one shard and no pool.
+  void ConfigureSharding(std::vector<NodeId> starts,
+                         common::WorkerPool* pool);
+
+  /// Drops the borrowed worker pool; subsequent Steps compute every shard
+  /// inline. Called by the pool's owner when it is destroyed first.
+  void DetachShardPool() { pool_ = nullptr; }
+
+  int num_shards() const { return static_cast<int>(shard_starts_.size()); }
+  /// The shard owning node `id`.
+  int ShardOf(NodeId id) const {
+    int s = num_shards() - 1;
+    while (shard_starts_[s] > id) --s;
+    return s;
+  }
+
+  /// Advances one transmission cycle (compute phases per shard, then the
+  /// canonical exchange phase; see the class comment).
   void Step();
 
   /// Steps until no frames are in flight or `max_steps` elapse; returns the
   /// number of steps taken.
   int StepUntilQuiet(int max_steps = 1 << 20);
 
-  bool HasTrafficInFlight() const {
-    return !in_flight_.empty() || !pending_.empty();
-  }
+  bool HasTrafficInFlight() const;
   int64_t now() const { return now_; }
 
   TrafficStats& stats() { return stats_; }
@@ -184,28 +220,111 @@ class Network {
   static_assert(std::is_trivially_copyable<Frame>::value,
                 "Frame must stay POD so the slab can memcpy it");
 
-  /// Slab allocation: returns the index of a (recycled or new) frame slot.
-  /// May grow `frames_` — references into the slab are invalidated.
-  int32_t AllocFrame();
-  void FreeFrame(int32_t idx) { free_frames_.push_back(idx); }
+  /// \brief Canonical total order over the frames of one Step.
+  ///
+  /// (class, holder, k1, k2, k3) identifies the physical packet group —
+  /// multicast broadcast (0, at, msg id), merge-eligible unicast
+  /// (1, at, next, final dest, kind), singleton (2, at, msg id, dest) —
+  /// and (id, dest) orders members within a group. Every component is
+  /// frame *content*, never queue position, so the order is identical for
+  /// any sharding of the queues (class comment).
+  using SortKey =
+      std::tuple<int8_t, NodeId, int64_t, int64_t, int64_t, uint64_t, NodeId>;
+
+  /// One deferred externally-visible event of a shard's compute phase,
+  /// applied in canonical (key, seq) order during the exchange phase.
+  struct Effect {
+    enum class Kind : uint8_t {
+      kDeliver,   ///< fire the delivery handler: msg delivered at `a`
+      kDrop,      ///< fire the drop handler: msg died at `a` toward `b`
+      kSnoopTx,   ///< expand snoopers of the transmission `a` -> `b`
+      kAddRef,    ///< payload refcount +1 (multicast fan-out)
+      kRelease,   ///< payload refcount -1 (terminal frame outcome)
+      kArrive,    ///< cross-shard arrival: apply `frame` at frame.next
+    };
+    Kind kind;
+    int32_t seq;  ///< emission ordinal within one frame's processing
+    SortKey key;  ///< the frame's canonical position in this Step
+    Message msg;  ///< envelope for kDeliver / kDrop / kSnoopTx
+    NodeId a = -1;
+    NodeId b = -1;
+    int bytes = 0;            ///< kArrive: received bytes to record
+    PayloadHandle payload;    ///< kAddRef / kRelease
+    Frame frame;              ///< kArrive: the migrating frame
+  };
+
+  /// \brief Everything one shard owns: the frames currently held by its
+  /// node range, their slab, the step queues, scratch, and the compute
+  /// phase's deferred outputs.
+  struct Shard {
+    std::vector<Frame> frames;
+    std::vector<int32_t> free_frames;
+    std::vector<int32_t> in_flight;
+    std::vector<int32_t> pending;
+    /// Reused packet-grouping scratch: (canonical key, slab index), sorted.
+    std::vector<std::pair<SortKey, int32_t>> group_scratch;
+    std::vector<Effect> effects;
+    TrafficStats::ShardDelta stats_delta;
+  };
+
+  SortKey KeyFor(const Frame& f) const;
+  /// Whether two canonically-sorted frames share one physical packet.
+  static bool SamePacketGroup(const SortKey& a, const SortKey& b);
+
+  /// Appends an effect with the next seq ordinal; caller fills the fields.
+  Effect& PushEffect(Shard* sh, Effect::Kind kind, const SortKey& key,
+                     int* seq);
+  /// Deferred DropAndRelease: a kDrop effect followed by the kRelease.
+  void PushDropEffects(Shard* sh, const SortKey& key, int* seq,
+                       const Message& msg, NodeId at, NodeId next);
+
+  /// Slab allocation within one shard. May grow the slab — references into
+  /// it are invalidated.
+  int32_t AllocFrame(Shard* shard);
+  static void FreeFrame(Shard* shard, int32_t idx) {
+    shard->free_frames.push_back(idx);
+  }
 
   /// Computes the hop after `frame->at`, updating geo escape state;
   /// returns -1 when no progress is possible (caller drops) and -2 when
   /// `frame->at` is the final dest.
   NodeId ResolveNextHop(Frame* frame) const;
 
-  /// Called when the frame in slab slot `idx` arrives at its `next` node;
-  /// handles delivery, multicast fan-out and re-queuing toward the next
-  /// hop. Terminal outcomes free the slot and release the payload.
-  void Arrive(int32_t idx);
+  /// Compute phase of one shard: transmit every in-flight frame held by
+  /// the shard's nodes, forwarding in-shard arrivals locally and deferring
+  /// every externally-visible effect into the shard's effect list.
+  void ComputeShard(int shard_idx);
+
+  // There is exactly ONE arrival state machine (ArriveSlot); what differs
+  // between the compute and exchange phases is only where its
+  // externally-visible events go, expressed as a sink:
+  // DeferSink appends canonical-keyed effects (compute phase, concurrent);
+  // InlineSink fires handlers / refcounts directly (exchange phase, which
+  // is sequential and already at the event's canonical position).
+  struct DeferSink;
+  struct InlineSink;
+  /// Arrival of the frame in `shard`'s slot `idx` at its `next` node:
+  /// delivery, multicast fan-out, or re-queuing toward the next hop.
+  /// Terminal outcomes free the slot and release (via the sink) the
+  /// payload.
+  template <typename Sink>
+  void ArriveSlot(Shard* shard, int32_t idx, Sink sink);
+  /// Exchange-phase arrival of a migrated frame: copies it into the slab
+  /// of the shard owning the arrival node, then runs ArriveSlot inline.
+  void ArriveExchange(const Frame& f);
+  /// Merges per-shard effects in canonical order and applies them; absorbs
+  /// stats deltas.
+  void ExchangePhase();
 
   void DeliverLocal(const Message& msg, NodeId at);
   /// Fires the drop handler (borrowing) and releases the payload.
   void DropAndRelease(const Message& msg, NodeId at, NodeId next);
 
-  /// One unconditional loss draw (consumes exactly one RNG value for any p;
-  /// see the class comment on stream comparability).
-  bool DrawLoss(double p) { return rng_.UniformDouble() < p; }
+  /// One unconditional loss draw from `sender`'s stream (consumes exactly
+  /// one value for any p; see the class comment on stream comparability).
+  bool DrawLoss(NodeId sender, double p) {
+    return node_rng_[sender].UniformDouble() < p;
+  }
 
   double LinkLossLookup(NodeId from, NodeId to) const;
 
@@ -216,7 +335,8 @@ class Network {
 
   const Topology* topology_;
   NetworkOptions options_;
-  Rng rng_;
+  /// Per-node loss streams; see the class comment.
+  std::vector<Rng> node_rng_;
   TrafficStats stats_;
   const ParentResolver* parent_resolver_ = nullptr;
   std::unique_ptr<DataPlane> owned_plane_;  // null when plane is borrowed
@@ -226,20 +346,19 @@ class Network {
   DropHandler on_drop_;
   SnoopHandler on_snoop_;
 
-  /// Frame slab + free list; the step queues below hold slab indices, so
-  /// moving a frame between cycles moves one int32.
-  std::vector<Frame> frames_;
-  std::vector<int32_t> free_frames_;
-  std::vector<int32_t> in_flight_;  // frames transmitting this cycle
-  std::vector<int32_t> pending_;    // frames queued for the next cycle
+  /// Shard partition: shard_starts_[i] = first node of shard i (always
+  /// starts with 0); shards_[i] owns the frames held by that range.
+  std::vector<NodeId> shard_starts_;
+  std::vector<Shard> shards_;
+  common::WorkerPool* pool_ = nullptr;  // borrowed; null = inline compute
+  /// Cached compute job (avoids a per-Step std::function construction).
+  std::function<void(int)> compute_job_;
+  /// Reused exchange-phase merge scratch (pointers into shard effects).
+  std::vector<const Effect*> merge_scratch_;
+
   std::vector<bool> failed_;
   /// Per-link loss overrides, keyed by LinkKey; empty in the common case.
   std::unordered_map<uint64_t, double> link_loss_;
-  /// Reused per-Step packet-grouping scratch: (group key, in_flight_
-  /// position), sorted. Replaces a per-Step heap-allocated ordered map;
-  /// numbers in bench_micro.cc.
-  using GroupKey = std::tuple<int, int64_t, int64_t, int64_t, int>;
-  std::vector<std::pair<GroupKey, size_t>> group_scratch_;
   int64_t now_ = 0;
   uint64_t next_id_ = 1;
   bool in_step_ = false;

@@ -62,6 +62,56 @@ class TrafficStats {
     per_query_[query_id].messages_sent += 1;
   }
 
+  /// \brief Shard-private accumulator for the medium-wide counters.
+  ///
+  /// The sharded network step writes per-node rows directly (each shard
+  /// owns its senders' rows exclusively) but must not touch the shared
+  /// per-kind / per-query totals from worker threads; those go here and
+  /// are absorbed once per step on the exchange thread. Integer sums make
+  /// the absorption order irrelevant to the final counter values.
+  struct ShardDelta {
+    std::array<uint64_t, static_cast<size_t>(MessageKind::kNumKinds)>
+        bytes_by_kind{};
+    std::array<uint64_t, static_cast<size_t>(MessageKind::kNumKinds)>
+        messages_by_kind{};
+    std::vector<QueryTraffic> per_query;
+  };
+
+  /// RecordSend for shard compute phases: the per-node row is written
+  /// directly (`node` must be owned by the calling shard); the medium-wide
+  /// counters accumulate in `delta`. `query_id` must be explicit (the
+  /// ambient query is main-thread state).
+  void RecordSendSharded(NodeId node, MessageKind kind, int bytes,
+                         int query_id, ShardDelta* delta) {
+    per_node_[node].bytes_sent += bytes;
+    per_node_[node].messages_sent += 1;
+    delta->bytes_by_kind[static_cast<size_t>(kind)] += bytes;
+    delta->messages_by_kind[static_cast<size_t>(kind)] += 1;
+    if (static_cast<size_t>(query_id) >= delta->per_query.size()) {
+      delta->per_query.resize(query_id + 1);
+    }
+    delta->per_query[query_id].bytes_sent += bytes;
+    delta->per_query[query_id].messages_sent += 1;
+  }
+
+  /// Adds a shard's accumulated medium-wide counters and clears it.
+  void Absorb(ShardDelta* delta) {
+    for (size_t k = 0; k < delta->bytes_by_kind.size(); ++k) {
+      bytes_by_kind_[k] += delta->bytes_by_kind[k];
+      messages_by_kind_[k] += delta->messages_by_kind[k];
+      delta->bytes_by_kind[k] = 0;
+      delta->messages_by_kind[k] = 0;
+    }
+    if (delta->per_query.size() > per_query_.size()) {
+      per_query_.resize(delta->per_query.size());
+    }
+    for (size_t q = 0; q < delta->per_query.size(); ++q) {
+      per_query_[q].bytes_sent += delta->per_query[q].bytes_sent;
+      per_query_[q].messages_sent += delta->per_query[q].messages_sent;
+      delta->per_query[q] = QueryTraffic{};
+    }
+  }
+
   /// \brief Scoped ambient query id: RecordSend calls without an explicit
   /// query (the computed control plane) are attributed to `query_id` while
   /// the scope is alive.

@@ -179,9 +179,9 @@ std::vector<FoundPath> MultiTree::Search(
         if (!descend(t, item.node, ci)) continue;
         ChargeExploreHop(item.node, static_cast<int>(item.path.size()) - 1,
                          stats, search_stats);
-        Item next;
-        next.node = children[ci];
-        next.path = item.path;
+        // Copy-construct the extended path (assigning into a fresh empty
+        // vector trips GCC 12's -Wnonnull on the inlined memmove).
+        Item next{children[ci], item.path};
         next.path.push_back(children[ci]);
         stack->push_back(std::move(next));
       }
@@ -216,9 +216,7 @@ std::vector<FoundPath> MultiTree::Search(
           if (!descend(t, p, ci)) continue;
           ChargeExploreHop(p, static_cast<int>(up_path.size()) - 1, stats,
                            search_stats);
-          Item next;
-          next.node = children[ci];
-          next.path = up_path;
+          Item next{children[ci], up_path};
           next.path.push_back(children[ci]);
           stack.push_back(std::move(next));
         }

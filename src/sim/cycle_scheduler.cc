@@ -27,14 +27,14 @@ Status CycleScheduler::RunCycles(int n) {
   }
   for (int i = 0; i < n; ++i) {
     for (CycleParticipant* p : participants_) {
-      ASPEN_RETURN_NOT_OK(p->OnSample(cycle_));
+      ASPEN_RETURN_NOT_OK(SamplePhase(p, cycle_));
     }
     for (int k = 0; k < sample_interval_; ++k) {
       net_->Step();
       if (!net_->HasTrafficInFlight()) break;
     }
     for (CycleParticipant* p : participants_) {
-      ASPEN_RETURN_NOT_OK(p->OnDeliver(cycle_));
+      ASPEN_RETURN_NOT_OK(DeliverPhase(p, cycle_));
     }
     for (CycleParticipant* p : participants_) {
       ASPEN_RETURN_NOT_OK(p->OnLearn(cycle_));
@@ -46,7 +46,7 @@ Status CycleScheduler::RunCycles(int n) {
   // reported result counts and traffic cover everything this run caused.
   net_->StepUntilQuiet(/*max_steps=*/16 * sample_interval_);
   for (CycleParticipant* p : participants_) {
-    ASPEN_RETURN_NOT_OK(p->OnDeliver(cycle_));
+    ASPEN_RETURN_NOT_OK(DeliverPhase(p, cycle_));
   }
   return Status::OK();
 }

@@ -29,6 +29,32 @@
 namespace aspen {
 namespace sim {
 
+/// \brief Node-range-parallel implementations of the sample and deliver
+/// phases, for participants hosted on a ShardedScheduler.
+///
+/// Each phase splits Begin (main thread; sequential prep), Shard (invoked
+/// once per shard, concurrently, over the shard's contiguous node range
+/// [begin, end)) and Commit (main thread; applies everything the shard
+/// passes staged, in one canonical order). A Shard pass must only mutate
+/// state owned by its node range or its own per-shard scratch; the phase's
+/// observable outcome must not depend on the shard count — the plain
+/// OnSample/OnDeliver hooks are required to equal Begin + one full-range
+/// Shard pass + Commit.
+class ShardPhaseParticipant {
+ public:
+  virtual ~ShardPhaseParticipant() = default;
+
+  virtual void OnSampleBegin(int cycle) = 0;
+  virtual void OnSampleShard(int cycle, int shard, net::NodeId begin,
+                             net::NodeId end) = 0;
+  virtual Status OnSampleCommit(int cycle) = 0;
+
+  virtual void OnDeliverBegin(int cycle) = 0;
+  virtual void OnDeliverShard(int cycle, int shard, net::NodeId begin,
+                              net::NodeId end) = 0;
+  virtual Status OnDeliverCommit(int cycle) = 0;
+};
+
 /// \brief One query's protocol logic hosted on the kernel. Phase hooks are
 /// invoked in registration order; `cycle` is the scheduler's clock value.
 class CycleParticipant {
@@ -44,6 +70,10 @@ class CycleParticipant {
 
   /// Learn phase: estimator ticks, adaptation, window advance.
   virtual Status OnLearn(int cycle) = 0;
+
+  /// Non-null when this participant can run its sample/deliver phases
+  /// sharded (ShardedScheduler uses it; other schedulers ignore it).
+  virtual ShardPhaseParticipant* sharded() { return nullptr; }
 };
 
 /// \brief Owns the clock and drives the phase loop over one network.
@@ -52,6 +82,7 @@ class CycleScheduler {
   /// `network` must outlive the scheduler. `sample_interval` is the number
   /// of transmission cycles available per sampling cycle.
   CycleScheduler(net::Network* network, int sample_interval);
+  virtual ~CycleScheduler() = default;
 
   CycleScheduler(const CycleScheduler&) = delete;
   CycleScheduler& operator=(const CycleScheduler&) = delete;
@@ -75,7 +106,19 @@ class CycleScheduler {
   int sample_interval() const { return sample_interval_; }
   net::Network& network() { return *net_; }
 
- private:
+ protected:
+  /// One participant's sample (resp. deliver) phase. The single cycle loop
+  /// in RunCycles dispatches through these so a scheduler subclass can
+  /// substitute a sharded phase schedule without duplicating the loop —
+  /// the phase ordering and straggler-drain contract stay identical by
+  /// construction.
+  virtual Status SamplePhase(CycleParticipant* p, int cycle) {
+    return p->OnSample(cycle);
+  }
+  virtual Status DeliverPhase(CycleParticipant* p, int cycle) {
+    return p->OnDeliver(cycle);
+  }
+
   net::Network* net_;
   int sample_interval_;
   std::vector<CycleParticipant*> participants_;

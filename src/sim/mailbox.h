@@ -46,10 +46,24 @@ class NodeMailboxes {
   /// the node ordering is computed once per batch, not per pass).
   template <typename Fn>
   void ForEach(Fn&& fn) {
+    Prepare();
+    for (net::NodeId id : active_) fn(id, boxes_[id]);
+  }
+
+  /// Sorts the active-node list now so that subsequent concurrent
+  /// ForEachConst passes (the sharded deliver phase reads boxes from every
+  /// worker) touch no shared mutable state.
+  void Prepare() {
     if (!sorted_) {
       std::sort(active_.begin(), active_.end());
       sorted_ = true;
     }
+  }
+
+  /// Read-only ForEach for concurrent passes. Prepare() must have been
+  /// called since the last Push.
+  template <typename Fn>
+  void ForEachConst(Fn&& fn) const {
     for (net::NodeId id : active_) fn(id, boxes_[id]);
   }
 

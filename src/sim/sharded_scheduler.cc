@@ -1,0 +1,68 @@
+#include "sim/sharded_scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aspen {
+namespace sim {
+
+std::vector<net::NodeId> ShardedScheduler::ComputeShardStarts(
+    int num_nodes, int num_shards) {
+  num_shards = std::max(1, std::min(num_shards, num_nodes));
+  std::vector<net::NodeId> starts(num_shards);
+  for (int i = 0; i < num_shards; ++i) {
+    starts[i] = static_cast<net::NodeId>(
+        static_cast<int64_t>(i) * num_nodes / num_shards);
+  }
+  return starts;
+}
+
+ShardedScheduler::ShardedScheduler(net::Network* network, int sample_interval,
+                                   int num_shards)
+    : CycleScheduler(network, sample_interval),
+      starts_(ComputeShardStarts(network->topology().num_nodes(), num_shards)),
+      pool_(static_cast<int>(starts_.size()) - 1) {
+  net_->ConfigureSharding(starts_, &pool_);
+  shard_job_ = [this](int s) {
+    const net::NodeId lo = starts_[s];
+    const net::NodeId hi = s + 1 < static_cast<int>(starts_.size())
+                               ? starts_[s + 1]
+                               : net_->topology().num_nodes();
+    if (current_is_sample_) {
+      current_->OnSampleShard(current_cycle_, s, lo, hi);
+    } else {
+      current_->OnDeliverShard(current_cycle_, s, lo, hi);
+    }
+  };
+}
+
+ShardedScheduler::~ShardedScheduler() {
+  // The network outlives this scheduler but not the owned pool.
+  net_->DetachShardPool();
+}
+
+Status ShardedScheduler::SamplePhase(CycleParticipant* p, int cycle) {
+  ShardPhaseParticipant* sp = p->sharded();
+  if (sp == nullptr) return p->OnSample(cycle);
+  sp->OnSampleBegin(cycle);
+  current_ = sp;
+  current_cycle_ = cycle;
+  current_is_sample_ = true;
+  pool_.Run(num_shards(), shard_job_);
+  return sp->OnSampleCommit(cycle);
+}
+
+Status ShardedScheduler::DeliverPhase(CycleParticipant* p, int cycle) {
+  ShardPhaseParticipant* sp = p->sharded();
+  if (sp == nullptr) return p->OnDeliver(cycle);
+  sp->OnDeliverBegin(cycle);
+  current_ = sp;
+  current_cycle_ = cycle;
+  current_is_sample_ = false;
+  pool_.Run(num_shards(), shard_job_);
+  return sp->OnDeliverCommit(cycle);
+}
+
+}  // namespace sim
+}  // namespace aspen

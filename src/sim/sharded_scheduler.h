@@ -1,0 +1,76 @@
+// Multi-threaded single-run execution of the cycle kernel.
+//
+// The node space is partitioned into K contiguous shards (node ids are
+// spatially coherent: grid topologies number row-major, so contiguous id
+// ranges are strips of the deployment). Each sampling cycle runs as:
+//
+//   sample   — Begin (main), then every shard stages its node range's
+//              samples concurrently, then Commit submits them in node order
+//   transmit — Network::Step runs each shard's compute phase on the worker
+//              pool and merges deferred effects in canonical content order
+//              (see net/network.h)
+//   deliver  — Begin sorts the mailboxes, shards probe the join windows of
+//              their own node ranges concurrently, Commit replays deferred
+//              result emissions in canonical order
+//   learn    — sequential on the main thread
+//
+// Every cross-shard interaction is deferred into per-shard buffers and
+// merged in an order derived from content (node ids, message ids, mailbox
+// positions), never from shard count or thread timing — so a run's
+// TrafficStats, results and RNG streams are byte-identical for every K,
+// including K=1 and the plain CycleScheduler. The shard count only decides
+// which thread executes each range. See DESIGN.md ("sharded execution").
+
+#ifndef ASPEN_SIM_SHARDED_SCHEDULER_H_
+#define ASPEN_SIM_SHARDED_SCHEDULER_H_
+
+#include <vector>
+
+#include "common/parallel.h"
+#include "sim/cycle_scheduler.h"
+
+namespace aspen {
+namespace sim {
+
+/// \brief Drives the phase loop with per-shard worker threads.
+///
+/// The cycle loop itself is CycleScheduler's — only the per-participant
+/// sample/deliver dispatch is overridden, so the phase ordering and
+/// straggler-drain contract cannot drift between sequential and sharded
+/// execution.
+class ShardedScheduler : public CycleScheduler {
+ public:
+  /// Partitions `network`'s node space into `num_shards` contiguous ranges
+  /// (clamped to the node count) and configures the network for sharded
+  /// stepping on an owned worker pool of num_shards - 1 threads.
+  ShardedScheduler(net::Network* network, int sample_interval,
+                   int num_shards);
+  ~ShardedScheduler() override;
+
+  int num_shards() const { return static_cast<int>(starts_.size()); }
+
+  /// Balanced contiguous split: shard i starts at floor(i * n / k).
+  static std::vector<net::NodeId> ComputeShardStarts(int num_nodes,
+                                                     int num_shards);
+
+ protected:
+  /// Sharded Begin/Shard/Commit when the participant supports it, the
+  /// plain hook otherwise.
+  Status SamplePhase(CycleParticipant* p, int cycle) override;
+  Status DeliverPhase(CycleParticipant* p, int cycle) override;
+
+ private:
+
+  std::vector<net::NodeId> starts_;
+  common::WorkerPool pool_;
+  /// Reused worker job (set per phase; avoids per-call allocation).
+  ShardPhaseParticipant* current_ = nullptr;
+  int current_cycle_ = 0;
+  bool current_is_sample_ = false;
+  std::function<void(int)> shard_job_;
+};
+
+}  // namespace sim
+}  // namespace aspen
+
+#endif  // ASPEN_SIM_SHARDED_SCHEDULER_H_

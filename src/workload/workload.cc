@@ -281,6 +281,19 @@ const FilterDesign& Workload::FilterFor(const SelectivityParams& p) const {
   return filter_cache_.back().second;
 }
 
+void Workload::WarmFilterCache() const {
+  // Inserts a design for every SelectivityParams a ParamsAt() call can
+  // currently return: the default, per-node overrides, and the global
+  // switch target. Afterwards concurrent FilterFor() calls are pure cache
+  // hits — no mutation, no reference invalidation — which is what makes
+  // PassSFilter/PassTFilter safe from sharded sample workers.
+  (void)FilterFor(default_params_);
+  for (const auto& override_params : node_params_) {
+    if (override_params.has_value()) (void)FilterFor(*override_params);
+  }
+  if (switch_cycle_ != INT32_MAX) (void)FilterFor(switch_params_);
+}
+
 // ---- sampling ---------------------------------------------------------------
 
 query::Tuple Workload::Sample(net::NodeId id, int cycle) const {

@@ -105,10 +105,19 @@ class Workload {
 
   /// Whether the sample passes the S-side (resp. T-side) dynamic selection
   /// (the hash-gate hP(u); always true for Query 3).
+  ///
+  /// Thread-safety: these memoize filter designs lazily, so concurrent
+  /// calls are only safe after WarmFilterCache() has run since the last
+  /// parameter mutation (the sharded sample phase warms per cycle).
   bool PassSFilter(net::NodeId id, const query::Tuple& tuple,
                    int cycle) const;
   bool PassTFilter(net::NodeId id, const query::Tuple& tuple,
                    int cycle) const;
+
+  /// Precomputes the filter designs for every parameter set currently
+  /// reachable through ParamsAt(), making subsequent PassS/TFilter calls
+  /// read-only (and therefore safe from concurrent shard workers).
+  void WarmFilterCache() const;
 
   /// All join clauses — secondary static plus dynamic — over a concrete
   /// tuple pair (the primary clause holds by construction for explored

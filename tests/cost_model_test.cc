@@ -63,7 +63,9 @@ TEST(CostModelTest, PlacementIsNeverWorseThanBase) {
           double base =
               BasePairCost(Cost(ss, st, sst, w), depth(0), depth(5));
           EXPECT_LE(p.cost, base);
-          if (!p.at_base) EXPECT_LT(p.cost, base);
+          if (!p.at_base) {
+            EXPECT_LT(p.cost, base);
+          }
         }
       }
     }

@@ -96,7 +96,9 @@ TEST(GhtTest, SameKeyPairsShareRendezvous) {
     EXPECT_FALSE(pl.at_base);
     int32_t join_key = *wl->SJoinKey(pl.pair.s);
     auto [it, inserted] = key_home.emplace(join_key, pl.join_node);
-    if (!inserted) EXPECT_EQ(it->second, pl.join_node);
+    if (!inserted) {
+      EXPECT_EQ(it->second, pl.join_node);
+    }
   }
   // Grouped-by-key: fewer distinct homes than pairs (when keys repeat).
   EXPECT_LE(key_home.size(), exec.placements().size());

@@ -56,7 +56,7 @@ TEST_F(NetworkTest, SourcePathDeliversAlongPath) {
   Network net = MakeNet();
   std::vector<NodeId> delivered;
   net.set_delivery_handler(
-      [&](const Message& m, NodeId at) { delivered.push_back(at); });
+      [&](const Message&, NodeId at) { delivered.push_back(at); });
   auto path = topo_->ShortestPath(0, 9);
   ASSERT_GE(path.size(), 2u);
   auto id = net.Submit(MakeMsg(net, 0, 9, RoutingMode::kSourcePath, path));
@@ -281,7 +281,7 @@ TEST_F(NetworkTest, SnoopingFiresForNeighbors) {
   Network net = MakeNet(opts);
   std::vector<NodeId> snoopers;
   net.set_snoop_handler(
-      [&](const Message&, NodeId snooper, NodeId from, NodeId to) {
+      [&](const Message&, NodeId snooper, NodeId /*from*/, NodeId to) {
         EXPECT_NE(snooper, to);
         snoopers.push_back(snooper);
       });

@@ -55,7 +55,9 @@ TEST_P(ConservationTest, EveryMessageDeliveredOrDropped) {
   }
   net.StepUntilQuiet(100000);
   EXPECT_EQ(delivered + dropped, submitted);
-  if (loss == 0.0) EXPECT_EQ(dropped, 0);
+  if (loss == 0.0) {
+    EXPECT_EQ(dropped, 0);
+  }
   EXPECT_FALSE(net.HasTrafficInFlight());
 }
 
