@@ -14,40 +14,21 @@
 //
 // `--smoke` shrinks the run for CI (same topology, fewer cycles).
 
-#include <atomic>
 #include <chrono>
 #include <cstdlib>
-#include <new>
 
+#include "bench/alloc_audit.h"
 #include "bench/bench_util.h"
 #include "core/engine.h"
 #include "join/executor.h"
 #include "net/topology.h"
 #include "workload/workload.h"
 
-static std::atomic<uint64_t> g_allocs{0};
-
-void* operator new(std::size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  void* p = std::malloc(size);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-void* operator new[](std::size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  void* p = std::malloc(size);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-
 namespace aspen {
 namespace {
 
 int Main(int argc, char** argv) {
+  allocaudit::SetCounting(true);  // the whole run is audited
   const bool smoke = benchutil::ConsumeSmokeFlag(&argc, argv);
   const int warmup_cycles = smoke ? 5 : 20;
   const int measured_cycles =
@@ -83,7 +64,7 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
-  const uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const uint64_t allocs_before = allocaudit::Count();
   const uint64_t bytes_before = exec.network().stats().TotalBytesSent();
   auto t2 = std::chrono::steady_clock::now();
   st = exec.RunCycles(measured_cycles);
@@ -92,8 +73,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "fatal: %s\n", st.ToString().c_str());
     return 1;
   }
-  const uint64_t allocs =
-      g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  const uint64_t allocs = allocaudit::Count() - allocs_before;
   const uint64_t bytes = exec.network().stats().TotalBytesSent() - bytes_before;
 
   const double init_s = std::chrono::duration<double>(t1 - t0).count();

@@ -60,37 +60,9 @@
 #include "routing/multi_tree.h"
 #include "workload/workload.h"
 
-// Global allocation counter: the zero-allocation data plane makes
-// allocs/cycle a tracked perf metric (see BENCH_micro.json).
-static std::atomic<uint64_t> g_allocs{0};
-
-void* operator new(std::size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  void* p = std::malloc(size);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-void* operator new[](std::size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  void* p = std::malloc(size);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-// The replaced operator new above allocates with malloc, so freeing with
-// free() is correct; GCC's -Wmismatched-new-delete cannot see the pairing
-// when these deletes inline into the benchmark library's static
-// initializers, so silence that one diagnostic here.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-#endif
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
+// Global allocation counter (bench/alloc_audit.h): the zero-allocation
+// data plane makes allocs/cycle a tracked perf metric (BENCH_micro.json).
+#include "bench/alloc_audit.h"
 
 namespace aspen {
 namespace {
@@ -223,16 +195,14 @@ void BM_FullExperimentCycle(benchmark::State& state) {
   opts.assumed = sel;
   join::JoinExecutor exec(&wl, opts);
   if (!exec.Initiate().ok()) state.SkipWithError("initiate failed");
-  const uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const uint64_t allocs_before = allocaudit::Count();
   const uint64_t bytes_before = exec.network().stats().TotalBytesSent();
   for (auto _ : state) {
     if (!exec.RunCycles(1).ok()) state.SkipWithError("run failed");
   }
   const double cycles = static_cast<double>(state.iterations());
   state.counters["allocs_per_cycle"] = benchmark::Counter(
-      static_cast<double>(g_allocs.load(std::memory_order_relaxed) -
-                          allocs_before) /
-      cycles);
+      static_cast<double>(allocaudit::Count() - allocs_before) / cycles);
   state.counters["bytes_per_cycle"] = benchmark::Counter(
       static_cast<double>(exec.network().stats().TotalBytesSent() -
                           bytes_before) /
@@ -313,6 +283,7 @@ class JsonFileReporter : public benchmark::ConsoleReporter {
 }  // namespace aspen
 
 int main(int argc, char** argv) {
+  aspen::allocaudit::SetCounting(true);  // allocs/cycle is a tracked metric
   // `--smoke` (CI): run every benchmark briefly — catches bench bit-rot and
   // hot-path regressions without a full timing pass.
   const bool smoke = aspen::benchutil::ConsumeSmokeFlag(&argc, argv);

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace aspen {
 namespace internal {
@@ -17,8 +18,16 @@ namespace internal {
   std::abort();
 }
 
+inline void LogError(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[aspen] ERROR %s:%d: %s\n", file, line, msg.c_str());
+}
+
 }  // namespace internal
 }  // namespace aspen
+
+/// Structured error line on stderr; `msg` is a std::string (or convertible).
+#define ASPEN_LOG_ERROR(msg) \
+  ::aspen::internal::LogError(__FILE__, __LINE__, (msg))
 
 #define ASPEN_CHECK(expr)                                       \
   do {                                                          \

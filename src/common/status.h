@@ -11,6 +11,8 @@
 #include <utility>
 #include <variant>
 
+#include "common/logging.h"
+
 namespace aspen {
 
 /// \brief Machine-readable category for a Status.
@@ -137,6 +139,18 @@ class Result {
  private:
   std::variant<T, Status> data_;
 };
+
+/// Aborts on a non-OK Status, reporting the status text verbatim. For
+/// programming errors only (like ASPEN_CHECK); recoverable failures
+/// propagate with ASPEN_RETURN_NOT_OK instead.
+#define ASPEN_CHECK_OK(expr)                                          \
+  do {                                                                \
+    ::aspen::Status _st = (expr);                                     \
+    if (!_st.ok()) {                                                  \
+      ::aspen::internal::CheckFailed(__FILE__, __LINE__,              \
+                                     _st.ToString().c_str());         \
+    }                                                                 \
+  } while (false)
 
 /// Propagates a non-OK Status out of the current function.
 #define ASPEN_RETURN_NOT_OK(expr)                 \

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.h"
@@ -44,6 +47,153 @@ Result<join::RunStats> RunExperiment(const workload::Workload& workload,
   ExperimentOptions exp;
   exp.executor = options;
   return RunExperiment(workload, exp, sampling_cycles);
+}
+
+// ---- service mode ----------------------------------------------------------
+
+ServiceRunner::ServiceRunner(
+    std::vector<const workload::Workload*> templates,
+    const ServiceOptions& options)
+    : templates_(std::move(templates)), exec_options_(options.executor) {
+  join::MediumOptions medium_opts = options.medium;
+  medium_opts.allow_idle = true;  // a service idles between arrivals
+  medium_ = std::make_unique<join::SharedMedium>(
+      &templates_[0]->topology(), options.network, medium_opts);
+  if (options.dynamics != nullptr && !options.dynamics->empty()) {
+    driver_ = std::make_unique<scenario::ScenarioDriver>(&medium_->network(),
+                                                         options.dynamics);
+    driver_->set_query_host(this);
+    medium_->scheduler()->AttachFront(driver_.get());
+  }
+}
+
+Result<std::unique_ptr<ServiceRunner>> ServiceRunner::Create(
+    std::vector<const workload::Workload*> templates,
+    const ServiceOptions& options) {
+  if (templates.empty()) {
+    return Status::InvalidArgument("ServiceRunner: empty template pool");
+  }
+  const net::Topology* topo = &templates[0]->topology();
+  for (const workload::Workload* wl : templates) {
+    if (wl == nullptr) {
+      return Status::InvalidArgument("ServiceRunner: null workload template");
+    }
+    if (&wl->topology() != topo) {
+      return Status::InvalidArgument(
+          "ServiceRunner: templates span multiple topologies");
+    }
+  }
+  return std::unique_ptr<ServiceRunner>(
+      new ServiceRunner(std::move(templates), options));
+}
+
+Status ServiceRunner::Run(int cycles) {
+  ASPEN_RETURN_NOT_OK(medium_->RunCycles(cycles));
+  stats_.cycles += cycles;
+  return Status::OK();
+}
+
+Status ServiceRunner::OnQueryArrival(int slot, int template_id) {
+  if (slot < 0 || template_id < 0) {
+    return Status::InvalidArgument("service: negative query slot/template");
+  }
+  if (static_cast<size_t>(template_id) >= templates_.size()) {
+    return Status::InvalidArgument(
+        "service: template " + std::to_string(template_id) +
+        " outside the pool of " + std::to_string(templates_.size()));
+  }
+  // Validate the slot before admitting anything: a duplicate must not
+  // leave an orphaned live query behind. Slots are sparse handles (a
+  // schedule may number residents far above its churn slots), but a typo'd
+  // huge slot must fail cleanly rather than allocate the slot table.
+  constexpr int kMaxSlot = 1 << 20;
+  if (slot > kMaxSlot) {
+    return Status::InvalidArgument("service: query slot " +
+                                   std::to_string(slot) + " exceeds " +
+                                   std::to_string(kMaxSlot));
+  }
+  if (static_cast<size_t>(slot) >= slot_to_query_.size()) {
+    slot_to_query_.resize(slot + 1, -1);
+  }
+  if (slot_to_query_[slot] != -1) {
+    return Status::AlreadyExists("service: query slot " +
+                                 std::to_string(slot) + " already live");
+  }
+  // Steady-state checkpoint just before the admission: teardowns from
+  // earlier waves have been swept by now, so this sample exposes any
+  // monotonic occupancy growth across churn waves. Failed admissions pop
+  // it again — the trajectory holds one sample per successful arrival.
+  SampleOccupancy();
+  auto admitted = medium_->TryAddQuery(templates_[template_id], exec_options_);
+  if (!admitted.ok()) {
+    stats_.occupancy.pop_back();
+    return admitted.status();
+  }
+  join::JoinExecutor* exec = *admitted;
+  Status init = exec->Initiate();
+  if (!init.ok()) {
+    // Roll the admission back: the medium must not retain a live query no
+    // slot can ever address (never-initiated queries get no ledger entry).
+    (void)medium_->RemoveQuery(exec->query_id());
+    stats_.occupancy.pop_back();
+    return init;
+  }
+  slot_to_query_[slot] = exec->query_id();
+  ++stats_.arrivals;
+  return Status::OK();
+}
+
+Status ServiceRunner::OnQueryDeparture(int slot) {
+  if (slot < 0 || static_cast<size_t>(slot) >= slot_to_query_.size() ||
+      slot_to_query_[slot] < 0) {
+    return Status::NotFound("service: departure for unknown query slot " +
+                            std::to_string(slot));
+  }
+  ASPEN_RETURN_NOT_OK(medium_->RemoveQuery(slot_to_query_[slot]));
+  slot_to_query_[slot] = -1;
+  ++stats_.departures;
+  return Status::OK();
+}
+
+void ServiceRunner::SampleOccupancy() {
+  ServiceStats::OccupancySample s;
+  s.cycle = medium_->scheduler()->cycle();
+  net::Network& net = medium_->network();
+  s.routes_live = net.routes().live_paths();
+  s.mcasts_live = net.routes().live_multicasts();
+  s.payload_live = net.payloads().live();
+  s.payload_capacity = net.payloads().capacity();
+  s.frame_capacity = net.frame_slab_capacity();
+  stats_.occupancy.push_back(s);
+  stats_.peak_routes_live = std::max(stats_.peak_routes_live, s.routes_live);
+}
+
+ServiceStats ServiceRunner::Finalize() {
+  // Final steady-state checkpoint: Run() ends with a straggler drain, so
+  // retired routes have been swept.
+  SampleOccupancy();
+  ServiceStats out = stats_;
+  out.resident_queries = medium_->num_queries();
+  out.total_bytes = medium_->stats().TotalBytesSent();
+  out.total_messages = medium_->stats().TotalMessagesSent();
+  out.ledger = medium_->ledger();
+  out.total_results = 0;
+  for (const auto& rec : out.ledger) {
+    out.total_results += rec.stats.results;
+  }
+  for (int id : medium_->live_query_ids()) {
+    out.total_results += medium_->executor(id).results();
+  }
+  return out;
+}
+
+Result<ServiceStats> RunService(
+    const std::vector<const workload::Workload*>& templates,
+    const ServiceOptions& options, int cycles) {
+  ASPEN_ASSIGN_OR_RETURN(std::unique_ptr<ServiceRunner> runner,
+                         ServiceRunner::Create(templates, options));
+  ASPEN_RETURN_NOT_OK(runner->Run(cycles));
+  return runner->Finalize();
 }
 
 namespace {

@@ -11,9 +11,11 @@
 #define ASPEN_CORE_ENGINE_H_
 
 #include <functional>
+#include <vector>
 
 #include "common/status.h"
 #include "join/executor.h"
+#include "join/medium.h"
 #include "scenario/dynamics.h"
 #include "workload/workload.h"
 
@@ -39,6 +41,108 @@ Result<join::RunStats> RunExperiment(const workload::Workload& workload,
 Result<join::RunStats> RunExperiment(const workload::Workload& workload,
                                      const join::ExecutorOptions& options,
                                      int sampling_cycles);
+
+// ---- service mode -----------------------------------------------------------
+//
+// The open-ended counterpart of RunExperiment: instead of one query run to
+// completion, a SharedMedium executes an evolving population of queries —
+// admissions and departures scripted as scenario events (see
+// scenario::DynamicsSchedule::QueryChurn) — over a pool of workload
+// templates. This is the paper's multi-concurrent-query setting operated
+// as a long-running service rather than a batch experiment.
+
+/// \brief Configuration of one service run.
+struct ServiceOptions {
+  /// Executor configuration applied to every admitted query. (The shards
+  /// knob is taken from `medium`, not from here.)
+  join::ExecutorOptions executor;
+  /// Network configuration of the shared medium.
+  net::NetworkOptions network;
+  /// Medium configuration; allow_idle is forced on (a service idles
+  /// between arrivals).
+  join::MediumOptions medium;
+  /// Scripted dynamics, including kQueryArrival/kQueryDeparture events.
+  /// Not owned; must outlive the call.
+  const scenario::DynamicsSchedule* dynamics = nullptr;
+};
+
+/// \brief Metrics of one service run: throughput inputs, churn counts, and
+/// the data-plane occupancy trajectory that proves bounded footprint.
+struct ServiceStats {
+  int cycles = 0;
+  int arrivals = 0;
+  int departures = 0;
+  /// Queries still live when the run ended (the resident set).
+  int resident_queries = 0;
+  /// Sum of results over every query, departed (ledger) and resident.
+  uint64_t total_results = 0;
+  uint64_t total_bytes = 0;
+  uint64_t total_messages = 0;
+  /// Live-route / payload-slab / frame-slab occupancy: one sample per
+  /// arrival event, taken just *before* the admission (a steady
+  /// checkpoint — earlier teardowns have been swept by then), plus one
+  /// final sample after the run's straggler drain.
+  struct OccupancySample {
+    int cycle = 0;
+    size_t routes_live = 0;
+    size_t mcasts_live = 0;
+    size_t payload_live = 0;
+    size_t payload_capacity = 0;
+    size_t frame_capacity = 0;
+  };
+  std::vector<OccupancySample> occupancy;
+  /// Peak live-route count observed at any sample point.
+  size_t peak_routes_live = 0;
+  /// Finalized per-query records of every departed query.
+  std::vector<join::SharedMedium::QueryRecord> ledger;
+};
+
+/// \brief An open-ended query service: a SharedMedium plus the scenario
+/// driver that replays query arrivals/departures against it. Run() may be
+/// called repeatedly to continue the service (benchmarks measure a steady
+/// tail block after the churn horizon this way). Deterministic:
+/// byte-identical results for any MediumOptions::shards value.
+class ServiceRunner : private scenario::QueryHost {
+ public:
+  /// Validates the template pool (non-null, one topology) and builds the
+  /// medium and driver. `options.dynamics` (if any) must outlive the
+  /// runner; templates must too.
+  static Result<std::unique_ptr<ServiceRunner>> Create(
+      std::vector<const workload::Workload*> templates,
+      const ServiceOptions& options);
+
+  /// Continues the service for `cycles` sampling cycles.
+  Status Run(int cycles);
+
+  join::SharedMedium& medium() { return *medium_; }
+
+  /// Churn counters and the occupancy trajectory collected so far.
+  const ServiceStats& progress() const { return stats_; }
+
+  /// Full metrics snapshot: progress() plus totals over the ledger and
+  /// resident queries, and a fresh final occupancy sample.
+  ServiceStats Finalize();
+
+ private:
+  ServiceRunner(std::vector<const workload::Workload*> templates,
+                const ServiceOptions& options);
+
+  Status OnQueryArrival(int slot, int template_id) override;
+  Status OnQueryDeparture(int slot) override;
+  void SampleOccupancy();
+
+  std::vector<const workload::Workload*> templates_;
+  join::ExecutorOptions exec_options_;
+  std::unique_ptr<join::SharedMedium> medium_;
+  std::unique_ptr<scenario::ScenarioDriver> driver_;
+  std::vector<int> slot_to_query_;
+  ServiceStats stats_;
+};
+
+/// \brief One-shot service run: Create + Run(cycles) + Finalize.
+Result<ServiceStats> RunService(
+    const std::vector<const workload::Workload*>& templates,
+    const ServiceOptions& options, int cycles);
 
 /// \brief Mean metrics over repeated runs, with 95% confidence half-widths
 /// for the headline traffic numbers.

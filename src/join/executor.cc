@@ -83,14 +83,17 @@ JoinExecutor::JoinExecutor(const workload::Workload* workload,
 
 JoinExecutor::JoinExecutor(const workload::Workload* workload,
                            ExecutorOptions options,
-                           net::Network* shared_network, int query_id)
+                           net::Network* shared_network, int query_id,
+                           int shards)
     : workload_(workload),
       opts_(options),
       net_(shared_network),
       query_id_(query_id) {
   ASPEN_CHECK(shared_network != nullptr);
   ASPEN_CHECK(&shared_network->topology() == &workload->topology());
-  scratch_.resize(1);  // medium-attached executors run unsharded
+  ASPEN_CHECK(shards >= 1);
+  // Scratch matches the medium scheduler's shard count (1 = unsharded).
+  scratch_.resize(shards);
   data_pool_ = net_->payloads().GetOrCreate<DataPayload>(kPayloadTagData);
   result_pool_ =
       net_->payloads().GetOrCreate<ResultPayload>(kPayloadTagResult);
@@ -99,10 +102,65 @@ JoinExecutor::JoinExecutor(const workload::Workload* workload,
 }
 
 JoinExecutor::~JoinExecutor() {
+  (void)Shutdown();
   // An owned network holds a raw ParentResolver pointer into the trees;
   // detach before members destruct in reverse declaration order. A shared
   // medium owns its own resolver.
   if (owned_net_ != nullptr) net_->set_parent_resolver(nullptr);
+}
+
+Status JoinExecutor::Shutdown() {
+  if (shutdown_) return Status::OK();
+  shutdown_ = true;
+  // Buffered arrivals each own one pooled-payload reference; drop them.
+  arrivals_.ForEach([&](NodeId, std::vector<Arrival>& items) {
+    for (const Arrival& a : items) net_->payloads().Release(a.data);
+  });
+  arrivals_.Clear();
+  pending_replays_.clear();
+  // Release every interned-route reference this query holds. The routes
+  // themselves are reclaimed by the data plane's epoch-safe sweep
+  // (RouteTable::SweepRetired) once nothing references them and no frame
+  // is in flight; owned-network runs never sweep, so their tables behave
+  // as before.
+  for (NodeState& node : nodes_) {
+    for (SendPlanEntry& e : node.plan) {
+      UnrefRoute(e.route_s);
+      UnrefRoute(e.route_t);
+    }
+    node.plan.clear();
+    node.plan_base_s = false;
+    node.plan_base_t = false;
+    UnrefMcast(node.mcast_route);
+    node.mcast_route = net::kInvalidRoute;
+    // Flush the join windows and failover replay buffers held here.
+    node.states.clear();
+    node.recent_sent[0].Clear();
+    node.recent_sent[1].Clear();
+  }
+  for (PairPlacement& pl : placements_) {
+    UnrefRoute(pl.route_from_root);
+    pl.route_from_root = net::kInvalidRoute;
+  }
+  active_sites_.clear();
+  plans_dirty_ = false;
+  return Status::OK();
+}
+
+void JoinExecutor::RefRoute(net::RouteId id) {
+  if (id != net::kInvalidRoute) net_->routes().AddPathRef(id);
+}
+
+void JoinExecutor::UnrefRoute(net::RouteId id) {
+  if (id != net::kInvalidRoute) net_->routes().ReleasePathRef(id);
+}
+
+void JoinExecutor::RefMcast(net::McastId id) {
+  if (id != net::kInvalidRoute) net_->routes().AddMulticastRef(id);
+}
+
+void JoinExecutor::UnrefMcast(net::McastId id) {
+  if (id != net::kInvalidRoute) net_->routes().ReleaseMulticastRef(id);
 }
 
 Result<uint64_t> JoinExecutor::SubmitToNet(Message msg) {
@@ -304,9 +362,11 @@ Status JoinExecutor::InitYang07() {
   for (auto& pl : placements_) {
     pl.at_base = false;
     pl.join_node = pl.pair.t;
-    // The root's relay route to this T partner, interned once.
+    // The root's relay route to this T partner, interned once and retained
+    // (one owner reference) until Shutdown.
     pl.route_from_root =
         net_->routes().InternPath(single_tree_->PathFromRoot(pl.pair.t));
+    RefRoute(pl.route_from_root);
   }
   init_latency_ = 0;
   return Status::OK();
@@ -410,6 +470,12 @@ void JoinExecutor::RebuildSendPlans() {
   };
   for (NodeId p = 0; p < n; ++p) {
     NodeState& node = nodes_[p];
+    // The old plan's interned routes lose this producer's references; a
+    // route nobody else retains retires for the next epoch-safe sweep.
+    for (SendPlanEntry& old : node.plan) {
+      UnrefRoute(old.route_s);
+      UnrefRoute(old.route_t);
+    }
     node.plan.clear();
     node.plan_base_s = false;
     node.plan_base_t = false;
@@ -429,7 +495,9 @@ void JoinExecutor::RebuildSendPlans() {
           if (role_flag) continue;
           role_flag = true;
           RoleSegment(pl, role_s, &seg);
-          (role_s ? e->route_s : e->route_t) = routes.InternPath(seg);
+          net::RouteId rid = routes.InternPath(seg);
+          (role_s ? e->route_s : e->route_t) = rid;
+          RefRoute(rid);
         }
       };
       collect(node.s_pairs, true);
@@ -450,6 +518,9 @@ void JoinExecutor::RebuildSendPlans() {
         for (SendPlanEntry& e : node.plan) {
           e.route_s = e.route_t = routes.InternPath(
               workload_->topology().ShortestPath(p, e.dest));
+          // One reference per retained field, so releases balance exactly.
+          RefRoute(e.route_s);
+          RefRoute(e.route_t);
         }
       }
     }

@@ -55,9 +55,11 @@ class JoinExecutor : public sim::CycleParticipant,
   /// \brief Attaches to a shared radio medium (see SharedMedium) instead of
   /// owning a network: messages are stamped with `query_id` and the medium
   /// dispatches deliveries back. The medium's scheduler drives the cycle
-  /// phases; RunCycles is unavailable on attached executors.
+  /// phases; RunCycles is unavailable on attached executors. `shards` is
+  /// the medium scheduler's shard count (the executor sizes its per-shard
+  /// scratch to match; 1 = unsharded).
   JoinExecutor(const workload::Workload* workload, ExecutorOptions options,
-               net::Network* shared_network, int query_id);
+               net::Network* shared_network, int query_id, int shards = 1);
 
   ~JoinExecutor() override;
 
@@ -74,6 +76,15 @@ class JoinExecutor : public sim::CycleParticipant,
   /// to continue a run. Only valid on executors that own their network.
   Status RunCycles(int n);
 
+  /// \brief Tears the query down: drops buffered arrival payload
+  /// references, flushes join windows and failover buffers, and releases
+  /// every interned-route reference this query holds (send plans, relay
+  /// routes, multicast trees), retiring the routes for the data plane's
+  /// epoch-safe garbage collection. Idempotent; called by
+  /// SharedMedium::RemoveQuery and by the destructor. After Shutdown the
+  /// executor must not run further phases.
+  Status Shutdown();
+
   /// \brief Snapshot of the run's metrics so far.
   RunStats Stats() const;
 
@@ -89,6 +100,7 @@ class JoinExecutor : public sim::CycleParticipant,
   uint64_t results() const { return results_; }
   uint64_t migrations() const { return migrations_; }
   int query_id() const { return query_id_; }
+  bool initiated() const { return initiated_; }
 
   /// All statically-joining pairs this executor serves.
   const std::vector<PairKey>& pairs() const { return pairs_; }
@@ -248,6 +260,15 @@ class JoinExecutor : public sim::CycleParticipant,
   Result<uint64_t> SubmitToNet(net::Message msg);
   Result<uint64_t> SubmitMcastToNet(net::Message msg, net::McastId route);
 
+  /// Owner-reference bookkeeping for interned routes this query retains
+  /// (no-ops on kInvalidRoute). Every cached RouteId/McastId — send-plan
+  /// entries, placements' relay routes, per-node multicast trees — holds
+  /// exactly one reference per field, released on rebuild or Shutdown.
+  void RefRoute(net::RouteId id);
+  void UnrefRoute(net::RouteId id);
+  void RefMcast(net::McastId id);
+  void UnrefMcast(net::McastId id);
+
   friend class SharedMedium;
 
   const workload::Workload* workload_;
@@ -335,6 +356,7 @@ class JoinExecutor : public sim::CycleParticipant,
   uint64_t failovers_ = 0;
   int init_latency_ = 0;
   bool initiated_ = false;
+  bool shutdown_ = false;
 };
 
 }  // namespace join

@@ -370,6 +370,7 @@ void JoinExecutor::RebuildProducerRoute(NodeId p, bool /*as_s*/,
 
   NodeState& pnode = nodes_[p];
   if (targets.empty()) {
+    UnrefMcast(pnode.mcast_route);
     pnode.mcast_route = net::kInvalidRoute;
     return;
   }
@@ -437,7 +438,12 @@ void JoinExecutor::RebuildProducerRoute(NodeId p, bool /*as_s*/,
                                          net::WireFormat::kLinkHeaderBytes);
     }
   }
+  // Swap the cached tree's owner reference: ref-then-unref keeps a
+  // re-adopted identical tree alive across the swap.
+  const net::McastId old_route = pnode.mcast_route;
   pnode.mcast_route = net_->routes().InternMulticast(std::move(route));
+  RefMcast(pnode.mcast_route);
+  UnrefMcast(old_route);
 }
 
 void JoinExecutor::BuildMulticastRoutes(bool charge_traffic) {

@@ -1,33 +1,100 @@
 #include "join/medium.h"
 
-#include <cstdio>
+#include <algorithm>
 #include <string>
+#include <utility>
 
 #include "common/logging.h"
+#include "sim/sharded_scheduler.h"
 
 namespace aspen {
 namespace join {
 
 SharedMedium::SharedMedium(const net::Topology* topology,
-                           net::NetworkOptions options)
+                           net::NetworkOptions options,
+                           MediumOptions medium_options)
     : topology_(topology),
       net_(topology, options),
-      primary_(routing::RoutingTree::Build(*topology, 0)) {
+      primary_(routing::RoutingTree::Build(*topology, 0)),
+      medium_opts_(medium_options) {
+  ASPEN_CHECK(medium_opts_.sample_interval > 0);
+  ASPEN_CHECK(medium_opts_.shards >= 1);
   net_.set_parent_resolver(&primary_);
+  // Dispatch by the dense executor table. A frame of a departed query (its
+  // slot is null) terminates silently — the network still releases its
+  // payload and charges its traffic to the departed id's counters, which
+  // were already finalized into the ledger.
   net_.set_delivery_handler([this](const net::Message& m, net::NodeId at) {
-    auto it = executors_.find(m.query_id);
-    if (it != executors_.end()) it->second->OnDeliverMsg(m, at);
+    JoinExecutor* e = FindExecutor(m.query_id);
+    if (e != nullptr) e->OnDeliverMsg(m, at);
   });
   net_.set_drop_handler(
       [this](const net::Message& m, net::NodeId at, net::NodeId next) {
-        auto it = executors_.find(m.query_id);
-        if (it != executors_.end()) it->second->OnDrop(m, at, next);
+        JoinExecutor* e = FindExecutor(m.query_id);
+        if (e != nullptr) e->OnDrop(m, at, next);
       });
   net_.set_snoop_handler([this](const net::Message& m, net::NodeId snooper,
                                 net::NodeId from, net::NodeId to) {
-    auto it = executors_.find(m.query_id);
-    if (it != executors_.end()) it->second->OnSnoop(m, snooper, from, to);
+    JoinExecutor* e = FindExecutor(m.query_id);
+    if (e != nullptr) e->OnSnoop(m, snooper, from, to);
   });
+  // Eager scheduler: scenario drivers can attach before the first query.
+  if (medium_opts_.shards > 1) {
+    sched_ = std::make_unique<sim::ShardedScheduler>(
+        &net_, medium_opts_.sample_interval, medium_opts_.shards);
+  } else {
+    sched_ = std::make_unique<sim::CycleScheduler>(
+        &net_, medium_opts_.sample_interval);
+  }
+  // The medium participates in its own scheduler (ahead of every query) to
+  // sweep retired routes at epoch boundaries; see OnDeliver.
+  sched_->Attach(this);
+  executors_.resize(1);  // slot 0 unused: query ids start at 1
+  admitted_cycle_.resize(1, 0);
+}
+
+SharedMedium::~SharedMedium() = default;
+
+JoinExecutor* SharedMedium::FindExecutor(int query_id) {
+  if (query_id <= 0 ||
+      static_cast<size_t>(query_id) >= executors_.size()) {
+    return nullptr;
+  }
+  return executors_[query_id].get();
+}
+
+JoinExecutor& SharedMedium::executor(int query_id) {
+  JoinExecutor* e = FindExecutor(query_id);
+  ASPEN_CHECK(e != nullptr);
+  return *e;
+}
+
+std::vector<int> SharedMedium::live_query_ids() const {
+  std::vector<int> ids;
+  ids.reserve(live_queries_);
+  for (size_t id = 1; id < executors_.size(); ++id) {
+    if (executors_[id] != nullptr) ids.push_back(static_cast<int>(id));
+  }
+  return ids;
+}
+
+int SharedMedium::AcquireQueryId() {
+  // Prefer the smallest retired id whose straggler frames have drained —
+  // deterministic (content-driven), and it keeps the executor table dense.
+  for (size_t i = 0; i < retired_ids_.size(); ++i) {
+    const int id = retired_ids_[i];
+    if (net_.HasQueryTrafficInFlight(id)) continue;
+    retired_ids_.erase(retired_ids_.begin() + i);
+    // The departed tenant's counters live on only in the ledger.
+    net_.stats().ResetQuery(id);
+    return id;
+  }
+  const int id = next_query_id_++;
+  if (static_cast<size_t>(id) >= executors_.size()) {
+    executors_.resize(id + 1);
+    admitted_cycle_.resize(id + 1, 0);
+  }
+  return id;
 }
 
 Result<JoinExecutor*> SharedMedium::TryAddQuery(
@@ -39,22 +106,24 @@ Result<JoinExecutor*> SharedMedium::TryAddQuery(
     return Status::InvalidArgument(
         "TryAddQuery: workload is over a different topology than the medium");
   }
-  int interval = workload->join_query().window.sample_interval;
-  if (sched_ != nullptr && sched_->sample_interval() != interval) {
+  const int interval = workload->join_query().window.sample_interval;
+  if (sched_->sample_interval() != interval) {
     return Status::InvalidArgument(
         "TryAddQuery: sample_interval " + std::to_string(interval) +
         " mismatches the medium's scheduler (" +
         std::to_string(sched_->sample_interval()) +
-        "); all queries on one medium share the sampling clock");
+        ", fixed by MediumOptions at construction); all queries on one "
+        "medium share the sampling clock");
   }
-  if (sched_ == nullptr) {
-    sched_ = std::make_unique<sim::CycleScheduler>(&net_, interval);
-  }
-  int id = next_query_id_++;
-  auto exec = std::make_unique<JoinExecutor>(workload, options, &net_, id);
+  const int id = AcquireQueryId();
+  auto exec = std::make_unique<JoinExecutor>(workload, options, &net_, id,
+                                             medium_opts_.shards);
   JoinExecutor* out = exec.get();
   sched_->Attach(out);
-  executors_.emplace(id, std::move(exec));
+  executors_[id] = std::move(exec);
+  admitted_cycle_[id] = sched_->cycle();
+  ++live_queries_;
+  ++total_admitted_;
   return out;
 }
 
@@ -62,15 +131,43 @@ JoinExecutor* SharedMedium::AddQuery(const workload::Workload* workload,
                                      ExecutorOptions options) {
   auto exec = TryAddQuery(workload, options);
   if (!exec.ok()) {
-    std::fprintf(stderr, "[aspen] AddQuery: %s\n",
-                 exec.status().ToString().c_str());
+    ASPEN_LOG_ERROR("AddQuery: " + exec.status().ToString());
   }
-  ASPEN_CHECK(exec.ok());
+  ASPEN_CHECK_OK(exec.status());
   return *exec;
 }
 
+Status SharedMedium::RemoveQuery(int query_id) {
+  JoinExecutor* exec = FindExecutor(query_id);
+  if (exec == nullptr) {
+    return Status::NotFound("RemoveQuery: no live query with id " +
+                            std::to_string(query_id));
+  }
+  // Finalize per-query metrics before teardown mutates anything. A query
+  // that was admitted but never initiated never ran: it gets no ledger
+  // entry (admission-rollback paths would otherwise record phantom
+  // departures).
+  if (exec->initiated()) {
+    QueryRecord rec;
+    rec.query_id = query_id;
+    rec.admitted_cycle = admitted_cycle_[query_id];
+    rec.removed_cycle = sched_->cycle();
+    rec.stats = exec->Stats();
+    ledger_.push_back(std::move(rec));
+  }
+  ASPEN_RETURN_NOT_OK(exec->Shutdown());
+  sched_->Detach(exec);
+  executors_[query_id].reset();
+  retired_ids_.insert(
+      std::lower_bound(retired_ids_.begin(), retired_ids_.end(), query_id),
+      query_id);
+  --live_queries_;
+  return Status::OK();
+}
+
 Status SharedMedium::InitiateAll() {
-  for (auto& [id, exec] : executors_) {
+  for (auto& exec : executors_) {
+    if (exec == nullptr || exec->initiated()) continue;
     ASPEN_RETURN_NOT_OK(exec->Initiate());
   }
   // Executors must not leave a dangling resolver behind.
@@ -79,10 +176,31 @@ Status SharedMedium::InitiateAll() {
 }
 
 Status SharedMedium::RunCycles(int n) {
-  if (executors_.empty()) {
+  if (live_queries_ == 0 && !medium_opts_.allow_idle) {
     return Status::FailedPrecondition("SharedMedium has no queries");
   }
   return sched_->RunCycles(n);
+}
+
+Status SharedMedium::OnSample(int cycle) {
+  (void)cycle;
+  return Status::OK();
+}
+
+Status SharedMedium::OnDeliver(int cycle) {
+  (void)cycle;
+  // Epoch boundary check: the medium's deliver hook runs right after the
+  // transmit phase, before any query's deliver emits new result frames. If
+  // no frame is in flight, nothing can reference a retired route — sweep.
+  // (Under loss the transmit window may end with stragglers; the sweep
+  // simply waits for a later quiet observation.)
+  if (!net_.HasTrafficInFlight()) net_.routes().SweepRetired();
+  return Status::OK();
+}
+
+Status SharedMedium::OnLearn(int cycle) {
+  (void)cycle;
+  return Status::OK();
 }
 
 }  // namespace join

@@ -1,4 +1,5 @@
-// Shared radio medium for multiple concurrent queries.
+// Shared radio medium for multiple concurrent queries — a long-running
+// query *service*, not a batch harness.
 //
 // The paper's introduction motivates minimizing resource consumption
 // "in case of multiple concurrent queries". SharedMedium owns one Network
@@ -8,12 +9,34 @@
 // medium-wide — the combined load of concurrent queries, including
 // cross-query packet merging at relay nodes, is measured exactly once —
 // while per-query counters isolate each query's own share.
+//
+// Query lifecycle under churn (see DESIGN.md "Query lifecycle"):
+//  - The scheduler exists from construction (scenario drivers AttachFront
+//    before the first query), on the sampling clock fixed by
+//    MediumOptions::sample_interval.
+//  - TryAddQuery admits a query at any time, including mid-run from a
+//    scenario event: a query admitted during the cycle-N sample phase
+//    samples at cycle N. Initiate() is per-executor and may run mid-run.
+//  - RemoveQuery finalizes the query's per-query counters into a retained
+//    ledger, tears the executor down (JoinExecutor::Shutdown releases
+//    pooled payload references, flushes windows, and retires its interned
+//    routes), and detaches it from the scheduler. Straggler frames of a
+//    departed query are ignored by the dispatch handlers and terminate
+//    normally on the air.
+//  - Query ids are recycled, but never while a frame stamped with the id
+//    is still in flight, and the id's traffic counters are zeroed at
+//    reuse — a new tenant never inherits a predecessor's traffic.
+//  - The medium participates in its own scheduler to run the data plane's
+//    epoch-safe route garbage collection: at any observation point where
+//    no frame is in flight, routes retired by departed (or re-planned)
+//    queries are swept and their ids/storage recycled, keeping route-table
+//    occupancy proportional to the live query set.
 
 #ifndef ASPEN_JOIN_MEDIUM_H_
 #define ASPEN_JOIN_MEDIUM_H_
 
-#include <map>
 #include <memory>
+#include <vector>
 
 #include "join/executor.h"
 #include "net/network.h"
@@ -24,50 +47,121 @@
 namespace aspen {
 namespace join {
 
-/// \brief One network shared by several concurrently-executing queries.
-class SharedMedium {
+/// \brief Service-level configuration of a SharedMedium.
+struct MediumOptions {
+  /// Transmission cycles per sampling cycle — the medium's one sampling
+  /// clock. Every admitted query's window.sample_interval must equal this
+  /// (the default matches the query analyzer's default).
+  int sample_interval = 100;
+  /// Shard count for the medium's scheduler: > 1 hosts the executors on a
+  /// sim::ShardedScheduler (worker-parallel sample/deliver/step phases)
+  /// with byte-identical results for every value.
+  int shards = 1;
+  /// Permit RunCycles with zero live queries. A service run idles between
+  /// arrivals (scenario drivers still tick); the batch default keeps the
+  /// historical no-queries error.
+  bool allow_idle = false;
+};
+
+/// \brief One network shared by several concurrently-executing queries,
+/// with dynamic admission and teardown.
+class SharedMedium : private sim::CycleParticipant {
  public:
-  /// `topology` must outlive the medium.
-  SharedMedium(const net::Topology* topology, net::NetworkOptions options);
+  /// `topology` must outlive the medium. The scheduler is constructed
+  /// eagerly (never null), so scenario drivers can attach before the first
+  /// query is admitted.
+  SharedMedium(const net::Topology* topology, net::NetworkOptions options,
+               MediumOptions medium_options = MediumOptions());
+  ~SharedMedium() override;
 
   /// \brief Creates an executor for `workload` attached to this medium.
-  /// The workload must be over the medium's topology, use the same
-  /// sample_interval as every query already registered (one scheduler, one
-  /// sampling clock), and outlive the returned executor; the executor is
-  /// owned by the medium. Violations return an error — nothing is
-  /// registered on failure.
+  /// The workload must be over the medium's topology, use the medium's
+  /// sample_interval (one scheduler, one sampling clock), and outlive the
+  /// returned executor; the executor is owned by the medium. Violations
+  /// return an error — nothing is registered on failure. Callable mid-run:
+  /// the query joins the current cycle's phases. The caller initiates the
+  /// query (directly or via InitiateAll).
   Result<JoinExecutor*> TryAddQuery(const workload::Workload* workload,
                                     ExecutorOptions options);
 
   /// CHECK-failing convenience wrapper around TryAddQuery for callers with
-  /// statically-known-compatible workloads.
+  /// statically-known-compatible workloads. On failure the underlying
+  /// Status text is logged and reported verbatim by the aborting check.
   JoinExecutor* AddQuery(const workload::Workload* workload,
                          ExecutorOptions options);
 
-  /// The shared cycle scheduler (nullptr until the first query is added);
+  /// \brief Removes a live query: snapshots its per-query stats into the
+  /// ledger, shuts the executor down (windows flushed, pooled payload
+  /// references dropped, interned routes retired for the epoch-safe
+  /// sweep), detaches it and frees it. Its query id is recycled once no
+  /// in-flight frame still carries it. Callable mid-run (query departure
+  /// events); a query removed during the cycle-N sample phase does not
+  /// sample at cycle N.
+  Status RemoveQuery(int query_id);
+
+  /// The shared cycle scheduler (never null; constructed with the medium);
   /// scenario drivers attach here with AttachFront.
   sim::CycleScheduler* scheduler() { return sched_.get(); }
 
-  /// \brief Initiates every registered query (in registration order; their
-  /// initiation traffic accumulates on the shared stats).
+  /// \brief Initiates every registered query not yet initiated (in query-id
+  /// order; their initiation traffic accumulates on the shared stats).
   Status InitiateAll();
 
   /// \brief Runs `n` sampling cycles with all queries interleaved on the
-  /// medium, driven by the shared cycle scheduler. Every workload must use
-  /// the same sample_interval.
+  /// medium, driven by the shared cycle scheduler. Requires at least one
+  /// live query unless MediumOptions::allow_idle is set.
   Status RunCycles(int n);
+
+  /// \brief Final metrics of one departed query, retained after its
+  /// executor (and possibly its query id) is recycled.
+  struct QueryRecord {
+    int query_id = 0;
+    int admitted_cycle = 0;
+    int removed_cycle = 0;
+    RunStats stats;
+  };
+
+  /// Finalized stats of every removed query, in removal order.
+  const std::vector<QueryRecord>& ledger() const { return ledger_; }
 
   net::Network& network() { return net_; }
   const net::TrafficStats& stats() const { return net_.stats(); }
-  int num_queries() const { return static_cast<int>(executors_.size()); }
-  JoinExecutor& executor(int query_id) { return *executors_.at(query_id); }
+  const MediumOptions& medium_options() const { return medium_opts_; }
+  /// Live (admitted, not removed) query count.
+  int num_queries() const { return live_queries_; }
+  /// Total queries ever admitted (ledger entries + live queries).
+  int total_admitted() const { return total_admitted_; }
+  /// The live executor for `query_id`; CHECK-fails on a dead or unknown id.
+  JoinExecutor& executor(int query_id);
+  /// The live executor for `query_id`, or nullptr.
+  JoinExecutor* FindExecutor(int query_id);
+  /// Ids of every live query, ascending.
+  std::vector<int> live_query_ids() const;
 
  private:
+  // -- scheduler participation (route GC at epoch boundaries) ---------------
+  Status OnSample(int cycle) override;
+  Status OnDeliver(int cycle) override;
+  Status OnLearn(int cycle) override;
+
+  /// Smallest recyclable id with no in-flight frames, else a fresh one.
+  int AcquireQueryId();
+
   const net::Topology* topology_;
   net::Network net_;
   routing::RoutingTree primary_;
-  std::map<int, std::unique_ptr<JoinExecutor>> executors_;
+  MediumOptions medium_opts_;
+  /// Dense executor table indexed by query id (slot 0 unused; dead slots
+  /// null). The per-cycle dispatch path is a single array index.
+  std::vector<std::unique_ptr<JoinExecutor>> executors_;
+  /// Admission cycle per query id (parallel to executors_).
+  std::vector<int> admitted_cycle_;
+  /// Ids of removed queries awaiting reuse, ascending.
+  std::vector<int> retired_ids_;
+  std::vector<QueryRecord> ledger_;
   std::unique_ptr<sim::CycleScheduler> sched_;
+  int live_queries_ = 0;
+  int total_admitted_ = 0;
   int next_query_id_ = 1;
 };
 

@@ -88,8 +88,9 @@ struct ExecutorOptions {
   /// Shards one run's execution across this many worker-driven node
   /// partitions (sim::ShardedScheduler); 1 = single-threaded. Results,
   /// TrafficStats and RNG streams are byte-identical for every value
-  /// (clamped to the node count). Only owned-network executors shard;
-  /// medium-attached executors ignore it.
+  /// (clamped to the node count). Only owned-network executors read it;
+  /// medium-attached executors shard with the medium's scheduler
+  /// (join::MediumOptions::shards) instead.
   int shards = 1;
 
   uint64_t seed = 1;

@@ -61,6 +61,32 @@ bool Network::HasTrafficInFlight() const {
   return false;
 }
 
+bool Network::HasQueryTrafficInFlight(int query_id) const {
+  for (const Shard& sh : shards_) {
+    for (int32_t idx : sh.in_flight) {
+      if (sh.frames[idx].msg.query_id == query_id) return true;
+    }
+    for (int32_t idx : sh.pending) {
+      if (sh.frames[idx].msg.query_id == query_id) return true;
+    }
+  }
+  return false;
+}
+
+int64_t Network::frames_in_flight() const {
+  int64_t n = 0;
+  for (const Shard& sh : shards_) {
+    n += static_cast<int64_t>(sh.in_flight.size() + sh.pending.size());
+  }
+  return n;
+}
+
+size_t Network::frame_slab_capacity() const {
+  size_t n = 0;
+  for (const Shard& sh : shards_) n += sh.frames.size();
+  return n;
+}
+
 void Network::FailNode(NodeId id) {
   ASPEN_CHECK(id >= 0 && id < topology_->num_nodes());
   failed_[id] = true;

@@ -174,6 +174,14 @@ class Network {
   int StepUntilQuiet(int max_steps = 1 << 20);
 
   bool HasTrafficInFlight() const;
+  /// True while any frame stamped with `query_id` is in flight. Query-id
+  /// recycling on a shared medium waits for this to clear so a reused id
+  /// never inherits a departed query's straggler frames.
+  bool HasQueryTrafficInFlight(int query_id) const;
+  /// Frames currently in flight across all shards (service-mode occupancy).
+  int64_t frames_in_flight() const;
+  /// Total frame-slab slots allocated across all shards (never shrinks).
+  size_t frame_slab_capacity() const;
   int64_t now() const { return now_; }
 
   TrafficStats& stats() { return stats_; }

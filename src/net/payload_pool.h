@@ -196,6 +196,15 @@ class PayloadArena {
     return n;
   }
 
+  /// Total slab slots across every pool (allocated capacity, never shrinks).
+  size_t capacity() const {
+    size_t n = 0;
+    for (const Entry& e : pools_) {
+      if (e.pool != nullptr) n += e.pool->capacity();
+    }
+    return n;
+  }
+
  private:
   struct Entry {
     std::unique_ptr<PayloadPoolBase> pool;

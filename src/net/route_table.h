@@ -9,9 +9,24 @@
 // content, so re-registering an unchanged route after a placement rebuild
 // returns the existing id and the table stays bounded.
 //
-// Ids are append-only and remain valid for the table's lifetime (until
-// Reset), so frames in flight keep resolving a route even after its owner
-// cached a newer one.
+// Lifecycle under query churn: routes are *reference-counted* by their
+// protocol-layer owners (send plans, placements, cached multicast trees).
+// Interning returns an id without a reference; an owner that retains the id
+// across cycles takes one with AddPathRef/AddMulticastRef and drops it with
+// the matching Release. A route whose count reaches zero is not freed
+// immediately — in-flight frames may still resolve it — it is *retired*
+// onto a pending list. SweepRetired() frees retired routes; callers invoke
+// it only at an epoch boundary: a moment when no frame is in flight on the
+// network(s) using this table (a retired route cannot be referenced by a
+// frame submitted after retirement, because zero references means no send
+// plan names it). Ids of live routes never move or change; freed ids and
+// their path storage are recycled for future interns, so a long-running
+// service keeps the table's footprint proportional to the *live* route set.
+//
+// Re-interning content that is retired but not yet swept resurrects the
+// existing id (the dedup entry survives until the sweep actually frees it).
+// Tables whose owner never sweeps — single-query executors on an owned
+// network — behave exactly like the historical append-only table.
 
 #ifndef ASPEN_NET_ROUTE_TABLE_H_
 #define ASPEN_NET_ROUTE_TABLE_H_
@@ -59,7 +74,8 @@ struct MulticastRoute {
 class RouteTable {
  public:
   /// Interns `path` (returns the existing id when an identical path was
-  /// interned before). Empty paths return kInvalidRoute.
+  /// interned before). Empty paths return kInvalidRoute. The returned id
+  /// carries no reference; owners that retain it call AddPathRef.
   RouteId InternPath(const NodeId* path, int len);
   RouteId InternPath(const std::vector<NodeId>& path) {
     return InternPath(path.data(), static_cast<int>(path.size()));
@@ -75,16 +91,41 @@ class RouteTable {
     return PathData(id)[spans_[id].len - 1];
   }
   bool IsValidPath(RouteId id) const {
-    return id >= 0 && id < static_cast<RouteId>(spans_.size());
+    return id >= 0 && id < static_cast<RouteId>(spans_.size()) &&
+           spans_[id].alive;
   }
 
-  /// Interns `route` (normalized; deduped by content).
+  /// Interns `route` (normalized; deduped by content). No reference taken.
   McastId InternMulticast(MulticastRoute route);
   const MulticastRoute& Multicast(McastId id) const { return mcasts_[id]; }
   bool IsValidMulticast(McastId id) const {
-    return id >= 0 && id < static_cast<McastId>(mcasts_.size());
+    return id >= 0 && id < static_cast<McastId>(mcasts_.size()) &&
+           mcast_meta_[id].alive;
   }
 
+  // ---- ownership & garbage collection ---------------------------------------
+
+  /// Takes (resp. drops) one owner reference. Releasing the last reference
+  /// retires the route; it stays resolvable until the next SweepRetired().
+  void AddPathRef(RouteId id);
+  void ReleasePathRef(RouteId id);
+  void AddMulticastRef(McastId id);
+  void ReleaseMulticastRef(McastId id);
+
+  /// \brief Frees every retired route whose reference count is still zero
+  /// and recycles its id and storage. Must only be called at an epoch
+  /// boundary: no frame may be in flight on any network resolving through
+  /// this table. Returns the number of routes freed.
+  size_t SweepRetired();
+
+  /// Owner reference count of a live path (0 = floating or retired).
+  int path_refs(RouteId id) const { return spans_[id].refs; }
+
+  /// Live (interned, not freed) route counts — the service-mode occupancy
+  /// metric. Retired-but-unswept routes still count as live.
+  size_t live_paths() const { return live_paths_; }
+  size_t live_multicasts() const { return live_mcasts_; }
+  /// Allocated slot capacity (live + freed, never shrinks).
   size_t num_paths() const { return spans_.size(); }
   size_t num_multicasts() const { return mcasts_.size(); }
 
@@ -95,14 +136,39 @@ class RouteTable {
   struct Span {
     uint32_t off = 0;
     uint32_t len = 0;
+    int32_t refs = 0;
+    uint64_t hash = 0;
+    bool alive = false;
+    /// True while the id sits on the retired list (prevents duplicates).
+    bool retire_pending = false;
   };
+  struct McastMeta {
+    int32_t refs = 0;
+    uint64_t hash = 0;
+    bool alive = false;
+    bool retire_pending = false;
+  };
+
+  static void EraseIdFrom(std::unordered_map<uint64_t, std::vector<int32_t>>*
+                              dedup,
+                          uint64_t hash, int32_t id);
 
   std::vector<NodeId> nodes_;  ///< concatenated path storage
   std::vector<Span> spans_;
   std::vector<MulticastRoute> mcasts_;
+  std::vector<McastMeta> mcast_meta_;
   /// Content-hash -> candidate ids (verified exactly on lookup).
   std::unordered_map<uint64_t, std::vector<RouteId>> path_dedup_;
   std::unordered_map<uint64_t, std::vector<McastId>> mcast_dedup_;
+  /// Recycled span slots and storage blocks (len -> offsets, LIFO).
+  std::vector<RouteId> free_path_ids_;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> free_blocks_;
+  std::vector<McastId> free_mcast_ids_;
+  /// Ids whose last reference was dropped, awaiting an epoch-safe sweep.
+  std::vector<RouteId> retired_paths_;
+  std::vector<McastId> retired_mcasts_;
+  size_t live_paths_ = 0;
+  size_t live_mcasts_ = 0;
 };
 
 }  // namespace net

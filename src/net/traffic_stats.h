@@ -179,6 +179,16 @@ class TrafficStats {
   /// (fewer if the network is smaller). Used for Figure 5.
   std::vector<uint64_t> TopLoadedNodes(int k) const;
 
+  /// Zeroes one query's send counters. Called when a recycled query id is
+  /// assigned to a new tenant on a shared medium, after the departed
+  /// query's counters were finalized into the medium's ledger (medium-wide
+  /// per-node and per-kind totals are untouched).
+  void ResetQuery(int query_id) {
+    if (query_id >= 0 && static_cast<size_t>(query_id) < per_query_.size()) {
+      per_query_[query_id] = QueryTraffic{};
+    }
+  }
+
   /// Zeroes every counter (used between experiment phases).
   void Reset();
 

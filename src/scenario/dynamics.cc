@@ -62,10 +62,44 @@ DynamicsSchedule& DynamicsSchedule::BlackoutAt(int cycle, NodeId center,
   return Add(e);
 }
 
+DynamicsSchedule& DynamicsSchedule::ArriveAt(int cycle, int slot,
+                                             int template_id) {
+  DynamicsEvent e;
+  e.kind = DynamicsEvent::Kind::kQueryArrival;
+  e.cycle = cycle;
+  e.slot = slot;
+  e.template_id = template_id;
+  return Add(e);
+}
+
+DynamicsSchedule& DynamicsSchedule::DepartAt(int cycle, int slot) {
+  DynamicsEvent e;
+  e.kind = DynamicsEvent::Kind::kQueryDeparture;
+  e.cycle = cycle;
+  e.slot = slot;
+  return Add(e);
+}
+
 DynamicsSchedule& DynamicsSchedule::Add(DynamicsEvent event) {
   ASPEN_CHECK_GE(event.cycle, 0);
   events_.push_back(event);
   return *this;
+}
+
+int DynamicsSchedule::num_query_arrivals() const {
+  int n = 0;
+  for (const DynamicsEvent& e : events_) {
+    if (e.kind == DynamicsEvent::Kind::kQueryArrival) ++n;
+  }
+  return n;
+}
+
+int DynamicsSchedule::num_query_departures() const {
+  int n = 0;
+  for (const DynamicsEvent& e : events_) {
+    if (e.kind == DynamicsEvent::Kind::kQueryDeparture) ++n;
+  }
+  return n;
 }
 
 DynamicsSchedule DynamicsSchedule::RandomChurn(const net::Topology& topology,
@@ -89,6 +123,42 @@ DynamicsSchedule DynamicsSchedule::RandomChurn(const net::Topology& topology,
   }
   // Recovery events past `cycles` are kept: a run longer than the churn
   // horizon still heals, a shorter one simply never reaches them.
+  return out;
+}
+
+DynamicsSchedule DynamicsSchedule::QueryChurn(
+    const QueryChurnOptions& options) {
+  ASPEN_CHECK_GE(options.start_cycle, 0);
+  ASPEN_CHECK_GT(options.waves, 0);
+  ASPEN_CHECK_GT(options.arrivals_per_wave, 0);
+  ASPEN_CHECK_GT(options.wave_period, 1);
+  ASPEN_CHECK_GE(options.min_lifetime, 1);
+  ASPEN_CHECK_GE(options.max_lifetime, options.min_lifetime);
+  ASPEN_CHECK_GT(options.num_templates, 0);
+  DynamicsSchedule out;
+  Rng rng(options.seed);
+  // Every instance must depart strictly inside its own wave window, so the
+  // occupancy observed between waves is a steady baseline: clamp lifetimes
+  // and arrival offsets accordingly.
+  const int max_life =
+      std::min(options.max_lifetime, options.wave_period - 1);
+  const int min_life = std::min(options.min_lifetime, max_life);
+  int slot = 0;
+  for (int w = 0; w < options.waves; ++w) {
+    const int wave_start = options.start_cycle + w * options.wave_period;
+    for (int q = 0; q < options.arrivals_per_wave; ++q) {
+      const int life =
+          min_life + static_cast<int>(rng.UniformInt(max_life - min_life + 1));
+      const int max_offset = options.wave_period - life - 1;
+      const int offset =
+          max_offset > 0 ? static_cast<int>(rng.UniformInt(max_offset + 1))
+                         : 0;
+      const int tmpl = static_cast<int>(rng.UniformInt(options.num_templates));
+      out.ArriveAt(wave_start + offset, slot, tmpl);
+      out.DepartAt(wave_start + offset + life, slot);
+      ++slot;
+    }
+  }
   return out;
 }
 
@@ -123,7 +193,7 @@ void ScenarioDriver::RecoverOne(NodeId node) {
   }
 }
 
-void ScenarioDriver::Apply(const DynamicsEvent& e, int cycle) {
+Status ScenarioDriver::Apply(const DynamicsEvent& e, int cycle) {
   const net::Topology& topo = net_->topology();
   switch (e.kind) {
     case DynamicsEvent::Kind::kFailNode:
@@ -131,6 +201,22 @@ void ScenarioDriver::Apply(const DynamicsEvent& e, int cycle) {
       break;
     case DynamicsEvent::Kind::kRecoverNode:
       RecoverOne(e.node);
+      break;
+    case DynamicsEvent::Kind::kQueryArrival:
+      if (host_ == nullptr) {
+        return Status::FailedPrecondition(
+            "scenario: query arrival event but no QueryHost attached");
+      }
+      ASPEN_RETURN_NOT_OK(host_->OnQueryArrival(e.slot, e.template_id));
+      ++arrivals_applied_;
+      break;
+    case DynamicsEvent::Kind::kQueryDeparture:
+      if (host_ == nullptr) {
+        return Status::FailedPrecondition(
+            "scenario: query departure event but no QueryHost attached");
+      }
+      ASPEN_RETURN_NOT_OK(host_->OnQueryDeparture(e.slot));
+      ++departures_applied_;
       break;
     case DynamicsEvent::Kind::kLossDrift: {
       ActiveDrift d;
@@ -198,6 +284,7 @@ void ScenarioDriver::Apply(const DynamicsEvent& e, int cycle) {
       break;
     }
   }
+  return Status::OK();
 }
 
 Status ScenarioDriver::OnSample(int cycle) {
@@ -231,7 +318,7 @@ Status ScenarioDriver::OnSample(int cycle) {
   }
   while (next_event_ < ordered_.size() &&
          ordered_[next_event_].cycle <= cycle) {
-    Apply(ordered_[next_event_], cycle);
+    ASPEN_RETURN_NOT_OK(Apply(ordered_[next_event_], cycle));
     ++next_event_;
   }
   // Advance active drifts (linear ramp, exact endpoint on completion).

@@ -2,12 +2,15 @@
 //
 // The paper's failure-recovery experiment (Section 7, Figure 14) kills one
 // join node at one moment; real deployments see node churn, link-quality
-// drift, correlated interference bursts and regional outages. A
-// DynamicsSchedule scripts such a scenario as timed events, and a
-// ScenarioDriver replays it against a net::Network as a
+// drift, correlated interference bursts, regional outages — and *query*
+// churn: the set of standing queries a long-running service executes
+// changes over the network's lifetime. A DynamicsSchedule scripts such a
+// scenario as timed events, and a ScenarioDriver replays it against a
+// net::Network (and, for query arrival/departure events, a QueryHost) as a
 // sim::CycleParticipant — attach it with CycleScheduler::AttachFront so an
 // event scheduled for sampling cycle N mutates the network before any query
-// samples at cycle N.
+// samples at cycle N, and a query arriving (departing) at cycle N takes
+// (skips) its first (next) sample exactly at cycle N.
 //
 // Determinism: a schedule is plain data, stochastic schedules (RandomChurn)
 // are pre-generated from their own seed, and the driver never draws from
@@ -29,16 +32,33 @@
 namespace aspen {
 namespace scenario {
 
-/// \brief One timed mutation of the network.
+/// \brief Admits and removes queries on behalf of scripted query-churn
+/// events. Implemented by the service layer (core::RunService's adapter
+/// over join::SharedMedium); injected into ScenarioDriver to avoid a
+/// layering cycle, exactly like net::ParentResolver.
+class QueryHost {
+ public:
+  virtual ~QueryHost() = default;
+  /// A scripted query arrives: admit an instance of `template_id` under the
+  /// caller-scoped handle `slot` (slots are unique per schedule and name
+  /// the instance in the matching departure event).
+  virtual Status OnQueryArrival(int slot, int template_id) = 0;
+  /// The query admitted under `slot` departs: tear it down.
+  virtual Status OnQueryDeparture(int slot) = 0;
+};
+
+/// \brief One timed mutation of the network or of the query population.
 struct DynamicsEvent {
   enum class Kind : uint8_t {
-    kFailNode,       ///< kill `node`
-    kRecoverNode,    ///< revive `node`
-    kLossDrift,      ///< ramp the default loss to `loss` over `duration`
-    kLossBurst,      ///< links within `radius_hops` of `node` lose at `loss`
-                     ///< for `duration` cycles, then revert to the default
-    kRegionBlackout  ///< nodes within `radius_m` of `node` (base excluded)
-                     ///< die for `duration` cycles, then revive
+    kFailNode,        ///< kill `node`
+    kRecoverNode,     ///< revive `node`
+    kLossDrift,       ///< ramp the default loss to `loss` over `duration`
+    kLossBurst,       ///< links within `radius_hops` of `node` lose at `loss`
+                      ///< for `duration` cycles, then revert to the default
+    kRegionBlackout,  ///< nodes within `radius_m` of `node` (base excluded)
+                      ///< die for `duration` cycles, then revive
+    kQueryArrival,    ///< admit query instance `slot` of `template_id`
+    kQueryDeparture   ///< remove query instance `slot`
   };
 
   Kind kind = Kind::kFailNode;
@@ -48,11 +68,14 @@ struct DynamicsEvent {
   int duration = 0;      ///< drift ramp length / burst / blackout cycles
   double radius_m = 0.0; ///< blackout radius (meters)
   int radius_hops = 0;   ///< burst radius (hops around the center)
+  int slot = -1;         ///< query instance handle (arrival/departure)
+  int template_id = -1;  ///< workload template index (arrival)
 
   bool operator==(const DynamicsEvent& o) const {
     return kind == o.kind && cycle == o.cycle && node == o.node &&
            loss == o.loss && duration == o.duration &&
-           radius_m == o.radius_m && radius_hops == o.radius_hops;
+           radius_m == o.radius_m && radius_hops == o.radius_hops &&
+           slot == o.slot && template_id == o.template_id;
   }
 };
 
@@ -83,6 +106,11 @@ class DynamicsSchedule {
   /// is a no-op).
   DynamicsSchedule& BlackoutAt(int cycle, net::NodeId center, double radius_m,
                                int duration);
+  /// Query instance `slot` of workload template `template_id` arrives at
+  /// `cycle` (the replaying driver's QueryHost admits and initiates it).
+  DynamicsSchedule& ArriveAt(int cycle, int slot, int template_id);
+  /// Query instance `slot` departs at `cycle`.
+  DynamicsSchedule& DepartAt(int cycle, int slot);
   /// Appends a fully-specified event.
   DynamicsSchedule& Add(DynamicsEvent event);
 
@@ -94,8 +122,34 @@ class DynamicsSchedule {
                                       int cycles, double rate,
                                       int down_cycles, uint64_t seed);
 
+  /// \brief Parameters of the QueryChurn generator. The process is
+  /// wave-structured so a service run has natural occupancy checkpoints:
+  /// every query admitted in wave w departs before wave w+1 begins, so the
+  /// medium's data-plane occupancy after each wave is directly comparable
+  /// across waves (a leak shows up as monotonic growth).
+  struct QueryChurnOptions {
+    int start_cycle = 0;        ///< first wave begins here
+    int waves = 4;              ///< number of churn waves
+    int arrivals_per_wave = 8;  ///< query instances admitted per wave
+    int wave_period = 100;      ///< cycles from one wave start to the next
+    int min_lifetime = 10;      ///< shortest instance lifetime (cycles)
+    int max_lifetime = 40;      ///< longest (clamped into the wave window)
+    int num_templates = 1;      ///< workload template pool size
+    uint64_t seed = 1;
+  };
+
+  /// \brief Deterministic arrival/departure process over a query template
+  /// pool: per wave, `arrivals_per_wave` instances arrive at seeded
+  /// offsets with seeded lifetimes and templates, every instance departing
+  /// within its own wave window. Equal options yield equal schedules.
+  /// Slots number instances 0, 1, ... in arrival order.
+  static DynamicsSchedule QueryChurn(const QueryChurnOptions& options);
+
   const std::vector<DynamicsEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }
+  /// Arrival (resp. departure) event count, for sizing service runs.
+  int num_query_arrivals() const;
+  int num_query_departures() const;
 
  private:
   std::vector<DynamicsEvent> events_;
@@ -107,6 +161,12 @@ class ScenarioDriver : public sim::CycleParticipant {
  public:
   ScenarioDriver(net::Network* network, const DynamicsSchedule* schedule);
 
+  /// Attaches the query host that query arrival/departure events act on.
+  /// Must be set before the first such event fires (a query event with no
+  /// host fails the run); network-only schedules need none. The host must
+  /// outlive the driver.
+  void set_query_host(QueryHost* host) { host_ = host; }
+
   /// Applies every event due at `cycle`, plus active drifts/expiries.
   Status OnSample(int cycle) override;
   Status OnDeliver(int cycle) override;
@@ -115,6 +175,8 @@ class ScenarioDriver : public sim::CycleParticipant {
   // Applied-mutation counters, for tests and scenario reports.
   int failures_applied() const { return failures_applied_; }
   int recoveries_applied() const { return recoveries_applied_; }
+  int arrivals_applied() const { return arrivals_applied_; }
+  int departures_applied() const { return departures_applied_; }
 
  private:
   struct ActiveDrift {
@@ -133,7 +195,7 @@ class ScenarioDriver : public sim::CycleParticipant {
     std::vector<net::NodeId> nodes;  // the nodes this blackout holds down
   };
 
-  void Apply(const DynamicsEvent& e, int cycle);
+  Status Apply(const DynamicsEvent& e, int cycle);
   /// Failures are ownership-counted: a node stays dead until every
   /// scripted failure holding it (explicit FailAt, churn, blackout) has
   /// released it, so overlapping failure sources compose instead of an
@@ -142,6 +204,7 @@ class ScenarioDriver : public sim::CycleParticipant {
   void RecoverOne(net::NodeId node);
 
   net::Network* net_;
+  QueryHost* host_ = nullptr;
   /// Events sorted by (cycle, schedule order); `next_event_` advances
   /// monotonically with the clock.
   std::vector<DynamicsEvent> ordered_;
@@ -153,6 +216,8 @@ class ScenarioDriver : public sim::CycleParticipant {
   std::vector<int> fail_depth_;
   int failures_applied_ = 0;
   int recoveries_applied_ = 0;
+  int arrivals_applied_ = 0;
+  int departures_applied_ = 0;
 };
 
 }  // namespace scenario

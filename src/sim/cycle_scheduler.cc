@@ -1,5 +1,7 @@
 #include "sim/cycle_scheduler.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace aspen {
@@ -18,34 +20,93 @@ void CycleScheduler::Attach(CycleParticipant* participant) {
 
 void CycleScheduler::AttachFront(CycleParticipant* participant) {
   ASPEN_CHECK(participant != nullptr);
+  // Prepending shifts indices under the phase loops; only safe between runs.
+  ASPEN_CHECK(!dispatching_);
   participants_.insert(participants_.begin(), participant);
 }
 
+void CycleScheduler::Detach(CycleParticipant* participant) {
+  auto it =
+      std::find(participants_.begin(), participants_.end(), participant);
+  ASPEN_CHECK(it != participants_.end());
+  if (dispatching_) {
+    // The phase loops are iterating by index; leave a tombstone they skip
+    // and compact at the next cycle boundary.
+    *it = nullptr;
+  } else {
+    participants_.erase(it);
+  }
+}
+
+void CycleScheduler::SeekTo(int cycle) {
+  ASPEN_CHECK(cycle >= cycle_);
+  ASPEN_CHECK(!net_->HasTrafficInFlight());
+  cycle_ = cycle;
+}
+
+void CycleScheduler::Compact() {
+  participants_.erase(
+      std::remove(participants_.begin(), participants_.end(), nullptr),
+      participants_.end());
+}
+
+namespace {
+
+/// Clears a flag on scope exit, so every return path (including the
+/// error returns inside the phase loops) restores it.
+class FlagGuard {
+ public:
+  explicit FlagGuard(bool* flag) : flag_(flag) { *flag_ = true; }
+  ~FlagGuard() { *flag_ = false; }
+  FlagGuard(const FlagGuard&) = delete;
+  FlagGuard& operator=(const FlagGuard&) = delete;
+
+ private:
+  bool* flag_;
+};
+
+}  // namespace
+
 Status CycleScheduler::RunCycles(int n) {
+  Compact();  // tombstones may survive an error-path return
   if (participants_.empty()) {
     return Status::FailedPrecondition("CycleScheduler has no participants");
   }
+  ASPEN_CHECK(!dispatching_);
+  FlagGuard in_dispatch(&dispatching_);
+  // Phase loops iterate by index and re-read size(): a participant attached
+  // mid-phase (query admission) is visited later in the same phase, and a
+  // tombstoned one (query departure) is skipped from that instant.
   for (int i = 0; i < n; ++i) {
-    for (CycleParticipant* p : participants_) {
+    for (size_t k = 0; k < participants_.size(); ++k) {
+      CycleParticipant* p = participants_[k];
+      if (p == nullptr) continue;
       ASPEN_RETURN_NOT_OK(SamplePhase(p, cycle_));
     }
-    for (int k = 0; k < sample_interval_; ++k) {
+    for (int s = 0; s < sample_interval_; ++s) {
       net_->Step();
       if (!net_->HasTrafficInFlight()) break;
     }
-    for (CycleParticipant* p : participants_) {
+    for (size_t k = 0; k < participants_.size(); ++k) {
+      CycleParticipant* p = participants_[k];
+      if (p == nullptr) continue;
       ASPEN_RETURN_NOT_OK(DeliverPhase(p, cycle_));
     }
-    for (CycleParticipant* p : participants_) {
+    for (size_t k = 0; k < participants_.size(); ++k) {
+      CycleParticipant* p = participants_[k];
+      if (p == nullptr) continue;
       ASPEN_RETURN_NOT_OK(p->OnLearn(cycle_));
     }
     ++cycle_;
+    Compact();
   }
   // Straggler drain: frames still in the air after the last learn phase
   // (results emitted at the final cycle) are transmitted and delivered so
-  // reported result counts and traffic cover everything this run caused.
+  // the metrics observed afterwards cover everything the run caused.
   net_->StepUntilQuiet(/*max_steps=*/16 * sample_interval_);
-  for (CycleParticipant* p : participants_) {
+  for (size_t k = 0; k < participants_.size(); ++k) {
+    CycleParticipant* p = participants_[k];
+    if (p == nullptr) continue;
     ASPEN_RETURN_NOT_OK(DeliverPhase(p, cycle_));
   }
   return Status::OK();

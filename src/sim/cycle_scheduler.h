@@ -87,14 +87,31 @@ class CycleScheduler {
   CycleScheduler(const CycleScheduler&) = delete;
   CycleScheduler& operator=(const CycleScheduler&) = delete;
 
-  /// Registers a participant. It must outlive the scheduler.
+  /// Registers a participant. It must outlive the scheduler (or Detach
+  /// first). May be called mid-run — from inside another participant's
+  /// phase hook — in which case the new participant joins the *current*
+  /// phase after every earlier participant: a query admitted during the
+  /// cycle-N sample phase samples at cycle N.
   void Attach(CycleParticipant* participant);
 
   /// Registers a participant ahead of everything already attached. Scenario
   /// dynamics (scenario::ScenarioDriver) attach here so a mutation
   /// scheduled for cycle N is applied before any query samples at cycle N,
-  /// regardless of construction order.
+  /// regardless of construction order. Not valid mid-run.
   void AttachFront(CycleParticipant* participant);
+
+  /// \brief Unregisters a participant; its phase hooks stop firing. May be
+  /// called mid-run (query departure): the slot is tombstoned so the
+  /// in-progress phase loop skips it, and compacted at the next cycle
+  /// boundary. A participant detached during the cycle-N sample phase
+  /// before its own turn never samples at cycle N.
+  void Detach(CycleParticipant* participant);
+
+  /// \brief Advances the clock to `cycle` without running any phases, so a
+  /// fresh run can reproduce a query admitted mid-run on a shared medium
+  /// (sampling is a pure function of the cycle number). Requires
+  /// cycle >= cycle() and no traffic in flight.
+  void SeekTo(int cycle);
 
   /// \brief Runs `n` sampling cycles, then drains straggler frames (e.g.
   /// results emitted at the last cycle's end) and delivers them, so the
@@ -121,8 +138,16 @@ class CycleScheduler {
 
   net::Network* net_;
   int sample_interval_;
+  /// Detached-mid-run slots are tombstoned (nullptr) and compacted at the
+  /// next cycle boundary; phase loops iterate by index so mid-phase
+  /// attaches are picked up within the same phase.
   std::vector<CycleParticipant*> participants_;
   int cycle_ = 0;
+  bool dispatching_ = false;
+
+ private:
+  /// Erases tombstones left by mid-run Detach calls.
+  void Compact();
 };
 
 }  // namespace sim

@@ -5,48 +5,18 @@
 // and the first few (warm-up) cycles while slabs and scratch buffers grow to
 // their steady-state capacity.
 //
-// The audit instruments global operator new/delete with a counter gated by a
-// flag, so surrounding gtest machinery is not measured.
-
-#include <atomic>
-#include <cstdlib>
-#include <new>
+// The audit instruments global operator new/delete (bench/alloc_audit.h)
+// with a counter gated by a flag, so surrounding gtest machinery is not
+// measured.
 
 #include <gtest/gtest.h>
 
+#include "bench/alloc_audit.h"
 #include "core/engine.h"
 #include "join/executor.h"
 #include "join/medium.h"
 #include "net/topology.h"
 #include "workload/workload.h"
-
-namespace {
-std::atomic<bool> g_counting{false};
-std::atomic<uint64_t> g_allocs{0};
-
-void CountAlloc() {
-  if (g_counting.load(std::memory_order_relaxed)) {
-    g_allocs.fetch_add(1, std::memory_order_relaxed);
-  }
-}
-}  // namespace
-
-void* operator new(std::size_t size) {
-  CountAlloc();
-  void* p = std::malloc(size);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-void* operator new[](std::size_t size) {
-  CountAlloc();
-  void* p = std::malloc(size);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace aspen {
 namespace {
@@ -57,12 +27,12 @@ using workload::Workload;
 uint64_t CountCycleAllocs(join::JoinExecutor* exec, int warmup_cycles,
                           int measured_cycles) {
   EXPECT_TRUE(exec->RunCycles(warmup_cycles).ok());
-  g_allocs.store(0);
-  g_counting.store(true);
+  allocaudit::ResetCount();
+  allocaudit::SetCounting(true);
   Status st = exec->RunCycles(measured_cycles);
-  g_counting.store(false);
+  allocaudit::SetCounting(false);
   EXPECT_TRUE(st.ok());
-  return g_allocs.load();
+  return allocaudit::Count();
 }
 
 TEST(SteadyStateAllocationTest, InnetCyclesAllocateNothing) {

@@ -103,6 +103,113 @@ TEST(MediumEquivalenceTest, YangPerQueryStatsMatchOwnedNetworks) {
   ExpectPerQueryIdentical(r.solo2, r.shared2);
 }
 
+TEST(MediumEquivalenceTest, StaggeredInitiationMatchesOwnedRunAtSameCycle) {
+  // Service-mode admission: a query added at cycle N on a running medium
+  // must behave exactly like an owned-network run whose clock was seeked
+  // to N — sampling is a pure function of the cycle number, and on a
+  // lossless non-merging medium the co-tenant query cannot interfere.
+  const int kStagger = 12;
+  const int kTail = 20;
+  auto topo = *net::Topology::Random(80, 7.0, 11);
+  SelectivityParams sel{0.5, 0.5, 0.2};
+  ExecutorOptions opts;
+  opts.algorithm = Algorithm::kInnet;
+  opts.assumed = sel;
+
+  RunStats solo;
+  {
+    auto wl = *Workload::MakeQuery2(&topo, sel, 3, 9);
+    JoinExecutor exec(&wl, opts);
+    ASSERT_TRUE(exec.Initiate().ok());
+    exec.scheduler()->SeekTo(kStagger);
+    ASSERT_TRUE(exec.RunCycles(kTail).ok());
+    solo = exec.Stats();
+  }
+
+  auto q1 = *Workload::MakeQuery1(&topo, sel, 3, 7);
+  auto q2 = *Workload::MakeQuery2(&topo, sel, 3, 9);
+  SharedMedium medium(&topo, {});  // merging disabled, lossless
+  medium.AddQuery(&q1, opts);
+  ASSERT_TRUE(medium.InitiateAll().ok());
+  ASSERT_TRUE(medium.RunCycles(kStagger).ok());
+  // Mid-run admission on the shared clock.
+  JoinExecutor* late = medium.AddQuery(&q2, opts);
+  ASSERT_TRUE(late->Initiate().ok());
+  EXPECT_EQ(medium.scheduler()->cycle(), kStagger);
+  ASSERT_TRUE(medium.RunCycles(kTail).ok());
+
+  RunStats shared = late->Stats();
+  EXPECT_EQ(shared.query_bytes, solo.total_bytes);
+  EXPECT_EQ(shared.query_messages, solo.total_messages);
+  EXPECT_EQ(shared.results, solo.results);
+  EXPECT_DOUBLE_EQ(shared.avg_result_delay_cycles,
+                   solo.avg_result_delay_cycles);
+  EXPECT_DOUBLE_EQ(shared.max_result_delay_cycles,
+                   solo.max_result_delay_cycles);
+  EXPECT_EQ(shared.sampling_cycles, solo.sampling_cycles);
+}
+
+TEST(MediumEquivalenceTest, RemoveQueryReturnsOccupancyToBaseline) {
+  // Teardown: removing a query must release everything it pinned in the
+  // shared data plane — after the next epoch-safe sweep, live route and
+  // payload occupancy return exactly to the remaining query's baseline.
+  auto topo = *net::Topology::Random(80, 7.0, 11);
+  SelectivityParams sel{0.5, 0.5, 0.2};
+  ExecutorOptions opts;
+  opts.algorithm = Algorithm::kInnet;
+  opts.features = InnetFeatures::Cm();  // exercise multicast routes too
+  opts.assumed = sel;
+
+  auto q1 = *Workload::MakeQuery1(&topo, sel, 3, 7);
+  auto q2 = *Workload::MakeQuery2(&topo, sel, 3, 9);
+  SharedMedium medium(&topo, {});
+  JoinExecutor* e1 = medium.AddQuery(&q1, opts);
+  ASSERT_TRUE(medium.InitiateAll().ok());
+  ASSERT_TRUE(medium.RunCycles(10).ok());
+  const net::RouteTable& routes = medium.network().routes();
+  const size_t base_routes = routes.live_paths();
+  const size_t base_mcasts = routes.live_multicasts();
+  ASSERT_GT(base_routes, 0u);
+
+  JoinExecutor* e2 = medium.AddQuery(&q2, opts);
+  const int q2_id = e2->query_id();
+  ASSERT_TRUE(e2->Initiate().ok());
+  ASSERT_TRUE(medium.RunCycles(10).ok());
+  EXPECT_GT(routes.live_paths(), base_routes);
+  const uint64_t q2_results = e2->results();
+
+  ASSERT_TRUE(medium.RemoveQuery(q2_id).ok());
+  EXPECT_EQ(medium.num_queries(), 1);
+  EXPECT_EQ(medium.FindExecutor(q2_id), nullptr);
+  // A second removal of the same id is a clean error.
+  EXPECT_TRUE(medium.RemoveQuery(q2_id).IsNotFound());
+  // The ledger retains the departed query's finalized metrics.
+  ASSERT_EQ(medium.ledger().size(), 1u);
+  EXPECT_EQ(medium.ledger()[0].query_id, q2_id);
+  EXPECT_EQ(medium.ledger()[0].stats.results, q2_results);
+  EXPECT_EQ(medium.ledger()[0].admitted_cycle, 10);
+  EXPECT_EQ(medium.ledger()[0].removed_cycle, 20);
+
+  // Run on: the sweep fires at the next quiet epoch boundary and q1 keeps
+  // executing undisturbed.
+  ASSERT_TRUE(medium.RunCycles(5).ok());
+  EXPECT_EQ(routes.live_paths(), base_routes);
+  EXPECT_EQ(routes.live_multicasts(), base_mcasts);
+  EXPECT_EQ(medium.network().payloads().live(), 0u);
+  EXPECT_EQ(medium.network().frames_in_flight(), 0);
+  EXPECT_GT(e1->results(), 0u);
+
+  // The freed id is recycled once its traffic has drained, with counters
+  // zeroed for the new tenant.
+  auto q3 = *Workload::MakeQuery2(&topo, sel, 3, 13);
+  JoinExecutor* e3 = medium.AddQuery(&q3, opts);
+  EXPECT_EQ(e3->query_id(), q2_id);
+  EXPECT_EQ(medium.stats().QueryBytesSent(q2_id), 0u);
+  ASSERT_TRUE(e3->Initiate().ok());
+  ASSERT_TRUE(medium.RunCycles(3).ok());
+  EXPECT_GT(medium.stats().QueryBytesSent(q2_id), 0u);
+}
+
 }  // namespace
 }  // namespace join
 }  // namespace aspen

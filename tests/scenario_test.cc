@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "net/network.h"
 #include "net/topology.h"
 #include "sim/cycle_scheduler.h"
@@ -222,6 +226,95 @@ TEST(ScenarioDriverTest, AttachFrontAppliesEventsBeforeSampling) {
   // the driver runs before it even though it was attached afterwards.
   EXPECT_EQ(probe.seen_failed(),
             (std::vector<bool>{false, false, true, true, false, false}));
+}
+
+TEST(DynamicsScheduleTest, QueryChurnIsDeterministicAndWaveBounded) {
+  DynamicsSchedule::QueryChurnOptions opts;
+  opts.start_cycle = 5;
+  opts.waves = 3;
+  opts.arrivals_per_wave = 4;
+  opts.wave_period = 30;
+  opts.min_lifetime = 5;
+  opts.max_lifetime = 20;
+  opts.num_templates = 2;
+  opts.seed = 42;
+  auto a = DynamicsSchedule::QueryChurn(opts);
+  auto b = DynamicsSchedule::QueryChurn(opts);
+  opts.seed = 43;
+  auto c = DynamicsSchedule::QueryChurn(opts);
+  EXPECT_EQ(a.events(), b.events());
+  EXPECT_NE(a.events(), c.events());
+  EXPECT_EQ(a.num_query_arrivals(), 12);
+  EXPECT_EQ(a.num_query_departures(), 12);
+
+  // Every instance lives entirely inside its own wave window, templates
+  // stay in the pool, and each arrival has exactly one departure.
+  std::map<int, std::pair<int, int>> lifetime;  // slot -> (arrive, depart)
+  for (const auto& e : a.events()) {
+    if (e.kind == DynamicsEvent::Kind::kQueryArrival) {
+      EXPECT_GE(e.template_id, 0);
+      EXPECT_LT(e.template_id, 2);
+      EXPECT_TRUE(lifetime.emplace(e.slot, std::make_pair(e.cycle, -1)).second);
+    } else {
+      ASSERT_EQ(e.kind, DynamicsEvent::Kind::kQueryDeparture);
+      auto it = lifetime.find(e.slot);
+      ASSERT_NE(it, lifetime.end());
+      it->second.second = e.cycle;
+    }
+  }
+  EXPECT_EQ(lifetime.size(), 12u);
+  for (const auto& [slot, span] : lifetime) {
+    const int wave = slot / opts.arrivals_per_wave;
+    const int wave_start = 5 + wave * opts.wave_period;
+    EXPECT_GE(span.first, wave_start);
+    EXPECT_GT(span.second, span.first);
+    EXPECT_LT(span.second, wave_start + opts.wave_period);
+  }
+}
+
+/// Records query arrival/departure callbacks.
+class RecordingHost : public QueryHost {
+ public:
+  Status OnQueryArrival(int slot, int template_id) override {
+    log.push_back({slot, template_id});
+    return Status::OK();
+  }
+  Status OnQueryDeparture(int slot) override {
+    log.push_back({slot, -1});
+    return Status::OK();
+  }
+  std::vector<std::pair<int, int>> log;  // (slot, template or -1)
+};
+
+TEST(ScenarioDriverTest, DispatchesQueryEventsToHostAtScheduledCycles) {
+  Topology topo = TestTopology();
+  net::Network net(&topo, {});
+  DynamicsSchedule sched;
+  sched.ArriveAt(1, /*slot=*/0, /*template_id=*/2).DepartAt(3, 0);
+  ScenarioDriver driver(&net, &sched);
+  RecordingHost host;
+  driver.set_query_host(&host);
+
+  Tick(&driver, 0);
+  EXPECT_TRUE(host.log.empty());
+  Tick(&driver, 1);
+  ASSERT_EQ(host.log.size(), 1u);
+  EXPECT_EQ(host.log[0], std::make_pair(0, 2));
+  Tick(&driver, 3);
+  ASSERT_EQ(host.log.size(), 2u);
+  EXPECT_EQ(host.log[1], std::make_pair(0, -1));
+  EXPECT_EQ(driver.arrivals_applied(), 1);
+  EXPECT_EQ(driver.departures_applied(), 1);
+}
+
+TEST(ScenarioDriverTest, QueryEventWithoutHostFailsTheRun) {
+  Topology topo = TestTopology();
+  net::Network net(&topo, {});
+  DynamicsSchedule sched;
+  sched.ArriveAt(0, 0, 0);
+  ScenarioDriver driver(&net, &sched);
+  Status st = driver.OnSample(0);
+  EXPECT_TRUE(st.IsFailedPrecondition());
 }
 
 }  // namespace
