@@ -283,6 +283,18 @@ Status JoinExecutor::InitCommon() {
     nodes_[key.t].t_pairs.push_back(idx);
   }
   pair_group_.assign(placements_.size(), -1);
+  // Warm every producer's last-w rings up front: ring slots allocate their
+  // tuple buffer on first use, and with a short warmup that first-touch
+  // tail would otherwise land inside an audited measured block.
+  const int w = workload_->join_query().window.size;
+  const bool naive = opts_.algorithm == Algorithm::kNaive;
+  for (NodeId p = 0; p < n; ++p) {
+    NodeState& node = nodes_[p];
+    const bool s_role = naive ? workload_->SEligible(p) : !node.s_pairs.empty();
+    const bool t_role = naive ? workload_->TEligible(p) : !node.t_pairs.empty();
+    if (s_role) node.recent_sent[1].Warm(w, query::kNumAttrs);
+    if (t_role) node.recent_sent[0].Warm(w, query::kNumAttrs);
+  }
   return Status::OK();
 }
 
@@ -316,6 +328,44 @@ Status JoinExecutor::Initiate() {
   // On a shared medium the SharedMedium owns the resolver (all primary
   // trees are the identical deterministic BFS from the base).
   if (owned_net_ != nullptr) net_->set_parent_resolver(&primary_tree());
+  // Pre-grow the payload slabs to the steady-state in-flight high-water
+  // (every producer can have a data message in flight, every pair a result)
+  // with their tuple buffers warmed, so the cycle loop's pools never
+  // allocate. The reserve is a floor, not a cap — an unusually deep
+  // in-flight tail still grows the slab, which the benches' allocation
+  // audits would surface.
+  data_pool_->Reserve(s_nodes_.size() + t_nodes_.size(), [](DataPayload& d) {
+    d.tuple.resize(query::kNumAttrs);
+  });
+  result_pool_->Reserve(pairs_.size(), [](ResultPayload&) {});
+  // Every pair's join state exists from placement time — the join node
+  // learned its pairs during nomination — so materialize it now with its
+  // window rings at full capacity. Leaving creation to the first arrival
+  // made a pair that first fires late allocate mid-run, which the audits
+  // flag. Placements are pair-sorted, so site registration order (and with
+  // it ForEachState's iteration order) is deterministic.
+  for (const PairPlacement& pl : placements_) {
+    PairState& pst = StateAt(pl.at_base ? 0 : pl.join_node, pl.pair);
+    pst.s_window.Warm(query::kNumAttrs);
+    pst.t_window.Warm(query::kNumAttrs);
+  }
+  // Arrival boxes peak at one entry per role destination per in-flight
+  // sample cycle; two cycles of slack covers multi-hop deliveries that
+  // straddle a deliver phase.
+  arrivals_.ReserveActive(s_nodes_.size() + t_nodes_.size());
+  {
+    const int n = workload_->topology().num_nodes();
+    for (NodeId p = 0; p < n; ++p) {
+      const size_t roles = nodes_[p].s_pairs.size() + nodes_[p].t_pairs.size();
+      if (roles > 0) arrivals_.ReserveBox(p, 2 * roles);
+    }
+  }
+  emit_merge_.reserve(4 * pairs_.size());
+  // Per-cycle frame emissions: one data message per firing producer role
+  // plus result messages, with 2x slack for multi-hop tails that straddle
+  // cycles.
+  net_->ReserveSteadyState(
+      2 * (s_nodes_.size() + t_nodes_.size() + pairs_.size()));
   initiated_ = true;
   plans_dirty_ = true;  // build the per-producer send plans lazily
   return Status::OK();
@@ -536,37 +586,81 @@ void JoinExecutor::OnSampleBegin(int cycle) {
   workload_->WarmFilterCache();
 }
 
-void JoinExecutor::OnSampleShard(int cycle, int shard, NodeId begin,
-                                 NodeId end) {
-  // Pure per-node work: sampling, filters and the producer-local last-w
-  // buffers. Submissions happen at commit, in node order, so the network
-  // sees the identical stream for any shard count.
+void JoinExecutor::BuildProducerCache(ShardScratch* sc, NodeId begin,
+                                      NodeId end) {
+  // Producer roles are fixed once Initiate has filled the pair lists (the
+  // only writer), and naive eligibility is a pure function of statics, so
+  // the scan runs once per shard range rather than every cycle.
   const bool naive = opts_.algorithm == Algorithm::kNaive;
-  const int w = workload_->join_query().window.size;
-  ShardScratch& sc = scratch_[shard];
-  sc.staged_count = 0;
+  sc->cached_begin = begin;
+  sc->cached_end = end;
+  sc->producer_ids.clear();
+  sc->producer_roles.clear();
   for (NodeId p = begin; p < end; ++p) {
-    if (net_->IsFailed(p)) continue;
-    NodeState& node = nodes_[p];
+    const NodeState& node = nodes_[p];
     const bool s_role = naive ? workload_->SEligible(p) : !node.s_pairs.empty();
     const bool t_role = naive ? workload_->TEligible(p) : !node.t_pairs.empty();
     if (!s_role && !t_role) continue;
-    if (sc.staged_count == static_cast<int>(sc.staged.size())) {
-      sc.staged.emplace_back();
-    }
-    StagedSample& slot = sc.staged[sc.staged_count];
-    workload_->SampleInto(p, cycle, &slot.tuple);
-    bool send_s = s_role && workload_->PassSFilter(p, slot.tuple, cycle);
-    bool send_t = t_role && workload_->PassTFilter(p, slot.tuple, cycle);
-    if (!send_s && !send_t) continue;  // slot stays staged-free for reuse
-    slot.p = p;
-    slot.send_s = send_s;
-    slot.send_t = send_t;
+    sc->producer_ids.push_back(p);
+    sc->producer_roles.push_back(static_cast<uint8_t>((s_role ? 1 : 0) |
+                                                      (t_role ? 2 : 0)));
+  }
+  // Pre-size staging for the worst case (every producer passes both
+  // filters) so the steady-state sample pass never allocates; warming the
+  // tuples to full width gives every slot its capacity up front.
+  const size_t cap = sc->producer_ids.size();
+  sc->s_bits.assign((cap + 63) / 64, 0ULL);
+  sc->t_bits.assign((cap + 63) / 64, 0ULL);
+  sc->staged_ids.resize(cap);
+  sc->staged_flags.resize(cap);
+  sc->staged_tuples.resize(cap);
+  for (query::Tuple& t : sc->staged_tuples) t.resize(query::kNumAttrs);
+  // Deliver-phase staging for the same shard: each pair applies at most
+  // one arrival per role per sampling cycle, with 2x slack for multi-hop
+  // deliveries straddling a phase.
+  sc->emits.reserve(4 * pairs_.size());
+  sc->touched_sites.reserve(4 * pairs_.size());
+}
+
+void JoinExecutor::OnSampleShard(int cycle, int shard, NodeId begin,
+                                 NodeId end) {
+  // Pure per-node work: batched filters, sampling of the passing producers
+  // and the producer-local last-w buffers. Submissions happen at commit, in
+  // node order, so the network sees the identical stream for any shard
+  // count. Filters run before sampling — the filter verdict only depends
+  // on the u draw, which PassFilters recomputes bit-identically — so
+  // non-senders cost one hash instead of a full tuple materialization.
+  const int w = workload_->join_query().window.size;
+  ShardScratch& sc = scratch_[shard];
+  sc.staged_count = 0;
+  if (sc.cached_begin != begin || sc.cached_end != end) {
+    BuildProducerCache(&sc, begin, end);
+  }
+  const int num_producers = static_cast<int>(sc.producer_ids.size());
+  if (num_producers == 0) return;
+  workload_->PassFilters(sc.producer_ids.data(), num_producers, cycle,
+                         sc.s_bits.data(), sc.t_bits.data());
+  for (int i = 0; i < num_producers; ++i) {
+    const uint8_t roles = sc.producer_roles[i];
+    const uint64_t word_bit = 1ULL << (i & 63);
+    const bool send_s = (roles & 1) && (sc.s_bits[i >> 6] & word_bit);
+    const bool send_t = (roles & 2) && (sc.t_bits[i >> 6] & word_bit);
+    if (!send_s && !send_t) continue;
+    const NodeId p = sc.producer_ids[i];
+    if (net_->IsFailed(p)) continue;
+    sc.staged_ids[sc.staged_count] = p;
+    sc.staged_flags[sc.staged_count] =
+        static_cast<uint8_t>((send_s ? 1 : 0) | (send_t ? 2 : 0));
     ++sc.staged_count;
+  }
+  workload_->SampleBatchInto(sc.staged_ids.data(), sc.staged_count, cycle,
+                             sc.staged_tuples.data());
+  for (int i = 0; i < sc.staged_count; ++i) {
     // Producers remember their last w sent tuples per role so a join window
     // can be reconstructed at the base after a join-node failure.
-    if (send_s) node.recent_sent[1].Push(slot.tuple, w);
-    if (send_t) node.recent_sent[0].Push(slot.tuple, w);
+    NodeState& node = nodes_[sc.staged_ids[i]];
+    if (sc.staged_flags[i] & 1) node.recent_sent[1].Push(sc.staged_tuples[i], w);
+    if (sc.staged_flags[i] & 2) node.recent_sent[0].Push(sc.staged_tuples[i], w);
   }
 }
 
@@ -575,20 +669,23 @@ Status JoinExecutor::OnSampleCommit(int cycle) {
   // submits in exactly the node order of the unsharded loop.
   for (ShardScratch& sc : scratch_) {
     for (int i = 0; i < sc.staged_count; ++i) {
-      const StagedSample& s = sc.staged[i];
+      const NodeId p = sc.staged_ids[i];
+      const query::Tuple& t = sc.staged_tuples[i];
+      const bool send_s = sc.staged_flags[i] & 1;
+      const bool send_t = sc.staged_flags[i] & 2;
       switch (opts_.algorithm) {
         case Algorithm::kNaive:
         case Algorithm::kBase:
-          SendToBase(s.p, s.tuple, cycle, s.send_s, s.send_t);
+          SendToBase(p, t, cycle, send_s, send_t);
           break;
         case Algorithm::kYang07:
-          SendYang(s.p, s.tuple, cycle, s.send_s, s.send_t);
+          SendYang(p, t, cycle, send_s, send_t);
           break;
         case Algorithm::kGht:
-          SendGht(s.p, s.tuple, cycle, s.send_s, s.send_t);
+          SendGht(p, t, cycle, send_s, send_t);
           break;
         case Algorithm::kInnet:
-          SendInnet(s.p, s.tuple, cycle, s.send_s, s.send_t);
+          SendInnet(p, t, cycle, send_s, send_t);
           break;
       }
     }

@@ -305,16 +305,6 @@ class JoinExecutor : public sim::CycleParticipant,
   net::TypedPool<ResultPayload>* result_pool_ = nullptr;
   net::TypedPool<WindowTransferPayload>* window_pool_ = nullptr;
 
-  /// One staged producer sample: the pure per-node work of the sample
-  /// phase, computed in parallel and submitted in node order at commit.
-  /// Slots are recycled with their tuple capacity.
-  struct StagedSample {
-    net::NodeId p = -1;
-    bool send_s = false;
-    bool send_t = false;
-    query::Tuple tuple;
-  };
-
   /// One deferred EmitResults call of a deliver shard pass, with the
   /// canonical merge key (side, producer, arrival position, pair position)
   /// that reproduces the sequential emission order exactly.
@@ -330,12 +320,35 @@ class JoinExecutor : public sim::CycleParticipant,
   };
 
   /// Everything one shard's sample/deliver passes stage.
+  ///
+  /// The sample pass runs the batched workload kernel: the shard's
+  /// producers (cached — roles are fixed once Initiate has populated the
+  /// pair lists) go through Workload::PassFilters as one batch, and only
+  /// the passing ones are sampled, into pre-sized tuple slots that recycle
+  /// their capacity. Staged arrays are parallel (ids/flags/tuples share an
+  /// index) and submissions happen at commit, in node order.
   struct ShardScratch {
-    std::vector<StagedSample> staged;
+    /// Producers in [cached_begin, cached_end) holding an S or T role,
+    /// ascending; role bit 0 = S, bit 1 = T.
+    std::vector<net::NodeId> producer_ids;
+    std::vector<uint8_t> producer_roles;
+    net::NodeId cached_begin = -1;
+    net::NodeId cached_end = -1;
+    /// PassFilters output, one bit per producer_ids entry.
+    std::vector<uint64_t> s_bits, t_bits;
+    /// Staged sends: flags bit 0 = send_s, bit 1 = send_t.
+    std::vector<net::NodeId> staged_ids;
+    std::vector<uint8_t> staged_flags;
+    std::vector<query::Tuple> staged_tuples;
     int staged_count = 0;
     std::vector<DeferredEmit> emits;
     std::vector<net::NodeId> touched_sites;
   };
+
+  /// (Re)derives a shard's producer cache for its node range and pre-sizes
+  /// the staging arrays to the worst case (every producer passes).
+  void BuildProducerCache(ShardScratch* sc, net::NodeId begin,
+                          net::NodeId end);
 
   std::vector<ShardScratch> scratch_;
   /// Reused canonical-merge scratch for deferred emissions.

@@ -61,6 +61,15 @@ class RecentRing {
     }
   }
 
+  /// Pre-grows the ring to `cap` slots of `width` ints each so that every
+  /// later Push reuses slot capacity. Without this, a slot's first-ever
+  /// Push allocates its tuple buffer — a first-touch tail that can land in
+  /// a measured block when the warmup is short. Holds no tuples afterwards.
+  void Warm(int cap, int width) {
+    slots_.resize(cap);
+    for (query::Tuple& t : slots_) t.reserve(width);
+  }
+
   int size() const { return count_; }
   /// The i-th remembered tuple, oldest first.
   const query::Tuple& at(int i) const { return slots_[Index(i)]; }

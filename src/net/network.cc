@@ -54,6 +54,20 @@ void Network::ConfigureSharding(std::vector<NodeId> starts,
   pool_ = pool;
 }
 
+void Network::ReserveSteadyState(size_t frames_per_shard) {
+  for (Shard& sh : shards_) {
+    sh.frames.reserve(frames_per_shard);
+    sh.free_frames.reserve(frames_per_shard);
+    sh.in_flight.reserve(frames_per_shard);
+    sh.pending.reserve(frames_per_shard);
+    sh.group_scratch.reserve(frames_per_shard);
+    // Each frame's processing can emit several effects (deliver + release,
+    // snoop expansion, multicast fan-out).
+    sh.effects.reserve(4 * frames_per_shard);
+  }
+  merge_scratch_.reserve(4 * frames_per_shard * shards_.size());
+}
+
 bool Network::HasTrafficInFlight() const {
   for (const Shard& sh : shards_) {
     if (!sh.in_flight.empty() || !sh.pending.empty()) return true;
@@ -434,7 +448,11 @@ void Network::ComputeShard(int shard_idx) {
   Shard* sh = &shards_[shard_idx];
   auto& gs = sh->group_scratch;
   gs.clear();
-  gs.reserve(sh->in_flight.size());
+  // Reserve to the frame slab's capacity, not the current in-flight count:
+  // the slab bounds every future in-flight size, so the scratch stops
+  // reallocating once the slab's high-water settles (the in-flight count
+  // itself keeps nudging past its old maximum for the whole run).
+  gs.reserve(sh->frames.capacity());
   for (int32_t idx : sh->in_flight) {
     gs.emplace_back(KeyFor(sh->frames[idx]), idx);
   }

@@ -157,6 +157,14 @@ class Network {
   /// inline. Called by the pool's owner when it is destroyed first.
   void DetachShardPool() { pool_ = nullptr; }
 
+  /// Pre-grows every shard's frame slab, free/flight lists and effect
+  /// buffers for an expected steady-state load of `frames_per_shard`
+  /// in-flight frames. Callers (query initiation) pass their per-cycle
+  /// emission bound so the cycle loop never grows these mid-run; the
+  /// reserve is a floor — an unusually deep in-flight tail still grows the
+  /// slabs, which the benches' allocation audits would surface.
+  void ReserveSteadyState(size_t frames_per_shard);
+
   int num_shards() const { return static_cast<int>(shard_starts_.size()); }
   /// The shard owning node `id`.
   int ShardOf(NodeId id) const {

@@ -121,6 +121,27 @@ class TypedPool : public PayloadPoolBase {
     return true;
   }
 
+  /// Grows the slab to at least `total` slots, pushing the new slots onto
+  /// the free list so Allocate hands them out in slot order (exactly the
+  /// order organic growth would have). `warm` runs once per new slot's
+  /// value so callers can pre-size contained buffers; together with slot
+  /// recycling this moves the high-water allocations of a steady-state run
+  /// to init time. Never shrinks and never touches existing slots.
+  template <typename Fn>
+  void Reserve(size_t total, Fn&& warm) {
+    const size_t old = slots_.size();
+    if (total <= old) return;
+    slots_.reserve(total);
+    free_.reserve(free_.size() + (total - old));
+    for (size_t i = old; i < total; ++i) {
+      slots_.emplace_back();
+      warm(slots_.back().value);
+    }
+    for (size_t i = total; i > old; --i) {
+      free_.push_back(static_cast<int32_t>(i - 1));
+    }
+  }
+
   void Clear() override {
     free_.clear();
     for (size_t i = 0; i < slots_.size(); ++i) {

@@ -121,9 +121,21 @@ class Topology {
   NodeId NearestNode(const Point& p) const;
 
  private:
-  Topology(std::vector<Point> positions, double radio_range);
+  /// Tag selecting the generator-internal probe constructor below.
+  struct DeferGabriel {};
 
+  Topology(std::vector<Point> positions, double radio_range);
+  /// Probe construction for the generators' range searches: adjacency only,
+  /// no Gabriel planarization (rebuilt via BuildGabriel before a candidate
+  /// escapes to callers).
+  Topology(std::vector<Point> positions, double radio_range, DeferGabriel);
+
+  /// Adjacency via a uniform-grid spatial index (cell >= radio range, 3x3
+  /// block candidate search); output identical to the all-pairs scan.
   void BuildAdjacency();
+  /// Gabriel planarization bounded to each node's radio neighborhood (any
+  /// witness for edge (u, v) is strictly closer to u than v is).
+  void BuildGabriel();
 
   std::vector<Point> positions_;
   double radio_range_;

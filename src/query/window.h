@@ -57,6 +57,19 @@ class JoinWindow {
     while (count_ > 0 && slots_[head_].cycle < min_cycle) PopFront();
   }
 
+  /// Pre-grows the ring to its full `window_size()` slot count with
+  /// `width`-int tuple buffers, so steady-state pushes recycle capacity
+  /// instead of first-touch allocating (a tail that escapes short warmups
+  /// and would trip the benches' zero-allocation audits). Buffered entries
+  /// are unaffected.
+  void Warm(int width) {
+    if (static_cast<int>(slots_.size()) < size_) {
+      ASPEN_CHECK(count_ == 0);  // only meaningful before any Push
+      slots_.resize(size_);
+    }
+    for (Entry& e : slots_) e.tuple.reserve(width);
+  }
+
   /// The i-th buffered entry, oldest first (0 <= i < size()).
   const Entry& entry(int i) const { return slots_[Index(i)]; }
 

@@ -8,14 +8,6 @@
 namespace aspen {
 namespace routing {
 
-uint64_t HashKey(int32_t key, uint64_t salt) {
-  uint64_t z = static_cast<uint64_t>(static_cast<uint32_t>(key)) ^
-               (salt * 0xD1B54A32D192ED03ULL + 0x9E3779B97F4A7C15ULL);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
 GeoHash::GeoHash(const net::Topology* topology, uint64_t salt)
     : topology_(topology), salt_(salt) {
   ASPEN_CHECK(topology_->num_nodes() > 0);

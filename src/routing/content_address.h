@@ -56,7 +56,14 @@ class DhtRing {
 };
 
 /// 64-bit mix used by both schemes (and by query-level hash() predicates).
-uint64_t HashKey(int32_t key, uint64_t salt);
+/// Inline so the workload's batched counter-hash draws vectorize.
+inline uint64_t HashKey(int32_t key, uint64_t salt) {
+  uint64_t z = static_cast<uint64_t>(static_cast<uint32_t>(key)) ^
+               (salt * 0xD1B54A32D192ED03ULL + 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
 
 }  // namespace routing
 }  // namespace aspen

@@ -54,6 +54,8 @@ Result<int> MultiTree::IndexAttribute(const IndexedAttribute& attr,
   const int n = topology_->num_nodes();
   ScalarIndex index;
   index.decl = attr;
+  index.values.resize(n);
+  for (NodeId u = 0; u < n; ++u) index.values[u] = attr.value_fn(u);
   index.per_tree.resize(trees_.size());
   for (size_t t = 0; t < trees_.size(); ++t) {
     const RoutingTree& tree = *trees_[t];
@@ -69,7 +71,7 @@ Result<int> MultiTree::IndexAttribute(const IndexedAttribute& attr,
     });
     for (NodeId u : order) {
       auto own = ScalarSummary::Make(attr.summary_type);
-      own->Insert(attr.value_fn(u));
+      own->Insert(index.values[u]);
       const auto& children = tree.ChildrenOf(u);
       per_node[u].reserve(children.size());
       for (NodeId c : children) {
@@ -167,64 +169,76 @@ std::vector<FoundPath> MultiTree::Search(
   std::vector<FoundPath> results;
   for (int t = 0; t < num_trees(); ++t) {
     const RoutingTree& tree = *trees_[t];
-    // Downward exploration from `u`; `path` ends with `u`.
-    // Defined recursively via explicit stack to bound stack usage.
+    // Stack items describe their path implicitly — an ascent prefix of
+    // `up_path` plus the tree chain from the branch ancestor down to the
+    // item's node — instead of materializing a vector per item. Descents
+    // only ever follow tree edges, so the chain is recoverable by walking
+    // ParentOf; only matches pay to build the actual path. (Materialized
+    // per-item paths made exploration O(visited x depth) and dominated
+    // initiation at 100k nodes.)
     struct Item {
       NodeId node;
-      std::vector<NodeId> path;
+      int up_prefix;  ///< leading entries of up_path on this item's path
+      int path_len;   ///< total path entries, ending at `node`
+    };
+    // Ascent source -> ... -> root, grown by phase 2 below. Items only
+    // reference prefixes that were complete when they were pushed.
+    std::vector<NodeId> up_path{source};
+    auto build_path = [&](const Item& item) {
+      std::vector<NodeId> path(item.path_len);
+      std::copy(up_path.begin(), up_path.begin() + item.up_prefix,
+                path.begin());
+      NodeId u = item.node;
+      for (int k = item.path_len; k-- > item.up_prefix;) {
+        path[k] = u;
+        u = tree.ParentOf(u);
+      }
+      return path;
     };
     auto expand_down = [&](std::vector<Item>* stack, const Item& item) {
       const auto& children = tree.ChildrenOf(item.node);
       for (size_t ci = 0; ci < children.size(); ++ci) {
         if (!descend(t, item.node, ci)) continue;
-        ChargeExploreHop(item.node, static_cast<int>(item.path.size()) - 1,
-                         stats, search_stats);
-        // Copy-construct the extended path (assigning into a fresh empty
-        // vector trips GCC 12's -Wnonnull on the inlined memmove).
-        Item next{children[ci], item.path};
-        next.path.push_back(children[ci]);
-        stack->push_back(std::move(next));
+        ChargeExploreHop(item.node, item.path_len - 1, stats, search_stats);
+        stack->push_back(Item{children[ci], item.up_prefix, item.path_len + 1});
       }
     };
     auto visit = [&](const Item& item) {
       if (search_stats != nullptr) ++search_stats->nodes_visited;
       if (item.node != source && matches(item.node)) {
-        ChargeReply(item.path, stats, search_stats);
-        results.push_back(FoundPath{item.node, item.path, t});
+        std::vector<NodeId> path = build_path(item);
+        ChargeReply(path, stats, search_stats);
+        results.push_back(FoundPath{item.node, std::move(path), t});
       }
     };
 
     std::vector<Item> stack;
     // Phase 1: descend below the source.
-    expand_down(&stack, Item{source, {source}});
+    expand_down(&stack, Item{source, 1, 1});
     // Phase 2: ascend toward the root; at each ancestor, test the ancestor
     // itself and descend into its other children. Never re-ascend after a
     // descent.
     {
-      std::vector<NodeId> up_path{source};
       NodeId cur = source;
       while (tree.ParentOf(cur) != -1) {
         NodeId p = tree.ParentOf(cur);
         ChargeExploreHop(cur, static_cast<int>(up_path.size()) - 1, stats,
                          search_stats);
         up_path.push_back(p);
-        Item at_parent{p, up_path};
-        visit(at_parent);
+        const int len = static_cast<int>(up_path.size());
+        visit(Item{p, len, len});
         const auto& children = tree.ChildrenOf(p);
         for (size_t ci = 0; ci < children.size(); ++ci) {
           if (children[ci] == cur) continue;
           if (!descend(t, p, ci)) continue;
-          ChargeExploreHop(p, static_cast<int>(up_path.size()) - 1, stats,
-                           search_stats);
-          Item next{children[ci], up_path};
-          next.path.push_back(children[ci]);
-          stack.push_back(std::move(next));
+          ChargeExploreHop(p, len - 1, stats, search_stats);
+          stack.push_back(Item{children[ci], len, len + 1});
         }
         cur = p;
       }
     }
     while (!stack.empty()) {
-      Item item = std::move(stack.back());
+      Item item = stack.back();
       stack.pop_back();
       visit(item);
       expand_down(&stack, item);
@@ -244,7 +258,7 @@ std::vector<FoundPath> MultiTree::FindMatches(
     return index.per_tree[t][u][ci]->MayContain(value);
   };
   auto matches = [&](NodeId u) {
-    if (index.decl.value_fn(u) != value) return false;
+    if (index.values[u] != value) return false;
     return accept == nullptr || accept(u);
   };
   return Search(source, descend, matches, stats, search_stats);

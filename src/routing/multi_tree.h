@@ -119,6 +119,9 @@ class MultiTree {
   /// Per-tree, per-node semantic routing table for one scalar attribute.
   struct ScalarIndex {
     IndexedAttribute decl;
+    /// value_fn(u) for every node, tabulated at index time — searches test
+    /// candidates against this instead of re-evaluating the expression.
+    std::vector<int32_t> values;
     /// child_summary[tree][node] — summaries keyed parallel to
     /// RoutingTree::ChildrenOf(node).
     std::vector<std::vector<std::vector<std::unique_ptr<ScalarSummary>>>>

@@ -30,6 +30,13 @@ class NodeMailboxes {
     sorted_ = true;
   }
 
+  /// Pre-grows box `id`'s capacity so steady-state pushes don't chase the
+  /// high-water mark with reallocations mid-run.
+  void ReserveBox(net::NodeId id, size_t cap) { boxes_[id].reserve(cap); }
+  /// Pre-grows the active-node list (its high-water is the number of nodes
+  /// that receive mail in one batch).
+  void ReserveActive(size_t n) { active_.reserve(n); }
+
   void Push(net::NodeId id, T item) {
     if (boxes_[id].empty()) {
       active_.push_back(id);

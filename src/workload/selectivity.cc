@@ -94,6 +94,8 @@ FilterDesign DesignFilters(const SelectivityParams& params) {
       }
     }
   }
+  d.pass_mask_s = PassMask(d.domain, d.salt_s, d.mod_s);
+  d.pass_mask_t = PassMask(d.domain, d.salt_t, d.mod_t);
   return d;
 }
 

@@ -40,6 +40,11 @@ struct FilterDesign {
   double realized_s = 1.0;   ///< fraction of the domain passing the S filter
   double realized_t = 1.0;
   double realized_st = 1.0;  ///< conditional join prob given both sent
+  /// Bit u set iff domain value u passes the S (resp. T) filter — the whole
+  /// predicate precomputed (domain <= 64 always). The batched filter path
+  /// tests these instead of re-hashing per node.
+  uint64_t pass_mask_s = 0;
+  uint64_t pass_mask_t = 0;
 
   bool PassS(int32_t u) const;
   bool PassT(int32_t u) const;

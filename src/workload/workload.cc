@@ -257,6 +257,7 @@ std::optional<int32_t> Workload::TJoinKey(net::NodeId id) const {
 // ---- per-node / temporal selectivity --------------------------------------
 
 void Workload::SetNodeParams(net::NodeId id, SelectivityParams params) {
+  if (!node_params_[id].has_value()) ++num_node_overrides_;
   node_params_[id] = params;
 }
 
@@ -269,6 +270,14 @@ const SelectivityParams& Workload::ParamsAt(net::NodeId id, int cycle) const {
   if (cycle >= switch_cycle_) return switch_params_;
   if (node_params_[id].has_value()) return *node_params_[id];
   return default_params_;
+}
+
+const SelectivityParams* Workload::UniformParamsAt(int cycle) const {
+  // Past the global switch every node uses switch_params_ (ParamsAt ignores
+  // overrides there); below it only override-free workloads are uniform.
+  if (cycle >= switch_cycle_) return &switch_params_;
+  if (num_node_overrides_ == 0) return &default_params_;
+  return nullptr;
 }
 
 const FilterDesign& Workload::FilterFor(const SelectivityParams& p) const {
@@ -304,9 +313,14 @@ query::Tuple Workload::Sample(net::NodeId id, int cycle) const {
 
 void Workload::SampleInto(net::NodeId id, int cycle,
                           query::Tuple* out) const {
+  SampleWithParams(id, cycle, ParamsAt(id, cycle), out);
+}
+
+void Workload::SampleWithParams(net::NodeId id, int cycle,
+                                const SelectivityParams& p,
+                                query::Tuple* out) const {
   query::Tuple& t = *out;
   t = statics_.tuple(id);  // copy-assign reuses the caller's capacity
-  const SelectivityParams& p = ParamsAt(id, cycle);
   const int domain = p.UDomain();
   // Counter-hash draws keep the trace a pure function of (node, cycle).
   uint64_t h = routing::HashKey(static_cast<int32_t>(cycle), seed_ ^ (id * 0x9E3779B9ULL));
@@ -321,6 +335,18 @@ void Workload::SampleInto(net::NodeId id, int cycle,
   t[AttrId::kAttrMemFree] = 4096;
 }
 
+void Workload::SampleBatchInto(const net::NodeId* ids, int count, int cycle,
+                               query::Tuple* out) const {
+  if (const SelectivityParams* uni = UniformParamsAt(cycle)) {
+    // One domain lookup for the whole batch; the draws are unchanged.
+    for (int i = 0; i < count; ++i) {
+      SampleWithParams(ids[i], cycle, *uni, &out[i]);
+    }
+    return;
+  }
+  for (int i = 0; i < count; ++i) SampleInto(ids[i], cycle, &out[i]);
+}
+
 bool Workload::PassSFilter(net::NodeId id, const query::Tuple& tuple,
                            int cycle) const {
   return FilterFor(ParamsAt(id, cycle)).PassS(tuple[AttrId::kAttrU]);
@@ -329,6 +355,43 @@ bool Workload::PassSFilter(net::NodeId id, const query::Tuple& tuple,
 bool Workload::PassTFilter(net::NodeId id, const query::Tuple& tuple,
                            int cycle) const {
   return FilterFor(ParamsAt(id, cycle)).PassT(tuple[AttrId::kAttrU]);
+}
+
+void Workload::PassFilters(const net::NodeId* ids, int count, int cycle,
+                           uint64_t* s_bits, uint64_t* t_bits) const {
+  const int words = (count + 63) / 64;
+  std::fill_n(s_bits, words, 0ULL);
+  std::fill_n(t_bits, words, 0ULL);
+  if (const SelectivityParams* uni = UniformParamsAt(cycle)) {
+    // Fast path: one design for the batch. The u draw below is the exact
+    // SampleInto expression, and the pass masks tabulate PassS/PassT over
+    // the whole domain, so each bit equals the scalar filter verdict. The
+    // loop body is branch-free — the counter hash is inline and the
+    // predicate is two mask tests — so the compiler can vectorize it.
+    const FilterDesign& d = FilterFor(*uni);
+    const uint64_t domain = static_cast<uint64_t>(uni->UDomain());
+    const uint64_t mask_s = d.pass_mask_s;
+    const uint64_t mask_t = d.pass_mask_t;
+    const uint64_t seed = seed_;
+    const int32_t c = static_cast<int32_t>(cycle);
+    for (int i = 0; i < count; ++i) {
+      const uint64_t h = routing::HashKey(c, seed ^ (ids[i] * 0x9E3779B9ULL));
+      const uint64_t u = h % domain;
+      s_bits[i >> 6] |= ((mask_s >> u) & 1ULL) << (i & 63);
+      t_bits[i >> 6] |= ((mask_t >> u) & 1ULL) << (i & 63);
+    }
+    return;
+  }
+  // Per-node overrides live: resolve the design per node (still cached).
+  for (int i = 0; i < count; ++i) {
+    const SelectivityParams& p = ParamsAt(ids[i], cycle);
+    const FilterDesign& d = FilterFor(p);
+    const uint64_t h = routing::HashKey(static_cast<int32_t>(cycle),
+                                        seed_ ^ (ids[i] * 0x9E3779B9ULL));
+    const uint64_t u = h % static_cast<uint64_t>(p.UDomain());
+    s_bits[i >> 6] |= ((d.pass_mask_s >> u) & 1ULL) << (i & 63);
+    t_bits[i >> 6] |= ((d.pass_mask_t >> u) & 1ULL) << (i & 63);
+  }
 }
 
 bool Workload::TuplesJoin(const query::Tuple& s, const query::Tuple& t) const {

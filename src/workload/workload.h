@@ -103,6 +103,23 @@ class Workload {
   /// allocates once `out` is warm).
   void SampleInto(net::NodeId id, int cycle, query::Tuple* out) const;
 
+  /// SampleInto() over `count` node ids: out[i] receives ids[i]'s tuple,
+  /// bit-for-bit what SampleInto(ids[i], cycle, &out[i]) writes. Hoists the
+  /// per-node parameter lookup when one SelectivityParams governs every
+  /// node at `cycle` (no overrides, or past the global switch).
+  void SampleBatchInto(const net::NodeId* ids, int count, int cycle,
+                       query::Tuple* out) const;
+
+  /// Batched filter evaluation over `count` node ids: sets bit i of
+  /// s_bits/t_bits (64 ids per word, (count + 63) / 64 words) iff ids[i]'s
+  /// sample at `cycle` passes the S (resp. T) filter — exactly
+  /// PassS/TFilter(ids[i], Sample(ids[i], cycle), cycle), without
+  /// materializing the tuples. One FilterFor lookup for the whole batch on
+  /// the uniform-params fast path; same thread-safety contract as
+  /// PassS/TFilter (warm the cache first).
+  void PassFilters(const net::NodeId* ids, int count, int cycle,
+                   uint64_t* s_bits, uint64_t* t_bits) const;
+
   /// Whether the sample passes the S-side (resp. T-side) dynamic selection
   /// (the hash-gate hP(u); always true for Query 3).
   ///
@@ -136,6 +153,12 @@ class Workload {
 
   Status Finalize(query::JoinQuery query);
   const FilterDesign& FilterFor(const SelectivityParams& p) const;
+  /// The one SelectivityParams governing *every* node at `cycle`, or
+  /// nullptr when per-node overrides are live below the global switch.
+  const SelectivityParams* UniformParamsAt(int cycle) const;
+  /// SampleInto with the governing parameters already resolved.
+  void SampleWithParams(net::NodeId id, int cycle, const SelectivityParams& p,
+                        query::Tuple* out) const;
 
   const net::Topology* topology_;
   uint64_t seed_;
@@ -146,6 +169,8 @@ class Workload {
 
   SelectivityParams default_params_;
   std::vector<std::optional<SelectivityParams>> node_params_;
+  /// Count of set node_params_ entries (0 = the batch fast path applies).
+  int num_node_overrides_ = 0;
   int switch_cycle_ = INT32_MAX;
   SelectivityParams switch_params_;
 

@@ -366,6 +366,46 @@ TEST(WorkloadTest, GlobalSwitchChangesParamsMidRun) {
   EXPECT_LT(wl->Sample(5, 150)[AttrId::kAttrU], 20);
 }
 
+// The batched kernel must reproduce the scalar path bit for bit — same
+// tuples, same filter verdicts — across every parameter regime it
+// special-cases: uniform defaults, live per-node overrides (the slow path),
+// and the post-switch uniform epoch (the fast path again, overrides dead).
+TEST(WorkloadTest, BatchSampleAndFiltersMatchScalarBitForBit) {
+  auto topo = Topo();
+  auto wl = Workload::MakeQuery0(&topo, {0.5, 0.8, 0.2}, /*num_pairs=*/30,
+                                 /*window=*/3, /*seed=*/7);
+  ASSERT_TRUE(wl.ok());
+  const int n = topo.num_nodes();
+  std::vector<NodeId> ids(n);
+  for (NodeId i = 0; i < n; ++i) ids[i] = i;
+
+  // Cycle 0..39: overrides on nodes 3 and 17 force the per-node fallback.
+  // Cycle 40+: the global switch retires the overrides, so the batch takes
+  // the hoisted uniform fast path again under the new design.
+  wl->SetNodeParams(3, {0.1, 1.0, 0.05});
+  wl->SetNodeParams(17, {1.0, 0.3, 0.1});
+  wl->SetGlobalSwitch(40, {1.0, 1.0, 0.05});
+  wl->WarmFilterCache();
+
+  std::vector<query::Tuple> batch(n);
+  const int words = (n + 63) / 64;
+  std::vector<uint64_t> s_bits(words), t_bits(words);
+  for (int cycle : {0, 1, 17, 39, 40, 41, 100}) {
+    wl->SampleBatchInto(ids.data(), n, cycle, batch.data());
+    wl->PassFilters(ids.data(), n, cycle, s_bits.data(), t_bits.data());
+    for (int i = 0; i < n; ++i) {
+      const query::Tuple scalar = wl->Sample(ids[i], cycle);
+      ASSERT_EQ(batch[i], scalar) << "cycle " << cycle << " node " << ids[i];
+      const bool s = (s_bits[i >> 6] >> (i & 63)) & 1;
+      const bool t = (t_bits[i >> 6] >> (i & 63)) & 1;
+      ASSERT_EQ(s, wl->PassSFilter(ids[i], scalar, cycle))
+          << "cycle " << cycle << " node " << ids[i];
+      ASSERT_EQ(t, wl->PassTFilter(ids[i], scalar, cycle))
+          << "cycle " << cycle << " node " << ids[i];
+    }
+  }
+}
+
 TEST(WorkloadTest, TuplesJoinChecksAllJoinClauses) {
   auto topo = Topo();
   auto wl = Workload::MakeQuery1(&topo, {1.0, 1.0, 0.2}, 3, 7);
