@@ -60,6 +60,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/phase.h"
 #include "bench/bench_util.h"
 #include "core/engine.h"
 #include "join/executor.h"
@@ -88,6 +89,8 @@ void BM_NetworkStepWithTraffic(benchmark::State& state) {
   routing::RoutingTree tree = routing::RoutingTree::Build(topo, 0);
   net::Network net(&topo, {});
   net.set_parent_resolver(&tree);
+  // The bench loop is single-threaded: one long sequential phase.
+  common::SequentialPhaseScope seq_phase;
   for (auto _ : state) {
     for (net::NodeId u = 1; u < topo.num_nodes(); u += 4) {
       net::Message m;
@@ -194,7 +197,10 @@ void BM_LinkLossWithOverrides(benchmark::State& state) {
   net::NetworkOptions opts;
   opts.loss_prob = 0.1;
   net::Network net(&topo, opts);
-  net.SetLinkLoss(0, 1, 0.9);
+  {
+    common::SequentialPhaseScope seq_phase;
+    net.SetLinkLoss(0, 1, 0.9);
+  }
   const int n = topo.num_nodes();
   double acc = 0;
   for (auto _ : state) {

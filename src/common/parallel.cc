@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -22,14 +23,24 @@ void ParallelFor(int n, int num_threads, const std::function<void(int)>& fn) {
     return;
   }
   std::atomic<int> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
   auto worker = [&] {
-    for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+    for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
   };
   std::vector<std::thread> threads;
   threads.reserve(num_threads - 1);
   for (int t = 1; t < num_threads; ++t) threads.emplace_back(worker);
   worker();
   for (auto& th : threads) th.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 WorkerPool::WorkerPool(int num_workers) {
@@ -41,11 +52,16 @@ WorkerPool::WorkerPool(int num_workers) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  job_ready_.notify_all();
+  job_ready_.NotifyAll();
   for (auto& th : threads_) th.join();
+}
+
+void WorkerPool::RecordError() {
+  MutexLock lock(&mu_);
+  if (!first_error_) first_error_ = std::current_exception();
 }
 
 void WorkerPool::WorkerLoop() {
@@ -54,8 +70,8 @@ void WorkerPool::WorkerLoop() {
     const std::function<void(int)>* job;
     int size;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      job_ready_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && generation_ == seen) job_ready_.Wait(&mu_);
       if (shutdown_) return;
       seen = generation_;
       job = job_;
@@ -63,11 +79,15 @@ void WorkerPool::WorkerLoop() {
     }
     for (int i = next_index_.fetch_add(1); i < size;
          i = next_index_.fetch_add(1)) {
-      (*job)(i);
+      try {
+        (*job)(i);
+      } catch (...) {
+        RecordError();
+      }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--inflight_workers_ == 0) job_done_.notify_one();
+      MutexLock lock(&mu_);
+      if (--inflight_workers_ == 0) job_done_.NotifyOne();
     }
   }
 }
@@ -75,26 +95,47 @@ void WorkerPool::WorkerLoop() {
 void WorkerPool::Run(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
   if (threads_.empty() || n == 1) {
-    for (int i = 0; i < n; ++i) fn(i);
+    // Inline path: exceptions propagate to the caller naturally, but later
+    // indices do not run — matching the worker path's contract requires the
+    // same run-everything-then-throw shape.
+    std::exception_ptr err;
+    for (int i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!err) err = std::current_exception();
+      }
+    }
+    if (err) std::rethrow_exception(err);
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     job_ = &fn;
     job_size_ = n;
     next_index_.store(0, std::memory_order_relaxed);
     inflight_workers_ = static_cast<int>(threads_.size());
     ++generation_;
   }
-  job_ready_.notify_all();
+  job_ready_.NotifyAll();
   // The caller is a peer of the workers: it drains indices too, so the job
   // finishes even if a worker is slow to wake.
   for (int i = next_index_.fetch_add(1); i < n; i = next_index_.fetch_add(1)) {
-    fn(i);
+    try {
+      fn(i);
+    } catch (...) {
+      RecordError();
+    }
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  job_done_.wait(lock, [&] { return inflight_workers_ == 0; });
-  job_ = nullptr;
+  std::exception_ptr err;
+  {
+    MutexLock lock(&mu_);
+    while (inflight_workers_ != 0) job_done_.Wait(&mu_);
+    job_ = nullptr;
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace common

@@ -7,11 +7,14 @@
 #define ASPEN_COMMON_PARALLEL_H_
 
 #include <atomic>
-#include <condition_variable>
+#include <cstdint>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace aspen {
 namespace common {
@@ -24,7 +27,9 @@ int DefaultThreadCount();
 /// until every invocation returned. With one thread (or n == 1) the calls
 /// run inline on the caller's thread.
 ///
-/// `fn` must be safe to call concurrently from multiple threads.
+/// `fn` must be safe to call concurrently from multiple threads. If any
+/// invocation throws, every index still runs; the first-recorded exception
+/// is rethrown on the caller after the join.
 void ParallelFor(int n, int num_threads, const std::function<void(int)>& fn);
 
 /// \brief Persistent fork-join pool for phase-structured work.
@@ -48,6 +53,11 @@ class WorkerPool {
   /// Invokes `fn(i)` for every i in [0, n); the caller participates, so all
   /// n indices complete even with zero workers. Blocks until done. Not
   /// reentrant; only one Run() may be active at a time.
+  ///
+  /// Exception contract: a throwing fn(i) does not abort the job — every
+  /// index still runs (the sharded kernel's phase barriers assume full
+  /// coverage) — and the first exception recorded is rethrown on the
+  /// caller's thread after the join, leaving the pool reusable.
   void Run(int n, const std::function<void(int)>& fn);
 
   int num_workers() const { return static_cast<int>(threads_.size()); }
@@ -55,16 +65,22 @@ class WorkerPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable job_ready_;
-  std::condition_variable job_done_;
-  const std::function<void(int)>* job_ = nullptr;  // borrowed during Run()
-  int job_size_ = 0;
-  uint64_t generation_ = 0;
+  /// Records the currently in-flight exception as the job's outcome if it
+  /// is the first; later exceptions from the same job are dropped.
+  void RecordError() ASPEN_EXCLUDES(mu_);
+
+  Mutex mu_;
+  CondVar job_ready_;
+  CondVar job_done_;
+  // Borrowed during Run(); never copied.
+  const std::function<void(int)>* job_ ASPEN_GUARDED_BY(mu_) = nullptr;
+  int job_size_ ASPEN_GUARDED_BY(mu_) = 0;
+  uint64_t generation_ ASPEN_GUARDED_BY(mu_) = 0;
   std::atomic<int> next_index_{0};
-  int inflight_workers_ = 0;
-  bool shutdown_ = false;
-  std::vector<std::thread> threads_;
+  int inflight_workers_ ASPEN_GUARDED_BY(mu_) = 0;
+  bool shutdown_ ASPEN_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ ASPEN_GUARDED_BY(mu_);
+  std::vector<std::thread> threads_;  // written by ctor/dtor only
 };
 
 }  // namespace common

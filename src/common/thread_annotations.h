@@ -1,0 +1,74 @@
+// Clang thread-safety analysis macros. Under clang these expand to the
+// attributes consumed by -Wthread-safety; under every other compiler they
+// vanish, so annotated code stays portable. See DESIGN.md "Static
+// guarantees" for how the repo uses them to encode the sharded phase
+// discipline.
+
+#ifndef ASPEN_COMMON_THREAD_ANNOTATIONS_H_
+#define ASPEN_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define ASPEN_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define ASPEN_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Marks a class as a capability (lockable). The string names the
+/// capability in diagnostics ("mutex", "sequential phase", ...).
+#define ASPEN_CAPABILITY(x) ASPEN_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define ASPEN_SCOPED_CAPABILITY \
+  ASPEN_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data members that may only be accessed while holding the capability.
+#define ASPEN_GUARDED_BY(x) ASPEN_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer members whose pointee is guarded by the capability.
+#define ASPEN_PT_GUARDED_BY(x) \
+  ASPEN_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// The function must be called with the capability held (and does not
+/// release it).
+#define ASPEN_REQUIRES(...) \
+  ASPEN_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define ASPEN_REQUIRES_SHARED(...) \
+  ASPEN_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define ASPEN_ACQUIRE(...) \
+  ASPEN_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define ASPEN_ACQUIRE_SHARED(...) \
+  ASPEN_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases a capability held on entry.
+#define ASPEN_RELEASE(...) \
+  ASPEN_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define ASPEN_RELEASE_SHARED(...) \
+  ASPEN_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called with the capability held.
+#define ASPEN_EXCLUDES(...) \
+  ASPEN_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define ASPEN_RETURN_CAPABILITY(x) \
+  ASPEN_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Asserts (at runtime, from the analysis' point of view) that the
+/// capability is held; used at trust boundaries the analysis cannot see
+/// through.
+#define ASPEN_ASSERT_CAPABILITY(x) \
+  ASPEN_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Escape hatch: the function body is not analyzed. Reserve for code the
+/// analysis cannot model (adopting locks, template trampolines) and say
+/// why at the use site.
+#define ASPEN_NO_THREAD_SAFETY_ANALYSIS \
+  ASPEN_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // ASPEN_COMMON_THREAD_ANNOTATIONS_H_

@@ -26,6 +26,9 @@ Result<join::RunStats> RunExperiment(const workload::Workload& workload,
   if (run_options.executor.data_plane == nullptr) {
     run_options.executor.data_plane = &local_plane;
   } else {
+    // Recycling happens before this run's executor exists; nothing else
+    // references the plane concurrently.
+    common::SequentialPhaseScope seq;
     run_options.executor.data_plane->Reset();
   }
   join::JoinExecutor exec(&workload, run_options.executor);

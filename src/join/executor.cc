@@ -111,6 +111,8 @@ JoinExecutor::~JoinExecutor() {
 
 Status JoinExecutor::Shutdown() {
   if (shutdown_) return Status::OK();
+  // Teardown runs strictly between cycles (RemoveQuery, destruction).
+  common::SequentialPhaseScope seq;
   shutdown_ = true;
   // Buffered arrivals each own one pooled-payload reference; drop them.
   arrivals_.ForEach([&](NodeId, std::vector<Arrival>& items) {
@@ -302,6 +304,8 @@ Status JoinExecutor::Initiate() {
   if (initiated_) {
     return Status::FailedPrecondition("Initiate called twice");
   }
+  // Initiation runs before any cycle; nothing is concurrent yet.
+  common::SequentialPhaseScope seq;
   // Attribute computed-plane initiation traffic (exploration inside
   // MultiTree, nominations) to this query on a shared medium.
   net::TrafficStats::QueryScope scope(&net_->stats(), query_id_);
@@ -578,6 +582,8 @@ void JoinExecutor::RebuildSendPlans() {
 }
 
 void JoinExecutor::OnSampleBegin(int cycle) {
+  // Begin/Commit hooks run on the scheduler thread between shard passes.
+  common::SequentialPhaseScope seq;
   cycle_ = cycle;
   RetryPendingReplays();
   if (plans_dirty_) RebuildSendPlans();
@@ -665,6 +671,7 @@ void JoinExecutor::OnSampleShard(int cycle, int shard, NodeId begin,
 }
 
 Status JoinExecutor::OnSampleCommit(int cycle) {
+  common::SequentialPhaseScope seq;
   // Shards are contiguous ascending node ranges, so walking them in order
   // submits in exactly the node order of the unsharded loop.
   for (ShardScratch& sc : scratch_) {
@@ -757,6 +764,10 @@ void JoinExecutor::SendGht(NodeId p, const Tuple& t, int cycle, bool as_s,
 // ---- arrivals -------------------------------------------------------------------
 
 void JoinExecutor::OnDeliverMsg(const Message& msg, NodeId at) {
+  // Delivery handlers fire from the network's exchange phase (or from an
+  // inline local delivery during a sequential submit) — never from a shard
+  // compute walk, which only defers kDeliver effects.
+  common::SequentialPhaseScope seq;
   switch (msg.kind) {
     case MessageKind::kData: {
       const DataPayload* data = data_pool_->Get(msg.payload);
@@ -838,6 +849,7 @@ PairState* JoinExecutor::FindState(NodeId at, const PairKey& pair) {
 
 void JoinExecutor::OnDeliverBegin(int cycle) {
   (void)cycle;
+  common::SequentialPhaseScope seq;
   arrivals_.ForEach([](NodeId, std::vector<Arrival>& items) {
     // Stable insertion sort by delivery location: boxes are tiny and, unlike
     // std::stable_sort, this never touches the heap. ForEach also sorts the
@@ -920,6 +932,7 @@ void JoinExecutor::OnDeliverShard(int cycle, int shard, NodeId begin,
 
 Status JoinExecutor::OnDeliverCommit(int cycle) {
   (void)cycle;
+  common::SequentialPhaseScope seq;
   for (ShardScratch& sc : scratch_) {
     for (NodeId site : sc.touched_sites) TouchSite(site);
     sc.touched_sites.clear();
@@ -999,6 +1012,7 @@ Status JoinExecutor::OnLearn(int cycle) {
   if (!initiated_) {
     return Status::FailedPrecondition("learn phase before Initiate");
   }
+  common::SequentialPhaseScope seq;
   net::TrafficStats::QueryScope scope(&net_->stats(), query_id_);
   ForEachState([](NodeId, PairState& st) { st.estimator.Tick(); });
   if (opts_.learning) RunLearning(cycle);

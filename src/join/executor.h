@@ -18,6 +18,7 @@
 #include <set>
 #include <vector>
 
+#include "common/phase.h"
 #include "common/status.h"
 #include "join/node_state.h"
 #include "join/pair_state.h"
@@ -133,7 +134,11 @@ class JoinExecutor : public sim::CycleParticipant,
 
   /// Kills a node (it stops forwarding/acking); Section 7's recovery logic
   /// reacts through the drop handler.
-  void FailNode(net::NodeId id) { net_->FailNode(id); }
+  void FailNode(net::NodeId id) {
+    // Fault injection is a sequential-phase event by definition.
+    common::SequentialPhaseScope seq;
+    net_->FailNode(id);
+  }
 
  private:
   /// One buffered data arrival: the pooled payload `data` delivered at node
@@ -162,36 +167,37 @@ class JoinExecutor : public sim::CycleParticipant,
   Status OnDeliverCommit(int cycle) override;
 
   // -- initiation ------------------------------------------------------------
-  Status InitCommon();
-  Status InitNaive();
-  Status InitBase();
-  Status InitYang07();
-  Status InitGht();
-  Status InitInnet();
+  Status InitCommon() ASPEN_REQUIRES_SEQUENTIAL;
+  Status InitNaive() ASPEN_REQUIRES_SEQUENTIAL;
+  Status InitBase() ASPEN_REQUIRES_SEQUENTIAL;
+  Status InitYang07() ASPEN_REQUIRES_SEQUENTIAL;
+  Status InitGht() ASPEN_REQUIRES_SEQUENTIAL;
+  Status InitInnet() ASPEN_REQUIRES_SEQUENTIAL;
   /// Explores from every S producer and returns placements per pair.
-  Status ExplorePairs();
-  void EnsureGroups();
-  void DecideGroupFor(const opt::JoinGroup& group, bool charge_traffic);
-  void RunGroupOpt(bool charge_traffic);
-  void BuildMulticastRoutes(bool charge_traffic);
+  Status ExplorePairs() ASPEN_REQUIRES_SEQUENTIAL;
+  void EnsureGroups() ASPEN_REQUIRES_SEQUENTIAL;
+  void DecideGroupFor(const opt::JoinGroup& group, bool charge_traffic)
+      ASPEN_REQUIRES_SEQUENTIAL;
+  void RunGroupOpt(bool charge_traffic) ASPEN_REQUIRES_SEQUENTIAL;
+  void BuildMulticastRoutes(bool charge_traffic) ASPEN_REQUIRES_SEQUENTIAL;
 
   // -- per-cycle data plane ----------------------------------------------------
   /// Rebuilds every producer's SendPlan (destinations + interned routes)
   /// from the placement table. Invoked lazily when `plans_dirty_`.
-  void RebuildSendPlans();
+  void RebuildSendPlans() ASPEN_REQUIRES_SEQUENTIAL;
   void SendToBase(net::NodeId p, const query::Tuple& t, int cycle, bool as_s,
-                  bool as_t);
+                  bool as_t) ASPEN_REQUIRES_SEQUENTIAL;
   void SendInnet(net::NodeId p, const query::Tuple& t, int cycle, bool as_s,
-                 bool as_t);
+                 bool as_t) ASPEN_REQUIRES_SEQUENTIAL;
   void SendGht(net::NodeId p, const query::Tuple& t, int cycle, bool as_s,
-               bool as_t);
+               bool as_t) ASPEN_REQUIRES_SEQUENTIAL;
   void SendYang(net::NodeId p, const query::Tuple& t, int cycle, bool as_s,
-                bool as_t);
+                bool as_t) ASPEN_REQUIRES_SEQUENTIAL;
 
   /// Allocates a pooled DataPayload (one owned reference, transferred to
   /// the network on submit).
   net::PayloadHandle MakeData(net::NodeId p, const query::Tuple& t, int cycle,
-                              bool as_s, bool as_t);
+                              bool as_s, bool as_t) ASPEN_REQUIRES_SEQUENTIAL;
 
   // -- arrival processing -------------------------------------------------------
   void OnDeliverMsg(const net::Message& msg, net::NodeId at);
@@ -199,16 +205,18 @@ class JoinExecutor : public sim::CycleParticipant,
   void OnSnoop(const net::Message& msg, net::NodeId snooper, net::NodeId from,
                net::NodeId to);
   void EmitResults(net::NodeId at, const PairKey& pair, int count,
-                   int sample_cycle);
-  void DeliverResultAtBase(int count, int sample_cycle);
+                   int sample_cycle) ASPEN_REQUIRES_SEQUENTIAL;
+  void DeliverResultAtBase(int count, int sample_cycle)
+      ASPEN_REQUIRES_SEQUENTIAL;
 
-  PairState& StateAt(net::NodeId at, const PairKey& pair);
+  PairState& StateAt(net::NodeId at, const PairKey& pair)
+      ASPEN_REQUIRES_SEQUENTIAL;
   /// StateAt for concurrent shard passes: the touched site is recorded in
   /// the shard's scratch instead of the shared active-site list.
   PairState& StateAtShard(int shard, net::NodeId at, const PairKey& pair);
   PairState* FindState(net::NodeId at, const PairKey& pair);
   /// Registers `at` as a join site (deterministic state iteration order).
-  void TouchSite(net::NodeId at);
+  void TouchSite(net::NodeId at) ASPEN_REQUIRES_SEQUENTIAL;
   /// Invokes fn(location, state) for every held state, (node, pair)
   /// ascending — the exact order the old global ordered map produced.
   template <typename Fn>
@@ -219,19 +227,21 @@ class JoinExecutor : public sim::CycleParticipant,
   }
 
   // -- learning & failure -------------------------------------------------------
-  void RunLearning(int cycle);
+  void RunLearning(int cycle) ASPEN_REQUIRES_SEQUENTIAL;
   /// Moves a pair's windows between join locations, charging the transfer.
   void MoveState(const PairKey& pair, net::NodeId from, net::NodeId to,
-                 bool charge);
+                 bool charge) ASPEN_REQUIRES_SEQUENTIAL;
   void MigratePair(PairPlacement* placement, bool new_at_base,
-                   net::NodeId new_join, int new_index);
-  void FailoverPairToBase(const PairKey& pair);
+                   net::NodeId new_join, int new_index)
+      ASPEN_REQUIRES_SEQUENTIAL;
+  void FailoverPairToBase(const PairKey& pair) ASPEN_REQUIRES_SEQUENTIAL;
   /// Ships `producer`'s buffered last-w tuples for `pair` to the base.
-  void SendWindowReplay(const PairKey& pair, net::NodeId producer, bool as_s);
+  void SendWindowReplay(const PairKey& pair, net::NodeId producer, bool as_s)
+      ASPEN_REQUIRES_SEQUENTIAL;
   /// Re-submits replays whose previous attempt was dropped (e.g. the dead
   /// join node also blocked the producer's tree path to the base; once the
   /// route heals — a recovery event — the retry gets through).
-  void RetryPendingReplays();
+  void RetryPendingReplays() ASPEN_REQUIRES_SEQUENTIAL;
 
   // -- helpers -------------------------------------------------------------------
   PairPlacement* MutablePlacement(const PairKey& pair);
@@ -243,7 +253,7 @@ class JoinExecutor : public sim::CycleParticipant,
   workload::SelectivityParams AssumedFor(const PairKey& pair) const;
   /// Charges a control message of `bytes` along `path` (computed plane).
   void ChargeAlongPath(const std::vector<net::NodeId>& path, int bytes,
-                       net::MessageKind kind);
+                       net::MessageKind kind) ASPEN_REQUIRES_SEQUENTIAL;
   /// Producer's hop distance to its pair's join node along the stored path.
   static int HopsOnPath(const PairPlacement& p, bool from_s);
   /// The producer->join-node segment of a placement's path for one role:
@@ -253,21 +263,24 @@ class JoinExecutor : public sim::CycleParticipant,
                           std::vector<net::NodeId>* seg);
   double ComputeDeltaCp(net::NodeId member, bool as_s,
                         const workload::SelectivityParams& est) const;
-  void ApplyGroupDecision(const opt::JoinGroup& group, bool in_network);
-  void RebuildProducerRoute(net::NodeId p, bool as_s, bool charge_traffic);
+  void ApplyGroupDecision(const opt::JoinGroup& group, bool in_network)
+      ASPEN_REQUIRES_SEQUENTIAL;
+  void RebuildProducerRoute(net::NodeId p, bool as_s, bool charge_traffic)
+      ASPEN_REQUIRES_SEQUENTIAL;
 
   /// Stamps the executor's query id and submits (unicast / multicast).
-  Result<uint64_t> SubmitToNet(net::Message msg);
-  Result<uint64_t> SubmitMcastToNet(net::Message msg, net::McastId route);
+  Result<uint64_t> SubmitToNet(net::Message msg) ASPEN_REQUIRES_SEQUENTIAL;
+  Result<uint64_t> SubmitMcastToNet(net::Message msg, net::McastId route)
+      ASPEN_REQUIRES_SEQUENTIAL;
 
   /// Owner-reference bookkeeping for interned routes this query retains
   /// (no-ops on kInvalidRoute). Every cached RouteId/McastId — send-plan
   /// entries, placements' relay routes, per-node multicast trees — holds
   /// exactly one reference per field, released on rebuild or Shutdown.
-  void RefRoute(net::RouteId id);
-  void UnrefRoute(net::RouteId id);
-  void RefMcast(net::McastId id);
-  void UnrefMcast(net::McastId id);
+  void RefRoute(net::RouteId id) ASPEN_REQUIRES_SEQUENTIAL;
+  void UnrefRoute(net::RouteId id) ASPEN_REQUIRES_SEQUENTIAL;
+  void RefMcast(net::McastId id) ASPEN_REQUIRES_SEQUENTIAL;
+  void UnrefMcast(net::McastId id) ASPEN_REQUIRES_SEQUENTIAL;
 
   friend class SharedMedium;
 

@@ -457,6 +457,8 @@ void JoinExecutor::BuildMulticastRoutes(bool charge_traffic) {
 
 void JoinExecutor::OnSnoop(const Message& msg, NodeId snooper, NodeId from,
                            NodeId to) {
+  // Snoop expansion happens in the exchange phase (kSnoopTx effects).
+  common::SequentialPhaseScope seq;
   if (msg.kind != MessageKind::kData || !opts_.features.path_collapse ||
       !opts_.features.multicast) {
     return;
@@ -673,6 +675,8 @@ void JoinExecutor::RetryPendingReplays() {
 }
 
 void JoinExecutor::OnDrop(const Message& msg, NodeId at, NodeId next) {
+  // Drop handlers fire from the exchange phase's canonical effect replay.
+  common::SequentialPhaseScope seq;
   (void)at;
   (void)next;
   if (msg.kind == MessageKind::kWindowTransfer) {

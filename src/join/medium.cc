@@ -189,6 +189,8 @@ Status SharedMedium::OnSample(int cycle) {
 
 Status SharedMedium::OnDeliver(int cycle) {
   (void)cycle;
+  // The medium's deliver hook runs on the scheduler thread.
+  common::SequentialPhaseScope seq;
   // Epoch boundary check: the medium's deliver hook runs right after the
   // transmit phase, before any query's deliver emits new result frames. If
   // no frame is in flight, nothing can reference a retired route — sweep.

@@ -13,6 +13,7 @@
 #ifndef ASPEN_NET_DATA_PLANE_H_
 #define ASPEN_NET_DATA_PLANE_H_
 
+#include "common/phase.h"
 #include "net/payload_pool.h"
 #include "net/route_table.h"
 
@@ -29,7 +30,7 @@ class DataPlane {
   const PayloadArena& payloads() const { return payloads_; }
 
   /// Clears routes and frees all payloads, keeping capacity.
-  void Reset() {
+  void Reset() ASPEN_REQUIRES_SEQUENTIAL {
     routes_.Reset();
     payloads_.Reset();
   }

@@ -60,11 +60,11 @@
 #include <functional>
 #include <memory>
 #include <tuple>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/phase.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "net/data_plane.h"
@@ -138,12 +138,13 @@ class Network {
   /// If origin == dest the message is delivered immediately at zero cost.
   /// Invalid routes (no interned route, missing resolver) return an error.
   /// The payload reference is consumed in every case.
-  Result<uint64_t> Submit(Message msg);
+  Result<uint64_t> Submit(Message msg) ASPEN_REQUIRES_SEQUENTIAL;
 
   /// \brief Injects a multicast message rooted at msg.origin following the
   /// interned tree `route`. One frame per tree edge; shared prefixes are
   /// transmitted once.
-  Result<uint64_t> SubmitMulticast(Message msg, McastId route);
+  Result<uint64_t> SubmitMulticast(Message msg, McastId route)
+      ASPEN_REQUIRES_SEQUENTIAL;
 
   /// \brief Repartitions the node space into shards. `starts[i]` is the
   /// first node id of shard i; starts[0] must be 0 and starts must ascend.
@@ -151,7 +152,7 @@ class Network {
   /// phases of subsequent Step() calls. Must be called while no traffic is
   /// in flight. A network starts with one shard and no pool.
   void ConfigureSharding(std::vector<NodeId> starts,
-                         common::WorkerPool* pool);
+                         common::WorkerPool* pool) ASPEN_REQUIRES_SEQUENTIAL;
 
   /// Drops the borrowed worker pool; subsequent Steps compute every shard
   /// inline. Called by the pool's owner when it is destroyed first.
@@ -163,7 +164,7 @@ class Network {
   /// emission bound so the cycle loop never grows these mid-run; the
   /// reserve is a floor — an unusually deep in-flight tail still grows the
   /// slabs, which the benches' allocation audits would surface.
-  void ReserveSteadyState(size_t frames_per_shard);
+  void ReserveSteadyState(size_t frames_per_shard) ASPEN_REQUIRES_SEQUENTIAL;
 
   int num_shards() const { return static_cast<int>(shard_starts_.size()); }
   /// The shard owning node `id`.
@@ -174,12 +175,14 @@ class Network {
   }
 
   /// Advances one transmission cycle (compute phases per shard, then the
-  /// canonical exchange phase; see the class comment).
-  void Step();
+  /// canonical exchange phase; see the class comment). Sequential-phase
+  /// only: the shard compute jobs it forks are the *only* code of a cycle
+  /// allowed to run outside the capability.
+  void Step() ASPEN_REQUIRES_SEQUENTIAL;
 
   /// Steps until no frames are in flight or `max_steps` elapse; returns the
   /// number of steps taken.
-  int StepUntilQuiet(int max_steps = 1 << 20);
+  int StepUntilQuiet(int max_steps = 1 << 20) ASPEN_REQUIRES_SEQUENTIAL;
 
   bool HasTrafficInFlight() const;
   /// True while any frame stamped with `query_id` is in flight. Query-id
@@ -202,18 +205,20 @@ class Network {
   // Everything else about a network is fixed at construction.
 
   /// Marks a node dead: it stops forwarding, acking and originating.
-  void FailNode(NodeId id);
+  void FailNode(NodeId id) ASPEN_REQUIRES_SEQUENTIAL;
   /// Brings a dead node back (used by repair experiments).
-  void ReviveNode(NodeId id);
+  void ReviveNode(NodeId id) ASPEN_REQUIRES_SEQUENTIAL;
   bool IsFailed(NodeId id) const { return failed_[id]; }
 
   /// Replaces the default per-transmission loss probability (applies to
   /// every link without a per-link override).
-  void set_loss_prob(double p) { options_.loss_prob = p; }
+  void set_loss_prob(double p) ASPEN_REQUIRES_SEQUENTIAL {
+    options_.loss_prob = p;
+  }
   /// Overrides the loss probability of the directed link from->to.
-  void SetLinkLoss(NodeId from, NodeId to, double p);
+  void SetLinkLoss(NodeId from, NodeId to, double p) ASPEN_REQUIRES_SEQUENTIAL;
   /// Removes a per-link override; the link falls back to the default.
-  void ClearLinkLoss(NodeId from, NodeId to);
+  void ClearLinkLoss(NodeId from, NodeId to) ASPEN_REQUIRES_SEQUENTIAL;
   /// Effective loss probability of the directed link from->to. The common
   /// no-overrides case is a single branch — no hash probe on the hot path.
   double LinkLoss(NodeId from, NodeId to) const {
@@ -323,18 +328,24 @@ class Network {
   /// delivery, multicast fan-out, or re-queuing toward the next hop.
   /// Terminal outcomes free the slot and release (via the sink) the
   /// payload.
+  /// Not analyzed: the one state machine is instantiated for both phases —
+  /// with DeferSink from the (capability-free) shard compute walk and with
+  /// InlineSink from exchange-phase code that already holds the sequential
+  /// capability. A per-instantiation analysis cannot express that split.
   template <typename Sink>
-  void ArriveSlot(Shard* shard, int32_t idx, Sink sink);
+  void ArriveSlot(Shard* shard, int32_t idx, Sink sink)
+      ASPEN_NO_THREAD_SAFETY_ANALYSIS;
   /// Exchange-phase arrival of a migrated frame: copies it into the slab
   /// of the shard owning the arrival node, then runs ArriveSlot inline.
-  void ArriveExchange(const Frame& f);
+  void ArriveExchange(const Frame& f) ASPEN_REQUIRES_SEQUENTIAL;
   /// Merges per-shard effects in canonical order and applies them; absorbs
   /// stats deltas.
-  void ExchangePhase();
+  void ExchangePhase() ASPEN_REQUIRES_SEQUENTIAL;
 
-  void DeliverLocal(const Message& msg, NodeId at);
+  void DeliverLocal(const Message& msg, NodeId at) ASPEN_REQUIRES_SEQUENTIAL;
   /// Fires the drop handler (borrowing) and releases the payload.
-  void DropAndRelease(const Message& msg, NodeId at, NodeId next);
+  void DropAndRelease(const Message& msg, NodeId at, NodeId next)
+      ASPEN_REQUIRES_SEQUENTIAL;
 
   /// One unconditional loss draw from `sender`'s stream (consumes exactly
   /// one value for any p; see the class comment on stream comparability).
@@ -370,13 +381,17 @@ class Network {
   /// Cached compute job (avoids a per-Step std::function construction).
   std::function<void(int)> compute_job_;
   /// Reused exchange-phase merge scratch (pointers into shard effects).
-  std::vector<const Effect*> merge_scratch_;
+  std::vector<const Effect*> merge_scratch_ ASPEN_GUARDED_BY_SEQUENTIAL;
 
   std::vector<bool> failed_;
-  /// Per-link loss overrides, keyed by LinkKey; empty in the common case.
-  std::unordered_map<uint64_t, double> link_loss_;
+  /// Per-link loss overrides as a (LinkKey, p) vector sorted by key; empty
+  /// in the common case. Lookups binary-search; mutation is O(n) but only
+  /// scenario events mutate. A sorted vector (vs a hash map) keeps link
+  /// iteration order deterministic by construction and off detlint's
+  /// unordered-container radar.
+  std::vector<std::pair<uint64_t, double>> link_loss_;
   int64_t now_ = 0;
-  uint64_t next_id_ = 1;
+  uint64_t next_id_ ASPEN_GUARDED_BY_SEQUENTIAL = 1;
   bool in_step_ = false;
 };
 

@@ -151,6 +151,7 @@ void RouteTable::ReleaseMulticastRef(McastId id) {
   }
 }
 
+// detlint: order-insensitive(point find/erase on one hash key)
 void RouteTable::EraseIdFrom(
     std::unordered_map<uint64_t, std::vector<int32_t>>* dedup, uint64_t hash,
     int32_t id) {

@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/phase.h"
 #include "net/topology.h"
 
 namespace aspen {
@@ -76,8 +77,9 @@ class RouteTable {
   /// Interns `path` (returns the existing id when an identical path was
   /// interned before). Empty paths return kInvalidRoute. The returned id
   /// carries no reference; owners that retain it call AddPathRef.
-  RouteId InternPath(const NodeId* path, int len);
-  RouteId InternPath(const std::vector<NodeId>& path) {
+  RouteId InternPath(const NodeId* path, int len) ASPEN_REQUIRES_SEQUENTIAL;
+  RouteId InternPath(const std::vector<NodeId>& path)
+      ASPEN_REQUIRES_SEQUENTIAL {
     return InternPath(path.data(), static_cast<int>(path.size()));
   }
 
@@ -96,7 +98,7 @@ class RouteTable {
   }
 
   /// Interns `route` (normalized; deduped by content). No reference taken.
-  McastId InternMulticast(MulticastRoute route);
+  McastId InternMulticast(MulticastRoute route) ASPEN_REQUIRES_SEQUENTIAL;
   const MulticastRoute& Multicast(McastId id) const { return mcasts_[id]; }
   bool IsValidMulticast(McastId id) const {
     return id >= 0 && id < static_cast<McastId>(mcasts_.size()) &&
@@ -107,16 +109,16 @@ class RouteTable {
 
   /// Takes (resp. drops) one owner reference. Releasing the last reference
   /// retires the route; it stays resolvable until the next SweepRetired().
-  void AddPathRef(RouteId id);
-  void ReleasePathRef(RouteId id);
-  void AddMulticastRef(McastId id);
-  void ReleaseMulticastRef(McastId id);
+  void AddPathRef(RouteId id) ASPEN_REQUIRES_SEQUENTIAL;
+  void ReleasePathRef(RouteId id) ASPEN_REQUIRES_SEQUENTIAL;
+  void AddMulticastRef(McastId id) ASPEN_REQUIRES_SEQUENTIAL;
+  void ReleaseMulticastRef(McastId id) ASPEN_REQUIRES_SEQUENTIAL;
 
   /// \brief Frees every retired route whose reference count is still zero
   /// and recycles its id and storage. Must only be called at an epoch
   /// boundary: no frame may be in flight on any network resolving through
   /// this table. Returns the number of routes freed.
-  size_t SweepRetired();
+  size_t SweepRetired() ASPEN_REQUIRES_SEQUENTIAL;
 
   /// Owner reference count of a live path (0 = floating or retired).
   int path_refs(RouteId id) const { return spans_[id].refs; }
@@ -130,7 +132,7 @@ class RouteTable {
   size_t num_multicasts() const { return mcasts_.size(); }
 
   /// Drops every route but keeps the backing capacity for the next run.
-  void Reset();
+  void Reset() ASPEN_REQUIRES_SEQUENTIAL;
 
  private:
   struct Span {
@@ -149,6 +151,7 @@ class RouteTable {
     bool retire_pending = false;
   };
 
+  // detlint: order-insensitive(point find/erase on one hash key)
   static void EraseIdFrom(std::unordered_map<uint64_t, std::vector<int32_t>>*
                               dedup,
                           uint64_t hash, int32_t id);
@@ -157,11 +160,16 @@ class RouteTable {
   std::vector<Span> spans_;
   std::vector<MulticastRoute> mcasts_;
   std::vector<McastMeta> mcast_meta_;
-  /// Content-hash -> candidate ids (verified exactly on lookup).
+  /// Content-hash -> candidate ids (verified exactly on lookup). Never
+  /// iterated: every access is a point find/erase by content hash, so
+  /// bucket order cannot reach any output.
+  // detlint: order-insensitive(point lookup/erase only, never iterated)
   std::unordered_map<uint64_t, std::vector<RouteId>> path_dedup_;
+  // detlint: order-insensitive(point lookup/erase only, never iterated)
   std::unordered_map<uint64_t, std::vector<McastId>> mcast_dedup_;
   /// Recycled span slots and storage blocks (len -> offsets, LIFO).
   std::vector<RouteId> free_path_ids_;
+  // detlint: order-insensitive(keyed by span length; point lookup only)
   std::unordered_map<uint32_t, std::vector<uint32_t>> free_blocks_;
   std::vector<McastId> free_mcast_ids_;
   /// Ids whose last reference was dropped, awaiting an epoch-safe sweep.

@@ -288,6 +288,10 @@ Status ScenarioDriver::Apply(const DynamicsEvent& e, int cycle) {
 }
 
 Status ScenarioDriver::OnSample(int cycle) {
+  // Scenario mutation is a sequential-phase activity: the driver is
+  // attached at the front of the scheduler, so its hook runs before any
+  // query samples, on the scheduler thread.
+  common::SequentialPhaseScope seq;
   // Expire bursts and blackouts first so a same-cycle re-burst of the same
   // region takes effect rather than being immediately cleared.
   bool burst_expired = false;

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/phase.h"
 #include "common/status.h"
 #include "net/network.h"
 #include "net/topology.h"
@@ -195,13 +196,14 @@ class ScenarioDriver : public sim::CycleParticipant {
     std::vector<net::NodeId> nodes;  // the nodes this blackout holds down
   };
 
-  Status Apply(const DynamicsEvent& e, int cycle);
+  Status Apply(const DynamicsEvent& e, int cycle)
+      ASPEN_REQUIRES_SEQUENTIAL;
   /// Failures are ownership-counted: a node stays dead until every
   /// scripted failure holding it (explicit FailAt, churn, blackout) has
   /// released it, so overlapping failure sources compose instead of an
   /// early recovery reviving a node another event scripted as dead.
-  void FailOne(net::NodeId node);
-  void RecoverOne(net::NodeId node);
+  void FailOne(net::NodeId node) ASPEN_REQUIRES_SEQUENTIAL;
+  void RecoverOne(net::NodeId node) ASPEN_REQUIRES_SEQUENTIAL;
 
   net::Network* net_;
   QueryHost* host_ = nullptr;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/phase.h"
 
 namespace aspen {
 namespace sim {
@@ -83,9 +84,14 @@ Status CycleScheduler::RunCycles(int n) {
       if (p == nullptr) continue;
       ASPEN_RETURN_NOT_OK(SamplePhase(p, cycle_));
     }
-    for (int s = 0; s < sample_interval_; ++s) {
-      net_->Step();
-      if (!net_->HasTrafficInFlight()) break;
+    {
+      // The transmit loop runs on the scheduler thread; Step() itself forks
+      // the shard compute jobs and rejoins before its exchange phase.
+      common::SequentialPhaseScope seq;
+      for (int s = 0; s < sample_interval_; ++s) {
+        net_->Step();
+        if (!net_->HasTrafficInFlight()) break;
+      }
     }
     for (size_t k = 0; k < participants_.size(); ++k) {
       CycleParticipant* p = participants_[k];
@@ -103,7 +109,10 @@ Status CycleScheduler::RunCycles(int n) {
   // Straggler drain: frames still in the air after the last learn phase
   // (results emitted at the final cycle) are transmitted and delivered so
   // the metrics observed afterwards cover everything the run caused.
-  net_->StepUntilQuiet(/*max_steps=*/16 * sample_interval_);
+  {
+    common::SequentialPhaseScope seq;
+    net_->StepUntilQuiet(/*max_steps=*/16 * sample_interval_);
+  }
   for (size_t k = 0; k < participants_.size(); ++k) {
     CycleParticipant* p = participants_[k];
     if (p == nullptr) continue;

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/phase.h"
 #include "net/topology.h"
 
 namespace aspen {
@@ -24,7 +25,7 @@ class NodeMailboxes {
   NodeMailboxes() = default;
 
   /// Sizes the table for `num_nodes` nodes and empties every box.
-  void Reset(int num_nodes) {
+  void Reset(int num_nodes) ASPEN_REQUIRES_SEQUENTIAL {
     boxes_.assign(num_nodes, {});
     active_.clear();
     sorted_ = true;
@@ -32,12 +33,12 @@ class NodeMailboxes {
 
   /// Pre-grows box `id`'s capacity so steady-state pushes don't chase the
   /// high-water mark with reallocations mid-run.
-  void ReserveBox(net::NodeId id, size_t cap) { boxes_[id].reserve(cap); }
+  void ReserveBox(net::NodeId id, size_t cap) ASPEN_REQUIRES_SEQUENTIAL { boxes_[id].reserve(cap); }
   /// Pre-grows the active-node list (its high-water is the number of nodes
   /// that receive mail in one batch).
-  void ReserveActive(size_t n) { active_.reserve(n); }
+  void ReserveActive(size_t n) ASPEN_REQUIRES_SEQUENTIAL { active_.reserve(n); }
 
-  void Push(net::NodeId id, T item) {
+  void Push(net::NodeId id, T item) ASPEN_REQUIRES_SEQUENTIAL {
     if (boxes_[id].empty()) {
       active_.push_back(id);
       sorted_ = false;
@@ -52,7 +53,7 @@ class NodeMailboxes {
   /// multiple times over the same mail, e.g. one pass per delivery phase;
   /// the node ordering is computed once per batch, not per pass).
   template <typename Fn>
-  void ForEach(Fn&& fn) {
+  void ForEach(Fn&& fn) ASPEN_REQUIRES_SEQUENTIAL {
     Prepare();
     for (net::NodeId id : active_) fn(id, boxes_[id]);
   }
@@ -60,7 +61,7 @@ class NodeMailboxes {
   /// Sorts the active-node list now so that subsequent concurrent
   /// ForEachConst passes (the sharded deliver phase reads boxes from every
   /// worker) touch no shared mutable state.
-  void Prepare() {
+  void Prepare() ASPEN_REQUIRES_SEQUENTIAL {
     if (!sorted_) {
       std::sort(active_.begin(), active_.end());
       sorted_ = true;
@@ -74,7 +75,7 @@ class NodeMailboxes {
     for (net::NodeId id : active_) fn(id, boxes_[id]);
   }
 
-  void Clear() {
+  void Clear() ASPEN_REQUIRES_SEQUENTIAL {
     for (net::NodeId id : active_) boxes_[id].clear();
     active_.clear();
     sorted_ = true;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/phase.h"
 
 namespace aspen {
 namespace sim {
@@ -23,6 +24,8 @@ ShardedScheduler::ShardedScheduler(net::Network* network, int sample_interval,
     : CycleScheduler(network, sample_interval),
       starts_(ComputeShardStarts(network->topology().num_nodes(), num_shards)),
       pool_(static_cast<int>(starts_.size()) - 1) {
+  // Construction happens strictly before any cycle runs.
+  common::SequentialPhaseScope seq;
   net_->ConfigureSharding(starts_, &pool_);
   shard_job_ = [this](int s) {
     const net::NodeId lo = starts_[s];

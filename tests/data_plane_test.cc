@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/phase.h"
 #include "net/data_plane.h"
 #include "net/payload_pool.h"
 #include "net/route_table.h"
@@ -18,6 +19,9 @@ struct TestPayload {
 };
 
 TEST(TypedPoolTest, AllocateGetRoundtrip) {
+  // The single test thread is the sequential phase: nothing runs
+  // concurrently with these direct network mutations.
+  common::SequentialPhaseScope seq_phase;
   TypedPool<TestPayload> pool(1);
   PayloadHandle h = pool.Allocate();
   ASSERT_TRUE(h.valid());
@@ -29,6 +33,7 @@ TEST(TypedPoolTest, AllocateGetRoundtrip) {
 }
 
 TEST(TypedPoolTest, ReleaseFreesSlotAndStalesOldHandles) {
+  common::SequentialPhaseScope seq_phase;
   TypedPool<TestPayload> pool(1);
   PayloadHandle h = pool.Allocate();
   pool.Get(h)->buffer.assign(64, 7);
@@ -45,6 +50,7 @@ TEST(TypedPoolTest, ReleaseFreesSlotAndStalesOldHandles) {
 }
 
 TEST(TypedPoolTest, DoubleFreeReturnsFalseAndLeavesPoolIntact) {
+  common::SequentialPhaseScope seq_phase;
   TypedPool<TestPayload> pool(1);
   PayloadHandle h = pool.Allocate();
   EXPECT_TRUE(pool.Release(h));
@@ -56,6 +62,7 @@ TEST(TypedPoolTest, DoubleFreeReturnsFalseAndLeavesPoolIntact) {
 }
 
 TEST(TypedPoolTest, AddRefKeepsSlotAliveUntilFinalRelease) {
+  common::SequentialPhaseScope seq_phase;
   TypedPool<TestPayload> pool(1);
   PayloadHandle h = pool.Allocate();
   EXPECT_TRUE(pool.AddRef(h));
@@ -67,6 +74,7 @@ TEST(TypedPoolTest, AddRefKeepsSlotAliveUntilFinalRelease) {
 }
 
 TEST(TypedPoolTest, WrongPoolTagRejected) {
+  common::SequentialPhaseScope seq_phase;
   TypedPool<TestPayload> pool(1);
   PayloadHandle h = pool.Allocate();
   h.pool = 2;
@@ -75,6 +83,7 @@ TEST(TypedPoolTest, WrongPoolTagRejected) {
 }
 
 TEST(TypedPoolTest, ClearFreesEverythingKeepsSlabs) {
+  common::SequentialPhaseScope seq_phase;
   TypedPool<TestPayload> pool(1);
   PayloadHandle a = pool.Allocate();
   PayloadHandle b = pool.Allocate();
@@ -87,6 +96,7 @@ TEST(TypedPoolTest, ClearFreesEverythingKeepsSlabs) {
 }
 
 TEST(PayloadArenaTest, RoutesHandlesToTheRightPoolAndIgnoresEmpty) {
+  common::SequentialPhaseScope seq_phase;
   PayloadArena arena;
   auto* pool = arena.GetOrCreate<TestPayload>(3);
   EXPECT_EQ(arena.GetOrCreate<TestPayload>(3), pool);  // same binding
@@ -100,6 +110,7 @@ TEST(PayloadArenaTest, RoutesHandlesToTheRightPoolAndIgnoresEmpty) {
 }
 
 TEST(RouteTableTest, InternDedupesByContent) {
+  common::SequentialPhaseScope seq_phase;
   RouteTable rt;
   RouteId a = rt.InternPath({1, 2, 3});
   RouteId b = rt.InternPath({1, 2, 3});
@@ -115,6 +126,7 @@ TEST(RouteTableTest, InternDedupesByContent) {
 }
 
 TEST(RouteTableTest, ResetKeepsIdsDense) {
+  common::SequentialPhaseScope seq_phase;
   RouteTable rt;
   rt.InternPath({1, 2});
   rt.Reset();
@@ -123,6 +135,7 @@ TEST(RouteTableTest, ResetKeepsIdsDense) {
 }
 
 TEST(RouteTableTest, MulticastNormalizesAndDedupes) {
+  common::SequentialPhaseScope seq_phase;
   RouteTable rt;
   MulticastRoute a;
   a.edges = {{2, 3}, {2, 1}, {3, 4}};  // deliberately unsorted

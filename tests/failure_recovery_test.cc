@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/phase.h"
 #include "core/engine.h"
 #include "join/executor.h"
 #include "net/network.h"
@@ -62,6 +63,9 @@ NodeId InnetJoinNode(const join::JoinExecutor& exec) {
 }
 
 TEST(FailureRecoveryTest, FailoverReplaysBufferedWindowsAfterRecovery) {
+  // The single test thread is the sequential phase: nothing runs
+  // concurrently with these direct network mutations.
+  common::SequentialPhaseScope seq_phase;
   // The relay (the in-network join node) dies mid-run and — in this seed's
   // topology — also sits on one producer's tree path to the base, so that
   // producer's failover replay cannot initially get through. Both
@@ -101,6 +105,7 @@ TEST(FailureRecoveryTest, FailoverReplaysBufferedWindowsAfterRecovery) {
 }
 
 TEST(FailureRecoveryTest, ReplayPendingWhileProducerDownSurvivesChurn) {
+  common::SequentialPhaseScope seq_phase;
   // Churn kills the producers themselves while their failover replay is
   // still pending (the dead join node blocks the tree path). The pending
   // replay must survive the producers' outage and ship once they recover.
@@ -137,6 +142,7 @@ TEST(FailureRecoveryTest, ReplayPendingWhileProducerDownSurvivesChurn) {
 }
 
 TEST(FailureRecoveryTest, RecoveredRunStaysCloseToUnfailedBaseline) {
+  common::SequentialPhaseScope seq_phase;
   // With both windows replayed and the route healed, the failure run loses
   // only the outage window — well over half the unfailed baseline's
   // results must survive a 15-cycle mid-run outage in a 40-cycle run.
@@ -163,6 +169,7 @@ TEST(FailureRecoveryTest, RecoveredRunStaysCloseToUnfailedBaseline) {
 }
 
 TEST(FailureRecoveryTest, FullFailureScenarioIsDeterministic) {
+  common::SequentialPhaseScope seq_phase;
   // Churn + drift + a targeted kill, lossy radio: two identical runs must
   // agree bit for bit on every headline metric.
   auto topo = *net::Topology::Random(100, 7.0, 42);
@@ -194,6 +201,7 @@ TEST(FailureRecoveryTest, FullFailureScenarioIsDeterministic) {
 }
 
 TEST(FailureRecoveryTest, FailingOneNodeLeavesOtherLinksLossStreamIntact) {
+  common::SequentialPhaseScope seq_phase;
   // Regression for the short-circuited loss draw: every transmission
   // consumes exactly one draw whether or not its receiver is dead, so a run
   // that fails node F sees identical loss outcomes on untouched links as
@@ -219,6 +227,8 @@ TEST(FailureRecoveryTest, FailingOneNodeLeavesOtherLinksLossStreamIntact) {
   ASSERT_GE(o, 0);
 
   auto run = [&](bool fail_f) {
+    // Lambda bodies are separate functions to the analysis; re-assert.
+    common::SequentialPhaseScope seq;
     net::NetworkOptions opts;
     opts.loss_prob = 0.5;
     opts.max_retries = 0;

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/phase.h"
 #include "net/network.h"
 #include "net/topology.h"
 #include "routing/routing_tree.h"
@@ -37,7 +38,8 @@ class NetworkTest : public ::testing::Test {
 
   /// Builds a message, interning `path` (if any) in `net`'s route table.
   Message MakeMsg(Network& net, NodeId from, NodeId to, RoutingMode mode,
-                  const std::vector<NodeId>& path = {}) {
+                  const std::vector<NodeId>& path = {})
+      ASPEN_REQUIRES_SEQUENTIAL {
     Message m;
     m.kind = MessageKind::kData;
     m.mode = mode;
@@ -53,6 +55,9 @@ class NetworkTest : public ::testing::Test {
 };
 
 TEST_F(NetworkTest, SourcePathDeliversAlongPath) {
+  // The single test thread is the sequential phase: nothing runs
+  // concurrently with these direct network mutations.
+  common::SequentialPhaseScope seq_phase;
   Network net = MakeNet();
   std::vector<NodeId> delivered;
   net.set_delivery_handler(
@@ -68,6 +73,7 @@ TEST_F(NetworkTest, SourcePathDeliversAlongPath) {
 }
 
 TEST_F(NetworkTest, SelfAddressedDeliversImmediatelyAtZeroCost) {
+  common::SequentialPhaseScope seq_phase;
   Network net = MakeNet();
   int deliveries = 0;
   net.set_delivery_handler([&](const Message&, NodeId) { ++deliveries; });
@@ -77,6 +83,7 @@ TEST_F(NetworkTest, SelfAddressedDeliversImmediatelyAtZeroCost) {
 }
 
 TEST_F(NetworkTest, InvalidPathRejected) {
+  common::SequentialPhaseScope seq_phase;
   Network net = MakeNet();
   // Path not starting at origin.
   auto bad = MakeMsg(net, 0, 2, RoutingMode::kSourcePath, {1, 2});
@@ -87,6 +94,7 @@ TEST_F(NetworkTest, InvalidPathRejected) {
 }
 
 TEST_F(NetworkTest, TreeToRootReachesBase) {
+  common::SequentialPhaseScope seq_phase;
   Network net = MakeNet();
   NodeId delivered_at = -1;
   net.set_delivery_handler(
@@ -97,11 +105,13 @@ TEST_F(NetworkTest, TreeToRootReachesBase) {
 }
 
 TEST_F(NetworkTest, TreeToRootWithoutResolverFails) {
+  common::SequentialPhaseScope seq_phase;
   Network net(topo_.get(), {});
   EXPECT_FALSE(net.Submit(MakeMsg(net, 9, 0, RoutingMode::kTreeToRoot)).ok());
 }
 
 TEST_F(NetworkTest, GeoGreedyReachesDestination) {
+  common::SequentialPhaseScope seq_phase;
   Network net = MakeNet();
   NodeId delivered_at = -1;
   net.set_delivery_handler(
@@ -112,6 +122,7 @@ TEST_F(NetworkTest, GeoGreedyReachesDestination) {
 }
 
 TEST_F(NetworkTest, TrafficChargedPerHopWithHeader) {
+  common::SequentialPhaseScope seq_phase;
   Network net = MakeNet();
   auto path = topo_->ShortestPath(0, 9);
   ASSERT_TRUE(net.Submit(MakeMsg(net, 0, 9, RoutingMode::kSourcePath, path)).ok());
@@ -127,6 +138,7 @@ TEST_F(NetworkTest, TrafficChargedPerHopWithHeader) {
 }
 
 TEST_F(NetworkTest, LossCausesRetransmissionCharges) {
+  common::SequentialPhaseScope seq_phase;
   NetworkOptions opts;
   opts.loss_prob = 0.5;
   opts.max_retries = 50;
@@ -149,6 +161,7 @@ TEST_F(NetworkTest, LossCausesRetransmissionCharges) {
 }
 
 TEST_F(NetworkTest, ExhaustedRetriesDropWithCallback) {
+  common::SequentialPhaseScope seq_phase;
   NetworkOptions opts;
   opts.loss_prob = 1.0;  // nothing ever gets through
   opts.max_retries = 3;
@@ -167,6 +180,7 @@ TEST_F(NetworkTest, ExhaustedRetriesDropWithCallback) {
 }
 
 TEST_F(NetworkTest, FailedNodeNeverAcks) {
+  common::SequentialPhaseScope seq_phase;
   Network net = MakeNet();
   int drops = 0;
   net.set_drop_handler(
@@ -182,6 +196,7 @@ TEST_F(NetworkTest, FailedNodeNeverAcks) {
 }
 
 TEST_F(NetworkTest, FailedOriginRejectsSubmit) {
+  common::SequentialPhaseScope seq_phase;
   Network net = MakeNet();
   net.FailNode(4);
   EXPECT_TRUE(net.IsFailed(4));
@@ -192,6 +207,7 @@ TEST_F(NetworkTest, FailedOriginRejectsSubmit) {
 }
 
 TEST_F(NetworkTest, MergingSharesOneHeaderPerPacket) {
+  common::SequentialPhaseScope seq_phase;
   // Two data messages from the same node to the same destination in the
   // same cycle: merged -> one link header total per hop.
   auto path = topo_->ShortestPath(0, 9);
@@ -219,6 +235,7 @@ TEST_F(NetworkTest, MergingSharesOneHeaderPerPacket) {
 }
 
 TEST_F(NetworkTest, MulticastChargesOncePerBroadcast) {
+  common::SequentialPhaseScope seq_phase;
   Network net = MakeNet();
   std::vector<NodeId> delivered;
   net.set_delivery_handler(
@@ -241,6 +258,7 @@ TEST_F(NetworkTest, MulticastChargesOncePerBroadcast) {
 }
 
 TEST_F(NetworkTest, MulticastFanOutOrderIsParentChildAscending) {
+  common::SequentialPhaseScope seq_phase;
   // Regression for determinism: fan-out order must be (parent, child)
   // ascending by construction — never a function of hash-map iteration —
   // and independent of the order the route's edges were assembled in.
@@ -263,6 +281,7 @@ TEST_F(NetworkTest, MulticastFanOutOrderIsParentChildAscending) {
 }
 
 TEST_F(NetworkTest, MulticastDeliversAtOriginTarget) {
+  common::SequentialPhaseScope seq_phase;
   Network net = MakeNet();
   std::vector<NodeId> delivered;
   net.set_delivery_handler(
@@ -276,6 +295,7 @@ TEST_F(NetworkTest, MulticastDeliversAtOriginTarget) {
 }
 
 TEST_F(NetworkTest, SnoopingFiresForNeighbors) {
+  common::SequentialPhaseScope seq_phase;
   NetworkOptions opts;
   opts.enable_snooping = true;
   Network net = MakeNet(opts);
@@ -292,6 +312,7 @@ TEST_F(NetworkTest, SnoopingFiresForNeighbors) {
 }
 
 TEST_F(NetworkTest, SnoopFiresEvenWhenReceiverLosesTheFrame) {
+  common::SequentialPhaseScope seq_phase;
   // Snoop semantics (network.h): overhearing keys off the sender's
   // transmission alone, independent of receiver loss. With loss 1.0 and no
   // retries the frame never arrives — every neighbor still overhears the
@@ -315,6 +336,7 @@ TEST_F(NetworkTest, SnoopFiresEvenWhenReceiverLosesTheFrame) {
 }
 
 TEST_F(NetworkTest, SnoopFiresOnEveryRetransmissionAttempt) {
+  common::SequentialPhaseScope seq_phase;
   NetworkOptions opts;
   opts.enable_snooping = true;
   opts.loss_prob = 1.0;
@@ -336,6 +358,7 @@ TEST_F(NetworkTest, SnoopFiresOnEveryRetransmissionAttempt) {
 }
 
 TEST_F(NetworkTest, FailedNeighborsAndTheReceiverNeverSnoop) {
+  common::SequentialPhaseScope seq_phase;
   NetworkOptions opts;
   opts.enable_snooping = true;
   Network net = MakeNet(opts);
@@ -370,6 +393,7 @@ TEST_F(NetworkTest, FailedNeighborsAndTheReceiverNeverSnoop) {
 }
 
 TEST_F(NetworkTest, PerLinkLossOverridesDefaultAndClears) {
+  common::SequentialPhaseScope seq_phase;
   NetworkOptions opts;
   opts.loss_prob = 0.25;
   Network net = MakeNet(opts);
@@ -382,6 +406,7 @@ TEST_F(NetworkTest, PerLinkLossOverridesDefaultAndClears) {
 }
 
 TEST_F(NetworkTest, LossyLinkDropsWhileOthersDeliver) {
+  common::SequentialPhaseScope seq_phase;
   // A single poisoned link (loss 1.0) on an otherwise perfect radio: frames
   // over the poisoned first hop die, frames elsewhere sail through.
   Network net = MakeNet();
@@ -402,6 +427,7 @@ TEST_F(NetworkTest, LossyLinkDropsWhileOthersDeliver) {
 }
 
 TEST_F(NetworkTest, ClockAdvancesPerStep) {
+  common::SequentialPhaseScope seq_phase;
   Network net = MakeNet();
   EXPECT_EQ(net.now(), 0);
   net.Step();
@@ -410,6 +436,7 @@ TEST_F(NetworkTest, ClockAdvancesPerStep) {
 }
 
 TEST_F(NetworkTest, StatsByKindAndInitiationSplit) {
+  common::SequentialPhaseScope seq_phase;
   Network net = MakeNet();
   auto path = topo_->ShortestPath(0, 9);
   Message explore = MakeMsg(net, 0, 9, RoutingMode::kSourcePath, path);
@@ -426,6 +453,7 @@ TEST_F(NetworkTest, StatsByKindAndInitiationSplit) {
 }
 
 TEST_F(NetworkTest, TopLoadedNodesSortedDescending) {
+  common::SequentialPhaseScope seq_phase;
   Network net = MakeNet();
   auto path = topo_->ShortestPath(0, 9);
   for (int i = 0; i < 3; ++i) {
@@ -439,6 +467,7 @@ TEST_F(NetworkTest, TopLoadedNodesSortedDescending) {
 }
 
 TEST_F(NetworkTest, StatsReset) {
+  common::SequentialPhaseScope seq_phase;
   Network net = MakeNet();
   auto path = topo_->ShortestPath(0, 9);
   ASSERT_TRUE(net.Submit(MakeMsg(net, 0, 9, RoutingMode::kSourcePath, path)).ok());

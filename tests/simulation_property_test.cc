@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/phase.h"
 #include "common/rng.h"
 #include "core/engine.h"
 #include "net/network.h"
@@ -17,6 +18,9 @@ namespace {
 class ConservationTest : public ::testing::TestWithParam<double> {};
 
 TEST_P(ConservationTest, EveryMessageDeliveredOrDropped) {
+  // The single test thread is the sequential phase: nothing runs
+  // concurrently with these direct network mutations.
+  common::SequentialPhaseScope seq_phase;
   const double loss = GetParam();
   auto topo = *net::Topology::Random(60, 7.0, 21);
   auto tree = routing::RoutingTree::Build(topo, 0);
@@ -65,6 +69,7 @@ INSTANTIATE_TEST_SUITE_P(LossSweep, ConservationTest,
                          ::testing::Values(0.0, 0.05, 0.2, 0.5));
 
 TEST(DeterminismTest, IdenticalSeedsIdenticalRuns) {
+  common::SequentialPhaseScope seq_phase;
   auto topo = *net::Topology::Random(80, 7.0, 13);
   workload::SelectivityParams sel{0.5, 0.5, 0.2};
   join::ExecutorOptions opts;
@@ -87,6 +92,7 @@ TEST(DeterminismTest, IdenticalSeedsIdenticalRuns) {
 }
 
 TEST(DeterminismTest, DifferentNetworkSeedsDifferUnderLoss) {
+  common::SequentialPhaseScope seq_phase;
   auto topo = *net::Topology::Random(80, 7.0, 13);
   workload::SelectivityParams sel{0.5, 0.5, 0.2};
   join::ExecutorOptions opts;
@@ -103,6 +109,7 @@ TEST(DeterminismTest, DifferentNetworkSeedsDifferUnderLoss) {
 }
 
 TEST(ChurnTest, ReviveRestoresService) {
+  common::SequentialPhaseScope seq_phase;
   auto topo = *net::Topology::Random(60, 7.0, 21);
   auto tree = routing::RoutingTree::Build(topo, 0);
   net::Network net(&topo, {});
@@ -134,6 +141,7 @@ TEST(ChurnTest, ReviveRestoresService) {
 }
 
 TEST(AllNodesToRootTest, ExactlyOneDeliveryPerNode) {
+  common::SequentialPhaseScope seq_phase;
   auto topo = *net::Topology::Random(70, 7.0, 33);
   auto tree = routing::RoutingTree::Build(topo, 0);
   net::Network net(&topo, {});
