@@ -49,6 +49,7 @@ int Main(int argc, char** argv) {
   opts.assumed = sel;
   opts.mesh_mode = true;
   opts.shards = benchutil::ShardsFromEnv();
+  opts.pipeline_depth = benchutil::PipelineFromEnv();
 
   join::JoinExecutor exec(&wl, opts);
   auto t0 = std::chrono::steady_clock::now();
@@ -84,6 +85,7 @@ int Main(int argc, char** argv) {
 
   std::printf("nodes                 %d\n", topo.num_nodes());
   std::printf("shards                %d\n", opts.shards);
+  std::printf("pipeline depth        %d\n", opts.pipeline_depth);
   std::printf("pairs                 %zu\n", exec.pairs().size());
   std::printf("initiation            %.2f s\n", init_s);
   std::printf("measured cycles       %d (after %d warm-up)\n",
@@ -97,14 +99,24 @@ int Main(int argc, char** argv) {
   std::printf("results delivered     %llu\n",
               static_cast<unsigned long long>(exec.results()));
 
-  benchutil::JsonReport report("BENCH_mesh_10k.json");
-  report.Add("mesh_10k", "nodes", topo.num_nodes());
-  report.Add("mesh_10k", "shards", opts.shards);
-  report.Add("mesh_10k", "cycles_per_sec", cycles_per_sec);
-  report.Add("mesh_10k", "ms_per_cycle", 1e3 * run_s / measured_cycles);
-  report.Add("mesh_10k", "bytes", static_cast<double>(bytes));
-  report.Add("mesh_10k", "allocs_per_cycle", allocs_per_cycle);
-  report.Add("mesh_10k", "init_seconds", init_s);
+  // Merge mode: the CI release-bench invokes this binary once per
+  // (shards, pipeline) configuration; each run upserts its own per-config
+  // entry plus the headline "mesh_10k" entry (last configuration wins)
+  // into the accumulated report.
+  benchutil::JsonReport report("BENCH_mesh_10k.json", /*merge=*/true);
+  char config[64];
+  std::snprintf(config, sizeof(config), "mesh_10k_s%d_p%d", opts.shards,
+                opts.pipeline_depth);
+  for (const char* entry : {"mesh_10k", static_cast<const char*>(config)}) {
+    report.Add(entry, "nodes", topo.num_nodes());
+    report.Add(entry, "shards", opts.shards);
+    report.Add(entry, "pipeline_depth", opts.pipeline_depth);
+    report.Add(entry, "cycles_per_sec", cycles_per_sec);
+    report.Add(entry, "ms_per_cycle", 1e3 * run_s / measured_cycles);
+    report.Add(entry, "bytes", static_cast<double>(bytes));
+    report.Add(entry, "allocs_per_cycle", allocs_per_cycle);
+    report.Add(entry, "init_seconds", init_s);
+  }
   report.Write();
 
   // Deterministic subset for the CI shard-determinism gate (the console

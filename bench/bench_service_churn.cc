@@ -48,6 +48,7 @@ int Main(int argc, char** argv) {
   const int settle_cycles = smoke ? 6 : 80;
   const int tail_cycles = benchutil::CyclesFromEnv(smoke ? 10 : 100);
   const int shards = benchutil::ShardsFromEnv();
+  const int pipeline = benchutil::PipelineFromEnv();
 
   benchutil::PrintHeader(
       "bench_service_churn",
@@ -92,6 +93,7 @@ int Main(int argc, char** argv) {
   opts.executor.assumed = sel;
   opts.executor.mesh_mode = true;
   opts.medium.shards = shards;
+  opts.medium.pipeline_depth = pipeline;
   opts.dynamics = &full;
 
   auto runner =
@@ -176,6 +178,7 @@ int Main(int argc, char** argv) {
 
   std::printf("nodes                 %d\n", topo.num_nodes());
   std::printf("shards                %d\n", shards);
+  std::printf("pipeline depth        %d\n", pipeline);
   std::printf("cycles                %d (churn+settle) + %d steady tail\n",
               churn_horizon + settle_cycles, tail_cycles);
   std::printf("query events          %d arrivals, %d departures "
@@ -199,6 +202,7 @@ int Main(int argc, char** argv) {
   benchutil::JsonReport report("BENCH_service_churn.json");
   report.Add("service_churn", "nodes", topo.num_nodes());
   report.Add("service_churn", "shards", shards);
+  report.Add("service_churn", "pipeline_depth", pipeline);
   report.Add("service_churn", "arrivals", stats.arrivals);
   report.Add("service_churn", "departures", stats.departures);
   report.Add("service_churn", "steady_cycles_per_sec", tail_cycles_per_sec);

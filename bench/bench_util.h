@@ -100,6 +100,18 @@ inline int ShardsFromEnv() {
   return 1;
 }
 
+/// Pipeline depth for every executor a bench builds (ASPEN_PIPELINE,
+/// default 1 = no cross-cycle overlap). The determinism gate also sweeps
+/// this knob: results are byte-identical for every depth.
+inline int PipelineFromEnv() {
+  const char* env = std::getenv("ASPEN_PIPELINE");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 1;
+}
+
 inline join::ExecutorOptions MakeOptions(
     const AlgoSpec& spec, const workload::SelectivityParams& assumed,
     bool mesh = false) {
@@ -109,6 +121,7 @@ inline join::ExecutorOptions MakeOptions(
   opts.assumed = assumed;
   opts.mesh_mode = mesh;
   opts.shards = ShardsFromEnv();
+  opts.pipeline_depth = PipelineFromEnv();
   return opts;
 }
 
@@ -146,14 +159,29 @@ inline void PrintHeader(const char* figure, const char* what) {
 // Typical metrics: cycles_per_sec, ns_per_cycle, bytes, allocs_per_cycle.
 
 /// \brief Collects named numeric metrics and writes them as JSON.
+///
+/// With `merge` set, an existing report at `path` (in this class's own
+/// format) is loaded first, so several bench invocations — e.g. one CI
+/// matrix run per (shards, pipeline) configuration — accumulate into one
+/// file instead of clobbering each other. Add() replaces the value of a
+/// metric that is already present, keeping re-runs idempotent.
 class JsonReport {
  public:
-  explicit JsonReport(std::string path) : path_(std::move(path)) {}
+  explicit JsonReport(std::string path, bool merge = false)
+      : path_(std::move(path)) {
+    if (merge) LoadExisting();
+  }
 
   void Add(const std::string& bench, const std::string& metric,
            double value) {
     for (auto& [name, metrics] : entries_) {
       if (name == bench) {
+        for (auto& [key, old] : metrics) {
+          if (key == metric) {
+            old = value;
+            return;
+          }
+        }
         metrics.emplace_back(metric, value);
         return;
       }
@@ -189,6 +217,47 @@ class JsonReport {
     std::string name;
     std::vector<std::pair<std::string, double>> metrics;
   };
+
+  /// Parses a prior Write()'s output back into entries_. Only this class's
+  /// own flat {"bench": {"metric": value}} shape is understood; a missing
+  /// or foreign file just leaves the report empty.
+  void LoadExisting() {
+    std::FILE* f = std::fopen(path_.c_str(), "r");
+    if (f == nullptr) return;
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    size_t pos = 0;
+    auto next_string = [&](std::string* out) {
+      size_t open = text.find('"', pos);
+      if (open == std::string::npos) return false;
+      size_t close = text.find('"', open + 1);
+      if (close == std::string::npos) return false;
+      out->assign(text, open + 1, close - open - 1);
+      pos = close + 1;
+      return true;
+    };
+    std::string name;
+    while (next_string(&name)) {
+      size_t brace = text.find_first_not_of(": \t\n", pos);
+      if (brace == std::string::npos || text[brace] != '{') break;
+      pos = brace + 1;
+      size_t end = text.find('}', pos);
+      if (end == std::string::npos) break;
+      std::string metric;
+      while (pos < end && next_string(&metric) && pos < end) {
+        size_t colon = text.find(':', pos);
+        if (colon == std::string::npos || colon > end) break;
+        Add(name, metric, std::strtod(text.c_str() + colon + 1, nullptr));
+        pos = text.find_first_of(",}", colon + 1);
+        if (pos == std::string::npos || text[pos] == '}') break;
+      }
+      pos = end + 1;
+    }
+  }
+
   std::string path_;
   std::vector<Entry> entries_;
 };

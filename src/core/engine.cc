@@ -235,8 +235,11 @@ Result<AggregatedStats> RunAveraged(const WorkloadFactory& factory,
   // shard count to keep the total near the hardware concurrency. (The
   // result is unaffected: both levels are bit-deterministic.)
   if (num_threads <= 0) num_threads = common::DefaultThreadCount();
-  if (options.executor.shards > 1) {
-    num_threads = std::max(1, num_threads / options.executor.shards);
+  int footprint = std::max(1, options.executor.shards);
+  // A pipelined run adds a stage pool of the same width as the shard pool.
+  if (options.executor.pipeline_depth > 1) footprint *= 2;
+  if (footprint > 1) {
+    num_threads = std::max(1, num_threads / footprint);
   }
   std::vector<Result<join::RunStats>> outcomes(
       runs, Result<join::RunStats>(Status::Internal("repetition not run")));

@@ -64,9 +64,9 @@ JoinExecutor::JoinExecutor(const workload::Workload* workload,
         OnSnoop(m, snooper, from, to);
       });
   const int interval = workload_->join_query().window.sample_interval;
-  if (opts_.shards > 1) {
-    auto sharded =
-        std::make_unique<sim::ShardedScheduler>(net_, interval, opts_.shards);
+  if (opts_.shards > 1 || opts_.pipeline_depth > 1) {
+    auto sharded = std::make_unique<sim::ShardedScheduler>(
+        net_, interval, opts_.shards, opts_.pipeline_depth);
     scratch_.resize(sharded->num_shards());
     sched_ = std::move(sharded);
   } else {
@@ -611,16 +611,20 @@ void JoinExecutor::BuildProducerCache(ShardScratch* sc, NodeId begin,
     sc->producer_roles.push_back(static_cast<uint8_t>((s_role ? 1 : 0) |
                                                       (t_role ? 2 : 0)));
   }
-  // Pre-size staging for the worst case (every producer passes both
-  // filters) so the steady-state sample pass never allocates; warming the
-  // tuples to full width gives every slot its capacity up front.
+  // Pre-size every slab of the ring for the worst case (every producer
+  // passes both filters) so the steady-state sample stage never allocates;
+  // warming the tuples to full width gives every slot its capacity up
+  // front.
   const size_t cap = sc->producer_ids.size();
-  sc->s_bits.assign((cap + 63) / 64, 0ULL);
-  sc->t_bits.assign((cap + 63) / 64, 0ULL);
-  sc->staged_ids.resize(cap);
-  sc->staged_flags.resize(cap);
-  sc->staged_tuples.resize(cap);
-  for (query::Tuple& t : sc->staged_tuples) t.resize(query::kNumAttrs);
+  for (SampleSlab& slab : sc->slabs) {
+    slab.s_bits.assign((cap + 63) / 64, 0ULL);
+    slab.t_bits.assign((cap + 63) / 64, 0ULL);
+    slab.staged_ids.resize(cap);
+    slab.staged_flags.resize(cap);
+    slab.staged_tuples.resize(cap);
+    for (query::Tuple& t : slab.staged_tuples) t.resize(query::kNumAttrs);
+    slab.staged_count = 0;
+  }
   // Deliver-phase staging for the same shard: each pair applies at most
   // one arrival per role per sampling cycle, with 2x slack for multi-hop
   // deliveries straddling a phase.
@@ -628,58 +632,82 @@ void JoinExecutor::BuildProducerCache(ShardScratch* sc, NodeId begin,
   sc->touched_sites.reserve(4 * pairs_.size());
 }
 
-void JoinExecutor::OnSampleShard(int cycle, int shard, NodeId begin,
-                                 NodeId end) {
-  // Pure per-node work: batched filters, sampling of the passing producers
-  // and the producer-local last-w buffers. Submissions happen at commit, in
-  // node order, so the network sees the identical stream for any shard
-  // count. Filters run before sampling — the filter verdict only depends
-  // on the u draw, which PassFilters recomputes bit-identically — so
-  // non-senders cost one hash instead of a full tuple materialization.
-  const int w = workload_->join_query().window.size;
-  ShardScratch& sc = scratch_[shard];
-  sc.staged_count = 0;
-  if (sc.cached_begin != begin || sc.cached_end != end) {
-    BuildProducerCache(&sc, begin, end);
-  }
-  const int num_producers = static_cast<int>(sc.producer_ids.size());
-  if (num_producers == 0) return;
-  workload_->PassFilters(sc.producer_ids.data(), num_producers, cycle,
-                         sc.s_bits.data(), sc.t_bits.data());
-  for (int i = 0; i < num_producers; ++i) {
-    const uint8_t roles = sc.producer_roles[i];
-    const uint64_t word_bit = 1ULL << (i & 63);
-    const bool send_s = (roles & 1) && (sc.s_bits[i >> 6] & word_bit);
-    const bool send_t = (roles & 2) && (sc.t_bits[i >> 6] & word_bit);
-    if (!send_s && !send_t) continue;
-    const NodeId p = sc.producer_ids[i];
-    if (net_->IsFailed(p)) continue;
-    sc.staged_ids[sc.staged_count] = p;
-    sc.staged_flags[sc.staged_count] =
-        static_cast<uint8_t>((send_s ? 1 : 0) | (send_t ? 2 : 0));
-    ++sc.staged_count;
-  }
-  workload_->SampleBatchInto(sc.staged_ids.data(), sc.staged_count, cycle,
-                             sc.staged_tuples.data());
-  for (int i = 0; i < sc.staged_count; ++i) {
-    // Producers remember their last w sent tuples per role so a join window
-    // can be reconstructed at the base after a join-node failure.
-    NodeState& node = nodes_[sc.staged_ids[i]];
-    if (sc.staged_flags[i] & 1) node.recent_sent[1].Push(sc.staged_tuples[i], w);
-    if (sc.staged_flags[i] & 2) node.recent_sent[0].Push(sc.staged_tuples[i], w);
+void JoinExecutor::ConfigureSampleSlots(int slots) {
+  if (slots == sample_slots_) return;
+  ASPEN_CHECK(slots >= 1);
+  sample_slots_ = slots;
+  for (ShardScratch& sc : scratch_) {
+    sc.slabs.resize(static_cast<size_t>(slots));
+    // Invalidate so the next (synchronous) stage pass re-sizes every slab
+    // of the new ring through BuildProducerCache.
+    sc.cached_begin = -1;
+    sc.cached_end = -1;
   }
 }
 
-Status JoinExecutor::OnSampleCommit(int cycle) {
+void JoinExecutor::OnSampleStage(int cycle, int slot, int shard, NodeId begin,
+                                 NodeId end) {
+  // Pure per-node work: batched filters and sampling of the passing
+  // producers into the slab named by `slot`. Sampling is a pure function of
+  // (node, cycle, seed) and the filter cache is warm (OnSampleBegin), so
+  // this reads nothing that mutates during a cycle and writes nothing but
+  // the slab — a pipelined scheduler may run it for a future cycle while
+  // the current cycle's transmit is in flight. Submissions, failed-node
+  // filtering and the producer-local last-w buffers happen at commit, in
+  // node order, so the network sees the identical stream for any shard
+  // count and pipeline depth. Filters run before sampling — the filter
+  // verdict only depends on the u draw, which PassFilters recomputes
+  // bit-identically — so non-senders cost one hash instead of a full tuple
+  // materialization.
+  ShardScratch& sc = scratch_[shard];
+  if (sc.cached_begin != begin || sc.cached_end != end) {
+    BuildProducerCache(&sc, begin, end);
+  }
+  SampleSlab& slab = sc.slabs[static_cast<size_t>(slot)];
+  slab.staged_count = 0;
+  const int num_producers = static_cast<int>(sc.producer_ids.size());
+  if (num_producers == 0) return;
+  workload_->PassFilters(sc.producer_ids.data(), num_producers, cycle,
+                         slab.s_bits.data(), slab.t_bits.data());
+  for (int i = 0; i < num_producers; ++i) {
+    const uint8_t roles = sc.producer_roles[i];
+    const uint64_t word_bit = 1ULL << (i & 63);
+    const bool send_s = (roles & 1) && (slab.s_bits[i >> 6] & word_bit);
+    const bool send_t = (roles & 2) && (slab.t_bits[i >> 6] & word_bit);
+    if (!send_s && !send_t) continue;
+    slab.staged_ids[slab.staged_count] = sc.producer_ids[i];
+    slab.staged_flags[slab.staged_count] =
+        static_cast<uint8_t>((send_s ? 1 : 0) | (send_t ? 2 : 0));
+    ++slab.staged_count;
+  }
+  workload_->SampleBatchInto(slab.staged_ids.data(), slab.staged_count, cycle,
+                             slab.staged_tuples.data());
+}
+
+Status JoinExecutor::OnSampleCommit(int cycle, int slot) {
   common::SequentialPhaseScope seq;
+  const int w = workload_->join_query().window.size;
   // Shards are contiguous ascending node ranges, so walking them in order
-  // submits in exactly the node order of the unsharded loop.
+  // submits in exactly the node order of the unsharded loop. Failure
+  // filtering happens here — after every scenario event of this cycle's
+  // sample phase, exactly where the old in-stage check observed it; a
+  // staged-but-failed producer's tuple is simply skipped (its draw consumed
+  // no shared RNG, so every other submission is unchanged).
   for (ShardScratch& sc : scratch_) {
-    for (int i = 0; i < sc.staged_count; ++i) {
-      const NodeId p = sc.staged_ids[i];
-      const query::Tuple& t = sc.staged_tuples[i];
-      const bool send_s = sc.staged_flags[i] & 1;
-      const bool send_t = sc.staged_flags[i] & 2;
+    SampleSlab& slab = sc.slabs[static_cast<size_t>(slot)];
+    for (int i = 0; i < slab.staged_count; ++i) {
+      const NodeId p = slab.staged_ids[i];
+      if (net_->IsFailed(p)) continue;
+      const query::Tuple& t = slab.staged_tuples[i];
+      const bool send_s = slab.staged_flags[i] & 1;
+      const bool send_t = slab.staged_flags[i] & 2;
+      // Producers remember their last w sent tuples per role so a join
+      // window can be reconstructed at the base after a join-node failure.
+      // The rings are consumed by the learn phase (SendWindowReplay), which
+      // always follows this commit within a cycle.
+      NodeState& node = nodes_[p];
+      if (send_s) node.recent_sent[1].Push(t, w);
+      if (send_t) node.recent_sent[0].Push(t, w);
       switch (opts_.algorithm) {
         case Algorithm::kNaive:
         case Algorithm::kBase:
@@ -696,7 +724,7 @@ Status JoinExecutor::OnSampleCommit(int cycle) {
           break;
       }
     }
-    sc.staged_count = 0;
+    slab.staged_count = 0;
   }
   return Status::OK();
 }
@@ -992,11 +1020,16 @@ Status JoinExecutor::OnSample(int cycle) {
   if (!initiated_) {
     return Status::FailedPrecondition("sample phase before Initiate");
   }
-  // Begin + one full-range shard pass + commit: the sharded schedule with
-  // one shard, so sharded and sequential runs are the same code path.
+  // Begin + one full-range stage pass + commit: the sharded schedule with
+  // one shard and one slot, so sharded and sequential runs are the same
+  // code path.
   OnSampleBegin(cycle);
-  OnSampleShard(cycle, /*shard=*/0, 0, workload_->topology().num_nodes());
-  return OnSampleCommit(cycle);
+  {
+    common::PipelineStageScope stage;
+    OnSampleStage(cycle, /*slot=*/0, /*shard=*/0, 0,
+                  workload_->topology().num_nodes());
+  }
+  return OnSampleCommit(cycle, /*slot=*/0);
 }
 
 Status JoinExecutor::OnDeliver(int cycle) {

@@ -157,10 +157,17 @@ class JoinExecutor : public sim::CycleParticipant,
   sim::ShardPhaseParticipant* sharded() override { return this; }
 
   // -- sharded phase split (sim::ShardPhaseParticipant) ----------------------
+  void ConfigureSampleSlots(int slots) override;
+  bool SampleStageReady() const override { return initiated_ && !shutdown_; }
   void OnSampleBegin(int cycle) override;
-  void OnSampleShard(int cycle, int shard, net::NodeId begin,
-                     net::NodeId end) override;
-  Status OnSampleCommit(int cycle) override;
+  /// The pure sample stage: batched filters + sampling of the shard's
+  /// producers into the (shard, slot) slab. Reads only the workload (warm)
+  /// and the shard's producer cache; failure filtering and the
+  /// producer-local last-w rings moved to commit so a pipelined scheduler
+  /// can run this for cycle N+1 during cycle N's transmit.
+  void OnSampleStage(int cycle, int slot, int shard, net::NodeId begin,
+                     net::NodeId end) ASPEN_REQUIRES_PIPELINE override;
+  Status OnSampleCommit(int cycle, int slot) override;
   void OnDeliverBegin(int cycle) override;
   void OnDeliverShard(int cycle, int shard, net::NodeId begin,
                       net::NodeId end) override;
@@ -332,14 +339,33 @@ class JoinExecutor : public sim::CycleParticipant,
     int sample_cycle = 0;
   };
 
+  /// One slot of a shard's sample slab ring: everything one pure sample
+  /// stage pass writes. With pipeline depth D each shard holds D slabs
+  /// (slot = cycle mod D), so the stage of a future cycle and the commit
+  /// of the current one touch disjoint storage.
+  struct SampleSlab {
+    /// PassFilters output, one bit per producer_ids entry.
+    std::vector<uint64_t> s_bits, t_bits;
+    /// Staged sends: flags bit 0 = send_s, bit 1 = send_t. Failed-node
+    /// filtering happens at commit (failure state may change between a
+    /// prestage and its commit; sampling a failed producer is pure and
+    /// free of shared state, so staging it costs nothing).
+    std::vector<net::NodeId> staged_ids;
+    std::vector<uint8_t> staged_flags;
+    std::vector<query::Tuple> staged_tuples;
+    int staged_count = 0;
+  };
+
   /// Everything one shard's sample/deliver passes stage.
   ///
-  /// The sample pass runs the batched workload kernel: the shard's
+  /// The sample stage runs the batched workload kernel: the shard's
   /// producers (cached — roles are fixed once Initiate has populated the
   /// pair lists) go through Workload::PassFilters as one batch, and only
   /// the passing ones are sampled, into pre-sized tuple slots that recycle
   /// their capacity. Staged arrays are parallel (ids/flags/tuples share an
-  /// index) and submissions happen at commit, in node order.
+  /// index) and submissions happen at commit, in node order. The deliver
+  /// scratch is separate from the slabs so a deliver shard pass and an
+  /// overlapped sample stage on the same shard touch disjoint fields.
   struct ShardScratch {
     /// Producers in [cached_begin, cached_end) holding an S or T role,
     /// ascending; role bit 0 = S, bit 1 = T.
@@ -347,13 +373,8 @@ class JoinExecutor : public sim::CycleParticipant,
     std::vector<uint8_t> producer_roles;
     net::NodeId cached_begin = -1;
     net::NodeId cached_end = -1;
-    /// PassFilters output, one bit per producer_ids entry.
-    std::vector<uint64_t> s_bits, t_bits;
-    /// Staged sends: flags bit 0 = send_s, bit 1 = send_t.
-    std::vector<net::NodeId> staged_ids;
-    std::vector<uint8_t> staged_flags;
-    std::vector<query::Tuple> staged_tuples;
-    int staged_count = 0;
+    /// Sample slab ring, sized by ConfigureSampleSlots (default one slot).
+    std::vector<SampleSlab> slabs = std::vector<SampleSlab>(1);
     std::vector<DeferredEmit> emits;
     std::vector<net::NodeId> touched_sites;
   };
@@ -364,6 +385,9 @@ class JoinExecutor : public sim::CycleParticipant,
                           net::NodeId end);
 
   std::vector<ShardScratch> scratch_;
+  /// Slots per shard in the sample slab ring (== the hosting scheduler's
+  /// pipeline depth; 1 everywhere else).
+  int sample_slots_ = 1;
   /// Reused canonical-merge scratch for deferred emissions.
   std::vector<const DeferredEmit*> emit_merge_;
   /// Set whenever a placement mutates; the next sample phase rebuilds the

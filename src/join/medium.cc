@@ -39,9 +39,10 @@ SharedMedium::SharedMedium(const net::Topology* topology,
     if (e != nullptr) e->OnSnoop(m, snooper, from, to);
   });
   // Eager scheduler: scenario drivers can attach before the first query.
-  if (medium_opts_.shards > 1) {
+  if (medium_opts_.shards > 1 || medium_opts_.pipeline_depth > 1) {
     sched_ = std::make_unique<sim::ShardedScheduler>(
-        &net_, medium_opts_.sample_interval, medium_opts_.shards);
+        &net_, medium_opts_.sample_interval, medium_opts_.shards,
+        medium_opts_.pipeline_depth);
   } else {
     sched_ = std::make_unique<sim::CycleScheduler>(
         &net_, medium_opts_.sample_interval);

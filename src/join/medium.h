@@ -57,6 +57,11 @@ struct MediumOptions {
   /// sim::ShardedScheduler (worker-parallel sample/deliver/step phases)
   /// with byte-identical results for every value.
   int shards = 1;
+  /// Pipeline depth of the medium's scheduler: > 1 overlaps future cycles'
+  /// pure sample stages with the current cycle's transmit (see
+  /// sim::ShardedScheduler). Byte-identical results for every value;
+  /// composes with `shards`.
+  int pipeline_depth = 1;
   /// Permit RunCycles with zero live queries. A service run idles between
   /// arrivals (scenario drivers still tick); the batch default keeps the
   /// historical no-queries error.

@@ -93,6 +93,15 @@ struct ExecutorOptions {
   /// (join::MediumOptions::shards) instead.
   int shards = 1;
 
+  /// Pipeline depth of the owned scheduler (clamped to >= 1): with D > 1
+  /// the pure sample stage of up to D - 1 future cycles overlaps the
+  /// current cycle's transmit on dedicated stage workers. Byte-identical
+  /// results for every value, like `shards`; composes with it (total
+  /// worker footprint ~ shards x 2 when D > 1). Medium-attached executors
+  /// pipeline with the medium's scheduler
+  /// (join::MediumOptions::pipeline_depth) instead.
+  int pipeline_depth = 1;
+
   uint64_t seed = 1;
 
   /// Optional borrowed data-plane arena (route table + payload pools) for

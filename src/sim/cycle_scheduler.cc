@@ -75,6 +75,13 @@ Status CycleScheduler::RunCycles(int n) {
   }
   ASPEN_CHECK(!dispatching_);
   FlagGuard in_dispatch(&dispatching_);
+  // Every exit path — error returns from the phase loops included — must
+  // leave no scheduler-forked work in flight and no prestaged slab valid;
+  // a local class has this member function's access to the hook.
+  struct RunExitGuard {
+    CycleScheduler* sched;
+    ~RunExitGuard() { sched->RunFinished(); }
+  } run_exit{this};
   // Phase loops iterate by index and re-read size(): a participant attached
   // mid-phase (query admission) is visited later in the same phase, and a
   // tombstoned one (query departure) is skipped from that instant.
@@ -84,6 +91,7 @@ Status CycleScheduler::RunCycles(int n) {
       if (p == nullptr) continue;
       ASPEN_RETURN_NOT_OK(SamplePhase(p, cycle_));
     }
+    SamplePhaseDone(cycle_);
     {
       // The transmit loop runs on the scheduler thread; Step() itself forks
       // the shard compute jobs and rejoins before its exchange phase.
@@ -93,6 +101,7 @@ Status CycleScheduler::RunCycles(int n) {
         if (!net_->HasTrafficInFlight()) break;
       }
     }
+    TransmitPhaseDone(cycle_);
     for (size_t k = 0; k < participants_.size(); ++k) {
       CycleParticipant* p = participants_[k];
       if (p == nullptr) continue;

@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "common/phase.h"
 #include "common/status.h"
 #include "net/network.h"
 
@@ -32,22 +33,44 @@ namespace sim {
 /// \brief Node-range-parallel implementations of the sample and deliver
 /// phases, for participants hosted on a ShardedScheduler.
 ///
-/// Each phase splits Begin (main thread; sequential prep), Shard (invoked
-/// once per shard, concurrently, over the shard's contiguous node range
-/// [begin, end)) and Commit (main thread; applies everything the shard
-/// passes staged, in one canonical order). A Shard pass must only mutate
-/// state owned by its node range or its own per-shard scratch; the phase's
-/// observable outcome must not depend on the shard count — the plain
-/// OnSample/OnDeliver hooks are required to equal Begin + one full-range
-/// Shard pass + Commit.
+/// Each phase splits Begin (main thread; sequential prep), a per-shard
+/// stage (invoked once per shard, concurrently, over the shard's contiguous
+/// node range [begin, end)) and Commit (main thread; applies everything the
+/// shard passes staged, in one canonical order). A stage pass must only
+/// mutate state owned by its node range or its own per-shard scratch; the
+/// phase's observable outcome must not depend on the shard count — the
+/// plain OnSample/OnDeliver hooks are required to equal Begin + one
+/// full-range stage pass + Commit.
+///
+/// The sample stage is additionally *pure* (ASPEN_REQUIRES_PIPELINE): it
+/// reads only state that is immutable during a cycle (the workload after
+/// OnSampleBegin's WarmFilterCache, the per-shard producer caches) and
+/// writes only its own (shard, slot) slab — so a pipelined scheduler may
+/// run it for cycle N+1 while cycle N's transmit is still in flight. The
+/// `slot` index (cycle % slots, with `slots` set via ConfigureSampleSlots)
+/// names which slab of the ring the stage fills and the matching commit
+/// drains; schedulers without pipelining always pass slot 0.
 class ShardPhaseParticipant {
  public:
   virtual ~ShardPhaseParticipant() = default;
 
+  /// Sizes the sample slab ring to `slots` (>= 1) independent per-shard
+  /// slabs so a pipelined scheduler can stage up to `slots - 1` future
+  /// cycles while earlier slabs await commit. Idempotent; called by the
+  /// scheduler before the participant's sample phase. Participants start
+  /// with one slot.
+  virtual void ConfigureSampleSlots(int slots) = 0;
+
+  /// True when the pure sample stage may run ahead of time for a future
+  /// cycle. Participants that are not fully set up yet (e.g. admitted but
+  /// not initiated) return false and are sampled synchronously instead.
+  virtual bool SampleStageReady() const { return true; }
+
   virtual void OnSampleBegin(int cycle) = 0;
-  virtual void OnSampleShard(int cycle, int shard, net::NodeId begin,
-                             net::NodeId end) = 0;
-  virtual Status OnSampleCommit(int cycle) = 0;
+  virtual void OnSampleStage(int cycle, int slot, int shard,
+                             net::NodeId begin, net::NodeId end)
+      ASPEN_REQUIRES_PIPELINE = 0;
+  virtual Status OnSampleCommit(int cycle, int slot) = 0;
 
   virtual void OnDeliverBegin(int cycle) = 0;
   virtual void OnDeliverShard(int cycle, int shard, net::NodeId begin,
@@ -104,8 +127,9 @@ class CycleScheduler {
   /// called mid-run (query departure): the slot is tombstoned so the
   /// in-progress phase loop skips it, and compacted at the next cycle
   /// boundary. A participant detached during the cycle-N sample phase
-  /// before its own turn never samples at cycle N.
-  void Detach(CycleParticipant* participant);
+  /// before its own turn never samples at cycle N. Virtual so a pipelining
+  /// scheduler can drop the participant's prestaged slabs with it.
+  virtual void Detach(CycleParticipant* participant);
 
   /// \brief Advances the clock to `cycle` without running any phases, so a
   /// fresh run can reproduce a query admitted mid-run on a shared medium
@@ -135,6 +159,24 @@ class CycleScheduler {
   virtual Status DeliverPhase(CycleParticipant* p, int cycle) {
     return p->OnDeliver(cycle);
   }
+
+  /// Called once per cycle after every participant's sample phase, before
+  /// the transmit loop starts: the point where a pipelining subclass
+  /// dispatches cycle N+1's pure sample stage to overlap with cycle N's
+  /// transmit.
+  virtual void SamplePhaseDone(int cycle) { (void)cycle; }
+
+  /// Called once per cycle after the transmit loop, before the deliver
+  /// phase: the join point for work dispatched at SamplePhaseDone. After
+  /// this hook returns, no scheduler-forked work may be in flight.
+  virtual void TransmitPhaseDone(int cycle) { (void)cycle; }
+
+  /// Called on every exit path of RunCycles (normal return, error return,
+  /// exception), after the straggler drain on the normal path. A pipelining
+  /// subclass joins any stray stage work and invalidates prestaged slabs
+  /// here, so between-call mutations (workload parameters, SeekTo, query
+  /// churn) can never observe — or be observed by — a half-full pipeline.
+  virtual void RunFinished() {}
 
   net::Network* net_;
   int sample_interval_;

@@ -20,10 +20,12 @@ std::vector<net::NodeId> ShardedScheduler::ComputeShardStarts(
 }
 
 ShardedScheduler::ShardedScheduler(net::Network* network, int sample_interval,
-                                   int num_shards)
+                                   int num_shards, int pipeline_depth)
     : CycleScheduler(network, sample_interval),
       starts_(ComputeShardStarts(network->topology().num_nodes(), num_shards)),
-      pool_(static_cast<int>(starts_.size()) - 1) {
+      pool_(static_cast<int>(starts_.size()) - 1),
+      depth_(std::max(1, pipeline_depth)),
+      stage_pool_(depth_ > 1 ? static_cast<int>(starts_.size()) : 0) {
   // Construction happens strictly before any cycle runs.
   common::SequentialPhaseScope seq;
   net_->ConfigureSharding(starts_, &pool_);
@@ -33,27 +35,69 @@ ShardedScheduler::ShardedScheduler(net::Network* network, int sample_interval,
                                ? starts_[s + 1]
                                : net_->topology().num_nodes();
     if (current_is_sample_) {
-      current_->OnSampleShard(current_cycle_, s, lo, hi);
+      // The synchronous stage pass holds the same (and only the same)
+      // capability as the overlapped one, so the purity requirement is
+      // checked on both paths.
+      common::PipelineStageScope stage;
+      current_->OnSampleStage(current_cycle_, current_slot_, s, lo, hi);
     } else {
       current_->OnDeliverShard(current_cycle_, s, lo, hi);
     }
   };
+  stage_job_ = [this](int idx) {
+    const int shards = this->num_shards();
+    const StageUnit& u = stage_units_[idx / shards];
+    const int s = idx % shards;
+    const net::NodeId lo = starts_[s];
+    const net::NodeId hi = s + 1 < shards ? starts_[s + 1]
+                                          : net_->topology().num_nodes();
+    common::PipelineStageScope stage;
+    u.sp->OnSampleStage(u.cycle, u.cycle % depth_, s, lo, hi);
+  };
 }
 
 ShardedScheduler::~ShardedScheduler() {
+  // A dispatched stage job borrows stage_units_ and the participants; make
+  // sure none is in flight before members destruct.
+  if (stage_inflight_) {
+    stage_inflight_ = false;
+    try {
+      stage_pool_.Wait();
+    } catch (...) {
+      // Destruction outranks a stage failure.
+    }
+  }
   // The network outlives this scheduler but not the owned pool.
   net_->DetachShardPool();
+}
+
+ShardedScheduler::StagedRange* ShardedScheduler::FindStaged(
+    ShardPhaseParticipant* sp) {
+  for (StagedRange& e : staged_) {
+    if (e.sp == sp) return &e;
+  }
+  return nullptr;
 }
 
 Status ShardedScheduler::SamplePhase(CycleParticipant* p, int cycle) {
   ShardPhaseParticipant* sp = p->sharded();
   if (sp == nullptr) return p->OnSample(cycle);
+  sp->ConfigureSampleSlots(depth_);
   sp->OnSampleBegin(cycle);
-  current_ = sp;
-  current_cycle_ = cycle;
-  current_is_sample_ = true;
-  pool_.Run(num_shards(), shard_job_);
-  return sp->OnSampleCommit(cycle);
+  const int slot = cycle % depth_;
+  StagedRange* e = FindStaged(sp);
+  if (e != nullptr && cycle >= e->lo && cycle < e->hi) {
+    // The overlapped stage already filled this cycle's slab (and joined at
+    // the previous cycle's TransmitPhaseDone); go straight to commit.
+    e->lo = cycle + 1;
+  } else {
+    current_ = sp;
+    current_cycle_ = cycle;
+    current_slot_ = slot;
+    current_is_sample_ = true;
+    pool_.Run(num_shards(), shard_job_);
+  }
+  return sp->OnSampleCommit(cycle, slot);
 }
 
 Status ShardedScheduler::DeliverPhase(CycleParticipant* p, int cycle) {
@@ -65,6 +109,84 @@ Status ShardedScheduler::DeliverPhase(CycleParticipant* p, int cycle) {
   current_is_sample_ = false;
   pool_.Run(num_shards(), shard_job_);
   return sp->OnDeliverCommit(cycle);
+}
+
+void ShardedScheduler::SamplePhaseDone(int cycle) {
+  if (depth_ <= 1) return;
+  // Stage the missing cycles in (cycle, cycle + depth) for every
+  // stage-ready sharded participant. Steady state is one new cycle per
+  // participant per dispatch; the first cycle of a run (or a participant's
+  // first stage-ready cycle) fills the whole window. The participant's
+  // producer caches were built by its synchronous stage pass before any
+  // prestage can target it, so concurrent stage units of the same shard
+  // only ever read the cache and write disjoint slots.
+  stage_units_.clear();
+  const int target = cycle + depth_;
+  for (CycleParticipant* p : participants_) {
+    if (p == nullptr) continue;
+    ShardPhaseParticipant* sp = p->sharded();
+    if (sp == nullptr || !sp->SampleStageReady()) continue;
+    StagedRange* e = FindStaged(sp);
+    if (e == nullptr) {
+      staged_.push_back({sp, cycle + 1, cycle + 1});
+      e = &staged_.back();
+    } else if (e->hi < cycle + 1) {
+      e->lo = e->hi = cycle + 1;
+    }
+    for (int c = std::max(e->hi, cycle + 1); c < target; ++c) {
+      stage_units_.push_back({sp, c});
+    }
+    e->hi = std::max(e->hi, target);
+    e->lo = std::max(e->lo, cycle + 1);
+  }
+  if (stage_units_.empty()) return;
+  stage_inflight_ = true;
+  stage_pool_.Dispatch(
+      static_cast<int>(stage_units_.size()) * num_shards(), stage_job_);
+}
+
+void ShardedScheduler::TransmitPhaseDone(int cycle) {
+  (void)cycle;
+  if (!stage_inflight_) return;
+  stage_inflight_ = false;
+  // Rethrows the first stage error at the join point, before any deliver
+  // or commit consumes a possibly half-written slab.
+  stage_pool_.Wait();
+}
+
+void ShardedScheduler::RunFinished() {
+  if (stage_inflight_) {
+    // Only reachable on abnormal exits (error return or exception between
+    // dispatch and join); the run's own failure outranks the stage's.
+    stage_inflight_ = false;
+    try {
+      stage_pool_.Wait();
+    } catch (...) {
+    }
+  }
+  // Invalidate every prestaged slab: whatever a caller mutates between
+  // RunCycles calls (workload parameters, SeekTo, churn), the next call
+  // re-stages from current state — continuation is depth-invariant.
+  staged_.clear();
+}
+
+void ShardedScheduler::Detach(CycleParticipant* participant) {
+  // Detach is only legal from participant hooks or between runs, where no
+  // stage job is in flight — but joining defensively costs nothing.
+  if (stage_inflight_) {
+    stage_inflight_ = false;
+    stage_pool_.Wait();
+  }
+  if (ShardPhaseParticipant* sp = participant->sharded()) {
+    for (size_t i = 0; i < staged_.size(); ++i) {
+      if (staged_[i].sp == sp) {
+        staged_.erase(staged_.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  CycleScheduler::Detach(participant);
 }
 
 }  // namespace sim

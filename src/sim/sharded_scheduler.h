@@ -14,12 +14,23 @@
 //              result emissions in canonical order
 //   learn    — sequential on the main thread
 //
+// With pipeline_depth D > 1 the scheduler additionally overlaps cycles:
+// after cycle N's sample commits, the *pure* sample stage of cycles
+// N+1..N+D-1 is dispatched to a dedicated stage pool and runs while cycle
+// N's transmit occupies the main thread (and the shard pool, which
+// Network::Step forks onto). The stage only reads cycle-immutable state and
+// writes per-(shard, slot) slabs — slot = cycle mod D — and the join point
+// is the end of the transmit loop, so the deliver/learn phases and every
+// commit still run with nothing in flight. Commit order is untouched: each
+// cycle's commit drains its own slot in shard-then-node order, exactly the
+// sequential submission order. See DESIGN.md ("Pipelined execution").
+//
 // Every cross-shard interaction is deferred into per-shard buffers and
 // merged in an order derived from content (node ids, message ids, mailbox
-// positions), never from shard count or thread timing — so a run's
-// TrafficStats, results and RNG streams are byte-identical for every K,
-// including K=1 and the plain CycleScheduler. The shard count only decides
-// which thread executes each range. See DESIGN.md ("sharded execution").
+// positions), never from shard count, pipeline depth or thread timing — so
+// a run's TrafficStats, results and RNG streams are byte-identical for
+// every (K, D), including K=1, D=1 and the plain CycleScheduler. The knobs
+// only decide which thread executes each range and how early it may run.
 
 #ifndef ASPEN_SIM_SHARDED_SCHEDULER_H_
 #define ASPEN_SIM_SHARDED_SCHEDULER_H_
@@ -32,42 +43,91 @@
 namespace aspen {
 namespace sim {
 
-/// \brief Drives the phase loop with per-shard worker threads.
+/// \brief Drives the phase loop with per-shard worker threads, optionally
+/// pipelining future cycles' pure sample stages across the transmit phase.
 ///
 /// The cycle loop itself is CycleScheduler's — only the per-participant
-/// sample/deliver dispatch is overridden, so the phase ordering and
-/// straggler-drain contract cannot drift between sequential and sharded
-/// execution.
+/// sample/deliver dispatch and the pipeline hook points are overridden, so
+/// the phase ordering and straggler-drain contract cannot drift between
+/// sequential, sharded and pipelined execution.
 class ShardedScheduler : public CycleScheduler {
  public:
   /// Partitions `network`'s node space into `num_shards` contiguous ranges
   /// (clamped to the node count) and configures the network for sharded
   /// stepping on an owned worker pool of num_shards - 1 threads.
-  ShardedScheduler(net::Network* network, int sample_interval,
-                   int num_shards);
+  /// `pipeline_depth` (clamped to >= 1) sizes the sample slab ring: 1 is
+  /// the fully synchronous schedule; D > 1 prestages up to D - 1 future
+  /// cycles on a dedicated pool of num_shards stage workers.
+  ShardedScheduler(net::Network* network, int sample_interval, int num_shards,
+                   int pipeline_depth = 1);
   ~ShardedScheduler() override;
 
   int num_shards() const { return static_cast<int>(starts_.size()); }
+  int pipeline_depth() const { return depth_; }
+
+  /// Detach also drops the participant's prestaged slabs (a departed
+  /// query's stage must never run or commit after its teardown).
+  void Detach(CycleParticipant* participant) override;
 
   /// Balanced contiguous split: shard i starts at floor(i * n / k).
   static std::vector<net::NodeId> ComputeShardStarts(int num_nodes,
                                                      int num_shards);
 
  protected:
-  /// Sharded Begin/Shard/Commit when the participant supports it, the
-  /// plain hook otherwise.
+  /// Sharded Begin/Stage/Commit when the participant supports it, the
+  /// plain hook otherwise. A cycle whose slab was prestaged skips straight
+  /// to Commit.
   Status SamplePhase(CycleParticipant* p, int cycle) override;
   Status DeliverPhase(CycleParticipant* p, int cycle) override;
 
+  /// Dispatches the pure sample stage of the missing future cycles (up to
+  /// cycle + depth - 1) for every stage-ready sharded participant.
+  void SamplePhaseDone(int cycle) override;
+  /// Joins the dispatched stage work (rethrowing its first error) before
+  /// the deliver phase touches any shared state.
+  void TransmitPhaseDone(int cycle) override;
+  /// Joins stray stage work and invalidates every prestaged slab, so the
+  /// state a caller observes between RunCycles calls never depends on the
+  /// pipeline depth.
+  void RunFinished() override;
+
  private:
+  /// Cycles [lo, hi) whose sample slabs are filled for one participant.
+  struct StagedRange {
+    ShardPhaseParticipant* sp;
+    int lo;
+    int hi;
+  };
+  StagedRange* FindStaged(ShardPhaseParticipant* sp);
 
   std::vector<net::NodeId> starts_;
   common::WorkerPool pool_;
   /// Reused worker job (set per phase; avoids per-call allocation).
   ShardPhaseParticipant* current_ = nullptr;
   int current_cycle_ = 0;
+  int current_slot_ = 0;
   bool current_is_sample_ = false;
   std::function<void(int)> shard_job_;
+
+  // -- pipelined cross-cycle staging ------------------------------------
+  /// Slots in the sample slab ring; 1 disables the overlap entirely.
+  int depth_;
+  /// Dedicated stage workers: during the overlap window the shard pool is
+  /// owned by Network::Step's compute phases, and a WorkerPool runs one
+  /// job at a time.
+  common::WorkerPool stage_pool_;
+  /// One prestaged (participant, cycle); the dispatched job runs every
+  /// unit x shard combination.
+  struct StageUnit {
+    ShardPhaseParticipant* sp;
+    int cycle;
+  };
+  std::vector<StageUnit> stage_units_;
+  std::vector<StagedRange> staged_;
+  std::function<void(int)> stage_job_;
+  /// True between Dispatch (SamplePhaseDone) and the join
+  /// (TransmitPhaseDone, or RunFinished/Detach on abnormal paths).
+  bool stage_inflight_ = false;
 };
 
 }  // namespace sim

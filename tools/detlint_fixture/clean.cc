@@ -45,6 +45,17 @@ inline void OnSampleShard(int cycle, int shard, int lo, int hi) {
   (void)hi;
 }
 
+// The pipelined sample stage asserting its own (pipeline-stage) capability
+// is the sanctioned pattern — only the *sequential* scope is banned here.
+inline void OnSampleStage(int cycle, int slot, int shard, int lo, int hi) {
+  common::PipelineStageScope stage;
+  (void)cycle;
+  (void)slot;
+  (void)shard;
+  (void)lo;
+  (void)hi;
+}
+
 // Words embedding banned identifiers must not fire.
 inline int randomize_seed_label(int brand_time_stamp) { return brand_time_stamp; }
 
