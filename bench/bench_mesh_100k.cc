@@ -57,8 +57,7 @@ int Main(int argc, char** argv) {
   opts.features = join::InnetFeatures::Cm();
   opts.assumed = sel;
   opts.mesh_mode = true;
-  opts.shards = benchutil::ShardsFromEnv();
-  opts.pipeline_depth = benchutil::PipelineFromEnv();
+  opts.knobs = benchutil::KnobsFromEnv();
   // The default 128-bit Bloom summaries (sized for mote RAM) saturate far
   // below 5,000 distinct join keys, which would degenerate exploration
   // into a network-wide flood. Mesh-class hardware can afford the exact
@@ -100,8 +99,8 @@ int Main(int argc, char** argv) {
       static_cast<double>(allocs) / measured_cycles;
 
   std::printf("nodes                 %d\n", topo.num_nodes());
-  std::printf("shards                %d\n", opts.shards);
-  std::printf("pipeline depth        %d\n", opts.pipeline_depth);
+  std::printf("shards                %d\n", opts.knobs.shards);
+  std::printf("pipeline depth        %d\n", opts.knobs.pipeline_depth);
   std::printf("pairs                 %zu\n", exec.pairs().size());
   std::printf("topology build        %.2f s\n", topo_s);
   std::printf("initiation            %.2f s\n", init_s);
@@ -118,8 +117,8 @@ int Main(int argc, char** argv) {
 
   benchutil::JsonReport report("BENCH_mesh_100k.json");
   report.Add("mesh_100k", "nodes", topo.num_nodes());
-  report.Add("mesh_100k", "shards", opts.shards);
-  report.Add("mesh_100k", "pipeline_depth", opts.pipeline_depth);
+  report.Add("mesh_100k", "shards", opts.knobs.shards);
+  report.Add("mesh_100k", "pipeline_depth", opts.knobs.pipeline_depth);
   report.Add("mesh_100k", "topology_seconds", topo_s);
   report.Add("mesh_100k", "init_seconds", init_s);
   report.Add("mesh_100k", "cycles_per_sec", cycles_per_sec);

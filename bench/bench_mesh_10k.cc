@@ -48,8 +48,7 @@ int Main(int argc, char** argv) {
   opts.features = join::InnetFeatures::Cm();
   opts.assumed = sel;
   opts.mesh_mode = true;
-  opts.shards = benchutil::ShardsFromEnv();
-  opts.pipeline_depth = benchutil::PipelineFromEnv();
+  opts.knobs = benchutil::KnobsFromEnv();
 
   join::JoinExecutor exec(&wl, opts);
   auto t0 = std::chrono::steady_clock::now();
@@ -84,8 +83,8 @@ int Main(int argc, char** argv) {
       static_cast<double>(allocs) / measured_cycles;
 
   std::printf("nodes                 %d\n", topo.num_nodes());
-  std::printf("shards                %d\n", opts.shards);
-  std::printf("pipeline depth        %d\n", opts.pipeline_depth);
+  std::printf("shards                %d\n", opts.knobs.shards);
+  std::printf("pipeline depth        %d\n", opts.knobs.pipeline_depth);
   std::printf("pairs                 %zu\n", exec.pairs().size());
   std::printf("initiation            %.2f s\n", init_s);
   std::printf("measured cycles       %d (after %d warm-up)\n",
@@ -105,12 +104,12 @@ int Main(int argc, char** argv) {
   // into the accumulated report.
   benchutil::JsonReport report("BENCH_mesh_10k.json", /*merge=*/true);
   char config[64];
-  std::snprintf(config, sizeof(config), "mesh_10k_s%d_p%d", opts.shards,
-                opts.pipeline_depth);
+  std::snprintf(config, sizeof(config), "mesh_10k_s%d_p%d",
+                opts.knobs.shards, opts.knobs.pipeline_depth);
   for (const char* entry : {"mesh_10k", static_cast<const char*>(config)}) {
     report.Add(entry, "nodes", topo.num_nodes());
-    report.Add(entry, "shards", opts.shards);
-    report.Add(entry, "pipeline_depth", opts.pipeline_depth);
+    report.Add(entry, "shards", opts.knobs.shards);
+    report.Add(entry, "pipeline_depth", opts.knobs.pipeline_depth);
     report.Add(entry, "cycles_per_sec", cycles_per_sec);
     report.Add(entry, "ms_per_cycle", 1e3 * run_s / measured_cycles);
     report.Add(entry, "bytes", static_cast<double>(bytes));

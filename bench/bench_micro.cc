@@ -306,8 +306,10 @@ void BM_SharedMediumCycle(benchmark::State& state) {
   net::NetworkOptions shared_opts;
   shared_opts.enable_merging = true;
   join::SharedMedium medium(&topo, shared_opts);
-  medium.AddQuery(&q1, opts);
-  medium.AddQuery(&q2, opts);
+  if (!medium.TryAddQuery(&q1, opts).ok() ||
+      !medium.TryAddQuery(&q2, opts).ok()) {
+    state.SkipWithError("admission failed");
+  }
   if (!medium.InitiateAll().ok()) state.SkipWithError("initiate failed");
   for (auto _ : state) {
     if (!medium.RunCycles(1).ok()) state.SkipWithError("run failed");

@@ -92,8 +92,8 @@ int Main(int argc, char** argv) {
   opts.executor.features = join::InnetFeatures::Cm();
   opts.executor.assumed = sel;
   opts.executor.mesh_mode = true;
-  opts.medium.shards = shards;
-  opts.medium.pipeline_depth = pipeline;
+  opts.medium.knobs.shards = shards;
+  opts.medium.knobs.pipeline_depth = pipeline;
   opts.dynamics = &full;
 
   auto runner =

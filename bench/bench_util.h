@@ -112,6 +112,29 @@ inline int PipelineFromEnv() {
   return 1;
 }
 
+/// Re-optimization interval for benches that exercise the continuous
+/// re-optimization loop (ASPEN_REOPT, in sampling cycles; default 0 =
+/// disabled, the historical frozen-placement behavior).
+inline int ReoptFromEnv() {
+  const char* env = std::getenv("ASPEN_REOPT");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 0;
+}
+
+/// The one place bench binaries resolve the run-shape environment:
+/// ASPEN_SHARDS, ASPEN_PIPELINE and ASPEN_REOPT compose into the RunKnobs
+/// every ExecutorOptions / MediumOptions embeds.
+inline common::RunKnobs KnobsFromEnv() {
+  common::RunKnobs knobs;
+  knobs.shards = ShardsFromEnv();
+  knobs.pipeline_depth = PipelineFromEnv();
+  knobs.reopt_interval = ReoptFromEnv();
+  return knobs;
+}
+
 inline join::ExecutorOptions MakeOptions(
     const AlgoSpec& spec, const workload::SelectivityParams& assumed,
     bool mesh = false) {
@@ -120,8 +143,7 @@ inline join::ExecutorOptions MakeOptions(
   opts.features = spec.features;
   opts.assumed = assumed;
   opts.mesh_mode = mesh;
-  opts.shards = ShardsFromEnv();
-  opts.pipeline_depth = PipelineFromEnv();
+  opts.knobs = KnobsFromEnv();
   return opts;
 }
 

@@ -65,9 +65,10 @@ ServiceRunner::ServiceRunner(
   if (options.dynamics != nullptr && !options.dynamics->empty()) {
     driver_ = std::make_unique<scenario::ScenarioDriver>(&medium_->network(),
                                                          options.dynamics);
-    driver_->set_query_host(this);
     medium_->scheduler()->AttachFront(driver_.get());
   }
+  // The query host attaches in Create(): set_query_host dispatches eagerly
+  // and returns a status, which a constructor cannot propagate.
 }
 
 Result<std::unique_ptr<ServiceRunner>> ServiceRunner::Create(
@@ -86,8 +87,15 @@ Result<std::unique_ptr<ServiceRunner>> ServiceRunner::Create(
           "ServiceRunner: templates span multiple topologies");
     }
   }
-  return std::unique_ptr<ServiceRunner>(
+  std::unique_ptr<ServiceRunner> runner(
       new ServiceRunner(std::move(templates), options));
+  if (runner->driver_ != nullptr) {
+    // Service templates are shared const workloads, so the runner keeps
+    // QueryHost's default OnSelectivityShift: a schedule that scripts a
+    // shift against a service run fails here, eagerly, with that message.
+    ASPEN_RETURN_NOT_OK(runner->driver_->set_query_host(runner.get()));
+  }
+  return runner;
 }
 
 Status ServiceRunner::Run(int cycles) {
@@ -235,9 +243,9 @@ Result<AggregatedStats> RunAveraged(const WorkloadFactory& factory,
   // shard count to keep the total near the hardware concurrency. (The
   // result is unaffected: both levels are bit-deterministic.)
   if (num_threads <= 0) num_threads = common::DefaultThreadCount();
-  int footprint = std::max(1, options.executor.shards);
+  int footprint = std::max(1, options.executor.knobs.shards);
   // A pipelined run adds a stage pool of the same width as the shard pool.
-  if (options.executor.pipeline_depth > 1) footprint *= 2;
+  if (options.executor.knobs.pipeline_depth > 1) footprint *= 2;
   if (footprint > 1) {
     num_threads = std::max(1, num_threads / footprint);
   }

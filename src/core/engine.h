@@ -177,7 +177,7 @@ using WorkloadFactory =
 /// a schedule is configured) scenario driver, and aggregation happens in
 /// seed order, so results are bit-identical for any thread count. Any
 /// failing repetition fails the whole call. When the executor options
-/// request sharded runs (ExecutorOptions::shards > 1), the repetition
+/// request sharded runs (ExecutorOptions::knobs.shards > 1), the repetition
 /// worker count is divided by the shard count so the two parallelism
 /// levels together stay near the hardware concurrency.
 Result<AggregatedStats> RunAveraged(const WorkloadFactory& factory,

@@ -64,9 +64,9 @@ JoinExecutor::JoinExecutor(const workload::Workload* workload,
         OnSnoop(m, snooper, from, to);
       });
   const int interval = workload_->join_query().window.sample_interval;
-  if (opts_.shards > 1 || opts_.pipeline_depth > 1) {
+  if (opts_.knobs.shards > 1 || opts_.knobs.pipeline_depth > 1) {
     auto sharded = std::make_unique<sim::ShardedScheduler>(
-        net_, interval, opts_.shards, opts_.pipeline_depth);
+        net_, interval, opts_.knobs.shards, opts_.knobs.pipeline_depth);
     scratch_.resize(sharded->num_shards());
     sched_ = std::move(sharded);
   } else {
@@ -74,6 +74,8 @@ JoinExecutor::JoinExecutor(const workload::Workload* workload,
     scratch_.resize(1);
   }
   sched_->Attach(this);
+  reopt_ = adapt::ReoptController(opts_.knobs.reopt_interval,
+                                  opts_.knobs.reopt_threshold);
   data_pool_ = net_->payloads().GetOrCreate<DataPayload>(kPayloadTagData);
   result_pool_ =
       net_->payloads().GetOrCreate<ResultPayload>(kPayloadTagResult);
@@ -94,6 +96,8 @@ JoinExecutor::JoinExecutor(const workload::Workload* workload,
   ASPEN_CHECK(shards >= 1);
   // Scratch matches the medium scheduler's shard count (1 = unsharded).
   scratch_.resize(shards);
+  reopt_ = adapt::ReoptController(opts_.knobs.reopt_interval,
+                                  opts_.knobs.reopt_threshold);
   data_pool_ = net_->payloads().GetOrCreate<DataPayload>(kPayloadTagData);
   result_pool_ =
       net_->payloads().GetOrCreate<ResultPayload>(kPayloadTagResult);
@@ -144,6 +148,10 @@ Status JoinExecutor::Shutdown() {
     UnrefRoute(pl.route_from_root);
     pl.route_from_root = net::kInvalidRoute;
   }
+  // Abandon in-flight planned migrations, releasing their transfer-route
+  // references so the routes retire with everything else.
+  for (PlannedMigration& m : planned_migrations_) UnrefRoute(m.transfer_route);
+  planned_migrations_.clear();
   active_sites_.clear();
   plans_dirty_ = false;
   return Status::OK();
@@ -329,6 +337,12 @@ Status JoinExecutor::Initiate() {
       break;
   }
   ASPEN_RETURN_NOT_OK(st);
+  if (reopt_.enabled()) {
+    // Re-optimization passes run in the steady state: pre-size the pass
+    // scratch and the in-flight protocol table so neither grows later.
+    reopt_diverged_.reserve(placements_.size());
+    planned_migrations_.reserve(placements_.size());
+  }
   // On a shared medium the SharedMedium owns the resolver (all primary
   // trees are the identical deterministic BFS from the base).
   if (owned_net_ != nullptr) net_->set_parent_resolver(&primary_tree());
@@ -1041,6 +1055,23 @@ Status JoinExecutor::OnDeliver(int cycle) {
   return OnDeliverCommit(cycle);
 }
 
+Status JoinExecutor::OnReoptimize(int cycle) {
+  (void)cycle;
+  if (!initiated_ || shutdown_) return Status::OK();
+  if (planned_migrations_.empty() && !reopt_.enabled()) return Status::OK();
+  // Runs in the scheduler's exchange window: nothing in flight, every
+  // deliver commit applied — identical state at any shard count or
+  // pipeline depth, so the decisions below are byte-reproducible.
+  common::SequentialPhaseScope seq;
+  net::TrafficStats::QueryScope scope(&net_->stats(), query_id_);
+  AdvancePlannedMigrations();
+  if (opts_.algorithm == Algorithm::kInnet && !opts_.oracle &&
+      reopt_.TakeDue()) {
+    RunReopt();
+  }
+  return Status::OK();
+}
+
 Status JoinExecutor::OnLearn(int cycle) {
   if (!initiated_) {
     return Status::FailedPrecondition("learn phase before Initiate");
@@ -1048,7 +1079,9 @@ Status JoinExecutor::OnLearn(int cycle) {
   common::SequentialPhaseScope seq;
   net::TrafficStats::QueryScope scope(&net_->stats(), query_id_);
   ForEachState([](NodeId, PairState& st) { st.estimator.Tick(); });
-  if (opts_.learning) RunLearning(cycle);
+  ++learn_ticks_;
+  reopt_.Tick();
+  if (opts_.learning) RunLearning();
   cycle_ = cycle + 1;
   return Status::OK();
 }
@@ -1084,6 +1117,8 @@ RunStats JoinExecutor::Stats() const {
   out.max_result_delay_cycles = delay_max_;
   out.migrations = migrations_;
   out.failovers = failovers_;
+  out.reopt_passes = reopt_.passes();
+  out.planned_migrations = reopt_.completed();
   out.init_latency_cycles = init_latency_;
   out.sampling_cycles = cycle_;
   return out;

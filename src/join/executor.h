@@ -18,6 +18,7 @@
 #include <set>
 #include <vector>
 
+#include "adapt/reopt.h"
 #include "common/phase.h"
 #include "common/status.h"
 #include "join/node_state.h"
@@ -103,6 +104,11 @@ class JoinExecutor : public sim::CycleParticipant,
   int query_id() const { return query_id_; }
   bool initiated() const { return initiated_; }
 
+  /// The continuous re-optimization controller: pass/migration counters at
+  /// protocol granularity (planned() ticks at the announce cycle,
+  /// completed() two cycles later — RunStats only carries the completions).
+  const adapt::ReoptController& reopt() const { return reopt_; }
+
   /// All statically-joining pairs this executor serves.
   const std::vector<PairKey>& pairs() const { return pairs_; }
 
@@ -153,6 +159,7 @@ class JoinExecutor : public sim::CycleParticipant,
   // -- kernel phases (sim::CycleParticipant) ---------------------------------
   Status OnSample(int cycle) override;
   Status OnDeliver(int cycle) override;
+  Status OnReoptimize(int cycle) override;
   Status OnLearn(int cycle) override;
   sim::ShardPhaseParticipant* sharded() override { return this; }
 
@@ -234,13 +241,47 @@ class JoinExecutor : public sim::CycleParticipant,
   }
 
   // -- learning & failure -------------------------------------------------------
-  void RunLearning(int cycle) ASPEN_REQUIRES_SEQUENTIAL;
+  void RunLearning() ASPEN_REQUIRES_SEQUENTIAL;
   /// Moves a pair's windows between join locations, charging the transfer.
   void MoveState(const PairKey& pair, net::NodeId from, net::NodeId to,
                  bool charge) ASPEN_REQUIRES_SEQUENTIAL;
   void MigratePair(PairPlacement* placement, bool new_at_base,
                    net::NodeId new_join, int new_index)
       ASPEN_REQUIRES_SEQUENTIAL;
+  // -- continuous re-optimization (Section 6 closed at runtime) ----------------
+  /// One placement relocation in flight through the planned three-phase
+  /// protocol: announced (producers notified, transfer route interned),
+  /// transferring (window state shipped as a real kWindowTransfer message,
+  /// send plans flipped at the next cycle boundary), complete (route
+  /// reference released to the epoch GC). See DESIGN.md "Continuous
+  /// re-optimization".
+  struct PlannedMigration {
+    PairKey pair;
+    bool new_at_base = true;
+    net::NodeId new_join = 0;
+    int new_index = -1;
+    /// Interned old-site -> new-site route the window transfer travels;
+    /// holds one owner reference from announce until completion/abort.
+    net::RouteId transfer_route = net::kInvalidRoute;
+    uint8_t phase = 0;  ///< 0 = announced, 1 = transfer in flight
+  };
+
+  /// One re-optimization pass (reopt controller armed): re-estimates
+  /// selectivities per held placement and, where the estimate diverged past
+  /// the threshold, re-runs the pairwise cost model and announces a planned
+  /// migration. Grouped pairs (Innet-g) reconcile through the MPO
+  /// coordinator round instead, as in the learning path.
+  void RunReopt() ASPEN_REQUIRES_SEQUENTIAL;
+  /// Advances every in-flight planned migration by one phase.
+  void AdvancePlannedMigrations() ASPEN_REQUIRES_SEQUENTIAL;
+  /// Phase 2 of the protocol: takes the window state at the old site, ships
+  /// its contents as a kWindowTransfer along the announced route and flips
+  /// the placement. Returns false when the migration aborted (dead site,
+  /// concurrent failover) and must be dropped.
+  bool StartMigrationTransfer(PlannedMigration* m) ASPEN_REQUIRES_SEQUENTIAL;
+  /// The in-flight planned migration for `pair`, or nullptr.
+  PlannedMigration* FindMigration(const PairKey& pair);
+
   void FailoverPairToBase(const PairKey& pair) ASPEN_REQUIRES_SEQUENTIAL;
   /// Ships `producer`'s buffered last-w tuples for `pair` to the base.
   void SendWindowReplay(const PairKey& pair, net::NodeId producer, bool as_s)
@@ -398,6 +439,26 @@ class JoinExecutor : public sim::CycleParticipant,
   sim::NodeMailboxes<Arrival> arrivals_;
   /// Failover replays awaiting a retry: (pair, as_s), in detection order.
   std::vector<std::pair<PairKey, bool>> pending_replays_;
+  /// Planned migrations in flight (announce -> transfer -> complete), in
+  /// announcement order.
+  std::vector<PlannedMigration> planned_migrations_;
+  /// One placement whose live estimate diverged past the replan threshold,
+  /// collected by a re-optimization pass before any state moves.
+  struct FreshEstimate {
+    PairKey pair;
+    workload::SelectivityParams est;
+  };
+  /// RunReopt scratch, pre-reserved at initiation: a pass that finds
+  /// divergence but migrates nothing is a steady-state cycle and must not
+  /// allocate.
+  std::vector<FreshEstimate> reopt_diverged_;
+  /// Learn phases this query has run — its *own* clock, so interval
+  /// triggers (re-estimation, counter reset, re-optimization) are correct
+  /// for queries admitted mid-run on a shared medium. Equals cycle + 1
+  /// inside OnLearn for a cycle-0 admission.
+  int learn_ticks_ = 0;
+  /// Paces and gates continuous re-optimization (knobs.reopt_interval).
+  adapt::ReoptController reopt_;
   int cycle_ = 0;
   uint64_t results_ = 0;
   double delay_sum_ = 0.0;

@@ -523,9 +523,14 @@ void JoinExecutor::MigratePair(PairPlacement* pl, bool new_at_base,
   plans_dirty_ = true;
 }
 
-void JoinExecutor::RunLearning(int cycle) {
+void JoinExecutor::RunLearning() {
   const int w = workload_->join_query().window.size;
-  if ((cycle + 1) % opts_.reestimate_interval == 0) {
+  // Interval triggers run off the query's own learn-tick clock, not the
+  // scheduler's cycle number: a query admitted at medium cycle 50 still
+  // re-estimates after its own reestimate_interval learn phases, with
+  // estimator counters (cycles_ ticks every learn) aligned to the period.
+  // Identical to the old (cycle + 1) trigger for cycle-0 admissions.
+  if (learn_ticks_ % opts_.reestimate_interval == 0) {
     auto depth_of = [this](NodeId id) { return DepthOf(id); };
     bool any_moved = false;
     // Collect first: MigratePair mutates the per-node state tables.
@@ -539,6 +544,7 @@ void JoinExecutor::RunLearning(int cycle) {
       if (pl == nullptr) return;
       if (pl->failed_over || pl->path.empty()) return;
       if ((pl->at_base ? 0 : pl->join_node) != loc) return;  // stale
+      if (FindMigration(st.pair) != nullptr) return;  // mid-relocation
       workload::SelectivityParams est =
           st.estimator.Estimate(w, pl->placed_with);
       if (adapt::SelectivityEstimator::Diverged(est, pl->placed_with,
@@ -596,9 +602,221 @@ void JoinExecutor::RunLearning(int cycle) {
       BuildMulticastRoutes(/*charge_traffic=*/true);
     }
   }
-  if ((cycle + 1) % opts_.counter_reset_interval == 0) {
+  if (learn_ticks_ % opts_.counter_reset_interval == 0) {
     ForEachState([](NodeId, PairState& st) { st.estimator.Reset(); });
   }
+}
+
+// ---- continuous re-optimization (planned migration, three phases) --------------
+
+JoinExecutor::PlannedMigration* JoinExecutor::FindMigration(
+    const PairKey& pair) {
+  for (PlannedMigration& m : planned_migrations_) {
+    if (m.pair == pair) return &m;
+  }
+  return nullptr;
+}
+
+void JoinExecutor::RunReopt() {
+  if (placements_.empty()) return;
+  const int w = workload_->join_query().window.size;
+  auto depth_of = [this](NodeId id) { return DepthOf(id); };
+  // Collect the diverged placements first: the grouped branch below moves
+  // state through the MPO round, which ForEachState must not observe. The
+  // scratch is a pre-reserved member: a pass that finds divergence but
+  // moves nothing (hysteresis) runs in the steady state and must not
+  // allocate.
+  reopt_diverged_.clear();
+  ForEachState([&](NodeId loc, PairState& st) {
+    const PairPlacement* pl = FindPlacement(st.pair);
+    if (pl == nullptr) return;
+    if (pl->failed_over || pl->path.empty()) return;
+    if ((pl->at_base ? 0 : pl->join_node) != loc) return;  // stale copy
+    if (FindMigration(st.pair) != nullptr) return;  // already relocating
+    workload::SelectivityParams est =
+        st.estimator.Estimate(w, pl->placed_with);
+    if (reopt_.ShouldReplan(est, pl->placed_with)) {
+      reopt_diverged_.push_back({st.pair, est});
+    }
+  });
+  std::set<size_t> affected_groups;
+  bool any_moved = false;
+  for (const FreshEstimate& f : reopt_diverged_) {
+    PairPlacement* pl = MutablePlacement(f.pair);
+    const opt::PairCostInputs est_cost = ToCost(f.est, w);
+    OnPathChoice choice = BestOnPath(est_cost, pl->path, depth_of);
+    double current_cost =
+        pl->at_base
+            ? choice.base_cost
+            : opt::InnetPairCost(
+                  est_cost, pl->path_index,
+                  static_cast<int>(pl->path.size()) - 1 - pl->path_index,
+                  DepthOf(pl->join_node));
+    double best_cost = std::min(choice.innet_cost, choice.base_cost);
+    pl->placed_with = f.est;
+    // Same hysteresis as the learning path: relocating pays a window
+    // transfer and producer notifications, so only move for a meaningful
+    // (>= 10%) modeled improvement under the fresh estimates.
+    if (best_cost > current_cost * 0.9) continue;
+    pl->pairwise_at_base = choice.base_cheaper();
+    const NodeId new_join = pl->path[choice.index];
+    const int32_t g = pair_group_[pl - placements_.data()];
+    if (opts_.features.group_opt && g >= 0) {
+      // Grouped pairs reconcile through the MPO coordinator round — an
+      // instant group decision, exactly as in the learning path; only
+      // ungrouped pairs take the planned three-phase protocol.
+      if (pl->at_base) {
+        pl->join_node = new_join;
+        pl->path_index = choice.index;
+      } else {
+        const NodeId old_join = pl->join_node;
+        MigratePair(pl, /*new_at_base=*/false, new_join, choice.index);
+        if (pl->join_node != old_join) any_moved = true;
+      }
+      affected_groups.insert(static_cast<size_t>(g));
+      continue;
+    }
+    const NodeId from = pl->at_base ? 0 : pl->join_node;
+    const NodeId to = pl->pairwise_at_base ? 0 : new_join;
+    if (from == to) {
+      // The same site is cheapest under the fresh estimates; adopt the
+      // (possibly shifted) on-path index without a relocation.
+      pl->at_base = pl->pairwise_at_base;
+      if (!pl->at_base) {
+        pl->join_node = new_join;
+        pl->path_index = choice.index;
+      }
+      continue;
+    }
+    // Phase 1 (announce): both producers learn the upcoming join point —
+    // the same 4-byte notifications an instant migration charges — and the
+    // transfer route is interned and referenced now, so it survives until
+    // the window state has been shipped and flushed. The placement itself
+    // does not flip yet: data keeps flowing to the old site until the
+    // transfer phase, so no cycle is ever served by neither site.
+    std::vector<NodeId> to_s(pl->path.begin(),
+                             pl->path.begin() + choice.index + 1);
+    std::reverse(to_s.begin(), to_s.end());
+    ChargeAlongPath(to_s, kDecisionBytes, MessageKind::kControl);
+    std::vector<NodeId> to_t(pl->path.begin() + choice.index,
+                             pl->path.end());
+    ChargeAlongPath(to_t, kDecisionBytes, MessageKind::kControl);
+    net::RouteId route =
+        net_->routes().InternPath(primary_tree().TreePath(from, to));
+    RefRoute(route);
+    PlannedMigration m;
+    m.pair = f.pair;
+    m.new_at_base = pl->pairwise_at_base;
+    m.new_join = new_join;
+    m.new_index = choice.index;
+    m.transfer_route = route;
+    m.phase = 0;
+    planned_migrations_.push_back(m);
+    reopt_.RecordPlanned();
+  }
+  if (opts_.features.group_opt && !affected_groups.empty()) {
+    for (size_t gi : affected_groups) {
+      DecideGroupFor(groups_[gi], /*charge_traffic=*/true);
+    }
+    any_moved = true;
+  }
+  if (any_moved && opts_.features.multicast) {
+    BuildMulticastRoutes(/*charge_traffic=*/true);
+  }
+}
+
+void JoinExecutor::AdvancePlannedMigrations() {
+  if (planned_migrations_.empty()) return;
+  size_t kept = 0;
+  for (size_t i = 0; i < planned_migrations_.size(); ++i) {
+    PlannedMigration m = planned_migrations_[i];
+    bool keep;
+    if (m.phase == 0) {
+      keep = StartMigrationTransfer(&m);
+    } else {
+      // Phase 3 (complete): the transfer message was delivered — and its
+      // windows applied at the new site — during the previous transmit
+      // phase, before any data probe of that cycle's deliver phase (or the
+      // drop handler degraded it; either way the state is in place).
+      // Release the transfer route to the epoch GC and count the move.
+      UnrefRoute(m.transfer_route);
+      reopt_.RecordCompleted();
+      ++migrations_;
+      keep = false;
+    }
+    if (keep) planned_migrations_[kept++] = m;
+  }
+  planned_migrations_.resize(kept);
+}
+
+bool JoinExecutor::StartMigrationTransfer(PlannedMigration* m) {
+  PairPlacement* pl = MutablePlacement(m->pair);
+  const NodeId to = m->new_at_base ? 0 : m->new_join;
+  if (pl == nullptr || pl->failed_over || net_->IsFailed(to)) {
+    // The pair failed over (or the chosen site died) between announce and
+    // transfer: abandon the relocation. The announced plan never activated,
+    // so nothing needs undoing beyond the route reference.
+    UnrefRoute(m->transfer_route);
+    reopt_.RecordAborted();
+    return false;
+  }
+  const NodeId from = pl->at_base ? 0 : pl->join_node;
+  if (from == to) {  // concurrent adaptation already landed us here
+    UnrefRoute(m->transfer_route);
+    reopt_.RecordAborted();
+    return false;
+  }
+  // Phase 2 (transfer): the pair's state leaves the old site now; its
+  // window contents travel as a real kWindowTransfer along the announced
+  // route and are applied at the new site on delivery — which precedes any
+  // data probe, because transfers apply at delivery time while data defers
+  // to the deliver phase. The placement flips here and the send plans flip
+  // atomically at the next sample begin (plans_dirty_), releasing the old
+  // routes' references to the epoch GC.
+  std::optional<PairState> moving = nodes_[from].TakeState(m->pair);
+  if (moving.has_value()) {
+    if (nodes_[from].states.empty()) {
+      common::EraseSorted(&active_sites_, from);
+    }
+    net::PayloadHandle h = window_pool_->Allocate();
+    WindowTransferPayload* wt = window_pool_->Get(h);
+    wt->pair = m->pair;
+    const query::JoinWindow& sw = moving->s_window;
+    const query::JoinWindow& tw = moving->t_window;
+    wt->s_window.resize(sw.size());
+    wt->t_window.resize(tw.size());
+    // detlint: steady-state begin
+    // Transfer serialization: oldest-first, so the receiver's Push replays
+    // the window in insertion order; copies recycle pooled-slot capacity.
+    for (int i = 0; i < sw.size(); ++i) wt->s_window[i] = sw.entry(i).tuple;
+    for (int i = 0; i < tw.size(); ++i) wt->t_window[i] = tw.entry(i).tuple;
+    // detlint: steady-state end
+    const int tuples = sw.size() + tw.size();
+    Message msg;
+    msg.kind = MessageKind::kWindowTransfer;
+    msg.mode = RoutingMode::kSourcePath;
+    msg.origin = from;
+    msg.dest = to;
+    msg.route = m->transfer_route;
+    msg.size_bytes = 4 + tuples * workload_->DataBytes();
+    msg.payload = h;
+    (void)SubmitToNet(msg);
+    // The moved state's windows restart empty at the new site (the in-
+    // flight transfer refills them); the estimator's counters move with it,
+    // so learning continuity survives the relocation.
+    moving->s_window.Clear();
+    moving->t_window.Clear();
+    TouchSite(to);
+    nodes_[to].AdoptState(std::move(*moving));
+  }
+  pl->at_base = m->new_at_base;
+  if (!m->new_at_base) {
+    pl->join_node = m->new_join;
+    pl->path_index = m->new_index;
+  }
+  plans_dirty_ = true;
+  m->phase = 1;
+  return true;
 }
 
 // ---- failure recovery (Section 7) ----------------------------------------------
@@ -680,11 +898,29 @@ void JoinExecutor::OnDrop(const Message& msg, NodeId at, NodeId next) {
   (void)at;
   (void)next;
   if (msg.kind == MessageKind::kWindowTransfer) {
-    // A failover replay died en route to the base (the dead join node, or
-    // churn, also severed the producer's tree path). Queue a retry for the
-    // next sample phase rather than giving up the buffered window.
     const WindowTransferPayload* wt = window_pool_->Get(msg.payload);
     if (wt == nullptr) return;
+    // A planned-migration transfer (origin = the old join site) that died
+    // en route: apply the windows directly at the new site so no buffered
+    // tuple is lost — the radio hop degrades to state teleportation, which
+    // keeps the outcome deterministic (the state is identical to a
+    // successful delivery; only the per-link traffic differs, and the drop
+    // itself is already part of the charged record).
+    for (const PlannedMigration& m : planned_migrations_) {
+      if (m.phase == 1 && m.pair == wt->pair) {
+        PairState& st = StateAt(m.new_at_base ? 0 : m.new_join, wt->pair);
+        for (const auto& t : wt->s_window) {
+          st.s_window.Push(t, t[query::kAttrSeq]);
+        }
+        for (const auto& t : wt->t_window) {
+          st.t_window.Push(t, t[query::kAttrSeq]);
+        }
+        return;
+      }
+    }
+    // Otherwise a failover replay died en route to the base (the dead join
+    // node, or churn, also severed the producer's tree path). Queue a retry
+    // for the next sample phase rather than giving up the buffered window.
     bool as_s = msg.origin == wt->pair.s;
     std::pair<PairKey, bool> key{wt->pair, as_s};
     for (const auto& pending : pending_replays_) {

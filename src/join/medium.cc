@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "query/parser.h"
 #include "sim/sharded_scheduler.h"
 
 namespace aspen {
@@ -17,8 +18,8 @@ SharedMedium::SharedMedium(const net::Topology* topology,
       net_(topology, options),
       primary_(routing::RoutingTree::Build(*topology, 0)),
       medium_opts_(medium_options) {
-  ASPEN_CHECK(medium_opts_.sample_interval > 0);
-  ASPEN_CHECK(medium_opts_.shards >= 1);
+  ASPEN_CHECK(medium_opts_.knobs.sample_interval > 0);
+  ASPEN_CHECK(medium_opts_.knobs.shards >= 1);
   net_.set_parent_resolver(&primary_);
   // Dispatch by the dense executor table. A frame of a departed query (its
   // slot is null) terminates silently — the network still releases its
@@ -39,13 +40,13 @@ SharedMedium::SharedMedium(const net::Topology* topology,
     if (e != nullptr) e->OnSnoop(m, snooper, from, to);
   });
   // Eager scheduler: scenario drivers can attach before the first query.
-  if (medium_opts_.shards > 1 || medium_opts_.pipeline_depth > 1) {
+  if (medium_opts_.knobs.shards > 1 || medium_opts_.knobs.pipeline_depth > 1) {
     sched_ = std::make_unique<sim::ShardedScheduler>(
-        &net_, medium_opts_.sample_interval, medium_opts_.shards,
-        medium_opts_.pipeline_depth);
+        &net_, medium_opts_.knobs.sample_interval, medium_opts_.knobs.shards,
+        medium_opts_.knobs.pipeline_depth);
   } else {
     sched_ = std::make_unique<sim::CycleScheduler>(
-        &net_, medium_opts_.sample_interval);
+        &net_, medium_opts_.knobs.sample_interval);
   }
   // The medium participates in its own scheduler (ahead of every query) to
   // sweep retired routes at epoch boundaries; see OnDeliver.
@@ -118,7 +119,7 @@ Result<JoinExecutor*> SharedMedium::TryAddQuery(
   }
   const int id = AcquireQueryId();
   auto exec = std::make_unique<JoinExecutor>(workload, options, &net_, id,
-                                             medium_opts_.shards);
+                                             medium_opts_.knobs.shards);
   JoinExecutor* out = exec.get();
   sched_->Attach(out);
   executors_[id] = std::move(exec);
@@ -126,6 +127,21 @@ Result<JoinExecutor*> SharedMedium::TryAddQuery(
   ++live_queries_;
   ++total_admitted_;
   return out;
+}
+
+Result<JoinExecutor*> SharedMedium::TryAddQuery(const QuerySpec& spec) {
+  ASPEN_ASSIGN_OR_RETURN(query::JoinQuery q, query::ParseQuery(spec.sql));
+  ASPEN_ASSIGN_OR_RETURN(
+      workload::Workload wl,
+      workload::Workload::FromQuery(topology_, std::move(q), spec.params,
+                                    spec.seed));
+  auto owned = std::make_unique<workload::Workload>(std::move(wl));
+  // Admission goes through the one validated entry point; on failure the
+  // parsed workload dies here and nothing is registered.
+  ASPEN_ASSIGN_OR_RETURN(JoinExecutor * exec,
+                         TryAddQuery(owned.get(), spec.options));
+  owned_workloads_.emplace_back(exec->query_id(), std::move(owned));
+  return exec;
 }
 
 JoinExecutor* SharedMedium::AddQuery(const workload::Workload* workload,
@@ -159,6 +175,14 @@ Status SharedMedium::RemoveQuery(int query_id) {
   ASPEN_RETURN_NOT_OK(exec->Shutdown());
   sched_->Detach(exec);
   executors_[query_id].reset();
+  // A workload the medium built for this query (QuerySpec admission) dies
+  // with it — after the executor, which borrowed it.
+  for (size_t i = 0; i < owned_workloads_.size(); ++i) {
+    if (owned_workloads_[i].first == query_id) {
+      owned_workloads_.erase(owned_workloads_.begin() + i);
+      break;
+    }
+  }
   retired_ids_.insert(
       std::lower_bound(retired_ids_.begin(), retired_ids_.end(), query_id),
       query_id);

@@ -36,6 +36,8 @@
 #define ASPEN_JOIN_MEDIUM_H_
 
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "join/executor.h"
@@ -49,19 +51,15 @@ namespace join {
 
 /// \brief Service-level configuration of a SharedMedium.
 struct MediumOptions {
-  /// Transmission cycles per sampling cycle — the medium's one sampling
-  /// clock. Every admitted query's window.sample_interval must equal this
-  /// (the default matches the query analyzer's default).
-  int sample_interval = 100;
-  /// Shard count for the medium's scheduler: > 1 hosts the executors on a
-  /// sim::ShardedScheduler (worker-parallel sample/deliver/step phases)
-  /// with byte-identical results for every value.
-  int shards = 1;
-  /// Pipeline depth of the medium's scheduler: > 1 overlaps future cycles'
-  /// pure sample stages with the current cycle's transmit (see
-  /// sim::ShardedScheduler). Byte-identical results for every value;
-  /// composes with `shards`.
-  int pipeline_depth = 1;
+  /// Run-shape knobs (common/run_knobs.h), shared with ExecutorOptions and
+  /// core::ServiceOptions. `knobs.sample_interval` is the medium's one
+  /// sampling clock (every admitted query's window.sample_interval must
+  /// equal it); `knobs.shards` > 1 or `knobs.pipeline_depth` > 1 host the
+  /// executors on a sim::ShardedScheduler (worker-parallel phases,
+  /// cross-cycle sample pipelining) with byte-identical results for every
+  /// value. The medium itself ignores `knobs.reopt_*` — continuous
+  /// re-optimization is per query (ExecutorOptions::knobs).
+  common::RunKnobs knobs;
   /// Permit RunCycles with zero live queries. A service run idles between
   /// arrivals (scenario drivers still tick); the batch default keeps the
   /// historical no-queries error.
@@ -88,6 +86,27 @@ class SharedMedium : private sim::CycleParticipant {
   /// query (directly or via InitiateAll).
   Result<JoinExecutor*> TryAddQuery(const workload::Workload* workload,
                                     ExecutorOptions options);
+
+  /// \brief A self-contained admission request: the query's SQL text plus
+  /// the synthetic-workload parameters behind it. The medium parses the
+  /// SQL (query::ParseQuery), builds the workload, owns it for the query's
+  /// lifetime, and admits it — the front door that makes the query
+  /// parser/analyzer output admissible without the caller managing
+  /// Workload lifetimes.
+  struct QuerySpec {
+    std::string sql;
+    /// True generation parameters of the synthetic workload.
+    workload::SelectivityParams params;
+    uint64_t seed = 1;
+    ExecutorOptions options;
+  };
+
+  /// \brief Parses `spec.sql`, builds a medium-owned workload from it and
+  /// admits the query through the same validated entry point as the
+  /// workload-pointer overload (same clock/topology invariants, nothing
+  /// registered on failure). The workload is freed when the query is
+  /// removed.
+  Result<JoinExecutor*> TryAddQuery(const QuerySpec& spec);
 
   /// CHECK-failing convenience wrapper around TryAddQuery for callers with
   /// statically-known-compatible workloads. On failure the underlying
@@ -163,6 +182,10 @@ class SharedMedium : private sim::CycleParticipant {
   std::vector<int> admitted_cycle_;
   /// Ids of removed queries awaiting reuse, ascending.
   std::vector<int> retired_ids_;
+  /// Workloads built (and owned) by the QuerySpec admission path, keyed by
+  /// query id; freed when the owning query is removed.
+  std::vector<std::pair<int, std::unique_ptr<workload::Workload>>>
+      owned_workloads_;
   std::vector<QueryRecord> ledger_;
   std::unique_ptr<sim::CycleScheduler> sched_;
   int live_queries_ = 0;

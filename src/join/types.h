@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_knobs.h"
 #include "net/topology.h"
 #include "routing/summary.h"
 #include "workload/selectivity.h"
@@ -85,22 +86,15 @@ struct ExecutorOptions {
   double loss_prob = 0.0;
   int max_retries = 3;
 
-  /// Shards one run's execution across this many worker-driven node
-  /// partitions (sim::ShardedScheduler); 1 = single-threaded. Results,
-  /// TrafficStats and RNG streams are byte-identical for every value
-  /// (clamped to the node count). Only owned-network executors read it;
-  /// medium-attached executors shard with the medium's scheduler
-  /// (join::MediumOptions::shards) instead.
-  int shards = 1;
-
-  /// Pipeline depth of the owned scheduler (clamped to >= 1): with D > 1
-  /// the pure sample stage of up to D - 1 future cycles overlaps the
-  /// current cycle's transmit on dedicated stage workers. Byte-identical
-  /// results for every value, like `shards`; composes with it (total
-  /// worker footprint ~ shards x 2 when D > 1). Medium-attached executors
-  /// pipeline with the medium's scheduler
-  /// (join::MediumOptions::pipeline_depth) instead.
-  int pipeline_depth = 1;
+  /// Run-shape knobs shared with MediumOptions / core::ServiceOptions
+  /// (common/run_knobs.h). `knobs.shards` partitions an owned run across
+  /// worker-driven node ranges and `knobs.pipeline_depth` overlaps future
+  /// cycles' sample stages — both byte-identical for every value.
+  /// Medium-attached executors shard/pipeline with the medium's scheduler
+  /// (join::MediumOptions::knobs) and ignore those two fields here, but
+  /// keep their own `knobs.reopt_interval` / `knobs.reopt_threshold`: the
+  /// continuous re-optimization loop is per query.
+  common::RunKnobs knobs;
 
   uint64_t seed = 1;
 
@@ -138,6 +132,8 @@ struct RunStats {
   // Adaptivity.
   uint64_t migrations = 0;       ///< join-node relocations (Section 6)
   uint64_t failovers = 0;        ///< pairs switched to base after failure
+  uint64_t reopt_passes = 0;     ///< continuous re-optimization passes
+  uint64_t planned_migrations = 0;  ///< migrations via the 3-phase protocol
   // Initiation latency (transmission cycles until execution could start).
   int init_latency_cycles = 0;
   int sampling_cycles = 0;

@@ -80,6 +80,19 @@ DynamicsSchedule& DynamicsSchedule::DepartAt(int cycle, int slot) {
   return Add(e);
 }
 
+DynamicsSchedule& DynamicsSchedule::ShiftSelectivityAt(int cycle,
+                                                       double sigma_s,
+                                                       double sigma_t,
+                                                       double sigma_st) {
+  DynamicsEvent e;
+  e.kind = DynamicsEvent::Kind::kSelectivityShift;
+  e.cycle = cycle;
+  e.sigma_s = sigma_s;
+  e.sigma_t = sigma_t;
+  e.sigma_st = sigma_st;
+  return Add(e);
+}
+
 DynamicsSchedule& DynamicsSchedule::Add(DynamicsEvent event) {
   ASPEN_CHECK_GE(event.cycle, 0);
   events_.push_back(event);
@@ -172,6 +185,23 @@ ScenarioDriver::ScenarioDriver(net::Network* network,
                      return a.cycle < b.cycle;
                    });
   fail_depth_.assign(network->topology().num_nodes(), 0);
+}
+
+Status ScenarioDriver::set_query_host(QueryHost* host) {
+  host_ = host;
+  if (host_ == nullptr) return Status::OK();
+  // Selectivity shifts dispatch now, not at their cycle: the workload's
+  // global switch is indexed by cycle, so registering it ahead of time
+  // yields the same trace at every pipeline depth, whereas waiting for the
+  // cycle-N hooks would race a depth-d scheduler that already sampled
+  // cycle N. Apply() then treats the event as a no-op.
+  for (const DynamicsEvent& e : ordered_) {
+    if (e.kind != DynamicsEvent::Kind::kSelectivityShift) continue;
+    ASPEN_RETURN_NOT_OK(
+        host_->OnSelectivityShift(e.cycle, e.sigma_s, e.sigma_t, e.sigma_st));
+    ++shifts_applied_;
+  }
+  return Status::OK();
 }
 
 void ScenarioDriver::FailOne(NodeId node) {
@@ -268,6 +298,14 @@ Status ScenarioDriver::Apply(const DynamicsEvent& e, int cycle) {
       bursts_.push_back(std::move(burst));
       break;
     }
+    case DynamicsEvent::Kind::kSelectivityShift:
+      // Already dispatched eagerly by set_query_host (pipeline-safe); a
+      // schedule with shifts but no host attached cannot honor them.
+      if (host_ == nullptr) {
+        return Status::FailedPrecondition(
+            "scenario: selectivity-shift event but no QueryHost attached");
+      }
+      break;
     case DynamicsEvent::Kind::kRegionBlackout: {
       if (e.node < 0 || e.node >= topo.num_nodes()) break;
       if (e.duration <= 0) break;  // a zero-cycle blackout affects nothing

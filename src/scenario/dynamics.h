@@ -46,6 +46,26 @@ class QueryHost {
   virtual Status OnQueryArrival(int slot, int template_id) = 0;
   /// The query admitted under `slot` departs: tear it down.
   virtual Status OnQueryDeparture(int slot) = 0;
+  /// A scripted selectivity shift: from `at_cycle` on, every producer of
+  /// the hosted queries samples under the shifted generation parameters
+  /// (the workload::SelectivityParams triple). Unlike the other events,
+  /// shifts are dispatched *eagerly* at host attachment, not when the
+  /// clock reaches `at_cycle`: the workload's global switch is
+  /// cycle-indexed (Workload::SetGlobalSwitch), so registering it ahead of
+  /// time is byte-identical at every pipeline depth — a depth-d scheduler
+  /// may sample cycle `at_cycle` before the cycle-`at_cycle` event hooks
+  /// run. Hosts that cannot honor shifts keep this default, which fails
+  /// any run whose schedule contains one.
+  virtual Status OnSelectivityShift(int at_cycle, double sigma_s,
+                                    double sigma_t, double sigma_st) {
+    (void)at_cycle;
+    (void)sigma_s;
+    (void)sigma_t;
+    (void)sigma_st;
+    return Status::FailedPrecondition(
+        "scenario: selectivity-shift event but the QueryHost does not "
+        "implement OnSelectivityShift");
+  }
 };
 
 /// \brief One timed mutation of the network or of the query population.
@@ -59,7 +79,9 @@ struct DynamicsEvent {
     kRegionBlackout,  ///< nodes within `radius_m` of `node` (base excluded)
                       ///< die for `duration` cycles, then revive
     kQueryArrival,    ///< admit query instance `slot` of `template_id`
-    kQueryDeparture   ///< remove query instance `slot`
+    kQueryDeparture,  ///< remove query instance `slot`
+    kSelectivityShift ///< producers switch to (sigma_s, sigma_t, sigma_st)
+                      ///< from `cycle` on (dispatched eagerly; see QueryHost)
   };
 
   Kind kind = Kind::kFailNode;
@@ -71,12 +93,19 @@ struct DynamicsEvent {
   int radius_hops = 0;   ///< burst radius (hops around the center)
   int slot = -1;         ///< query instance handle (arrival/departure)
   int template_id = -1;  ///< workload template index (arrival)
+  // Shift target (selectivity shift); defaults mirror
+  // workload::SelectivityParams.
+  double sigma_s = 1.0;  ///< shifted S producer send rate
+  double sigma_t = 1.0;  ///< shifted T producer send rate
+  double sigma_st = 0.2; ///< shifted per-(value pair) join probability
 
   bool operator==(const DynamicsEvent& o) const {
     return kind == o.kind && cycle == o.cycle && node == o.node &&
            loss == o.loss && duration == o.duration &&
            radius_m == o.radius_m && radius_hops == o.radius_hops &&
-           slot == o.slot && template_id == o.template_id;
+           slot == o.slot && template_id == o.template_id &&
+           sigma_s == o.sigma_s && sigma_t == o.sigma_t &&
+           sigma_st == o.sigma_st;
   }
 };
 
@@ -112,6 +141,12 @@ class DynamicsSchedule {
   DynamicsSchedule& ArriveAt(int cycle, int slot, int template_id);
   /// Query instance `slot` departs at `cycle`.
   DynamicsSchedule& DepartAt(int cycle, int slot);
+  /// From `cycle` on, every producer samples under the shifted selectivity
+  /// triple — the paper's Figure 12(b) mid-run workload change, scriptable.
+  /// Drives the continuous re-optimization loop: a divergence past the
+  /// replan threshold makes the executor re-place its operators.
+  DynamicsSchedule& ShiftSelectivityAt(int cycle, double sigma_s,
+                                       double sigma_t, double sigma_st);
   /// Appends a fully-specified event.
   DynamicsSchedule& Add(DynamicsEvent event);
 
@@ -162,11 +197,14 @@ class ScenarioDriver : public sim::CycleParticipant {
  public:
   ScenarioDriver(net::Network* network, const DynamicsSchedule* schedule);
 
-  /// Attaches the query host that query arrival/departure events act on.
-  /// Must be set before the first such event fires (a query event with no
-  /// host fails the run); network-only schedules need none. The host must
-  /// outlive the driver.
-  void set_query_host(QueryHost* host) { host_ = host; }
+  /// Attaches the query host that query arrival/departure/shift events act
+  /// on. Must be set before the first such event fires (a query event with
+  /// no host fails the run); network-only schedules need none. The host
+  /// must outlive the driver. Selectivity-shift events are dispatched to
+  /// the host *here*, eagerly (see QueryHost::OnSelectivityShift for why
+  /// that is the pipeline-safe dispatch point); the returned status is
+  /// their outcome.
+  Status set_query_host(QueryHost* host);
 
   /// Applies every event due at `cycle`, plus active drifts/expiries.
   Status OnSample(int cycle) override;
@@ -178,6 +216,7 @@ class ScenarioDriver : public sim::CycleParticipant {
   int recoveries_applied() const { return recoveries_applied_; }
   int arrivals_applied() const { return arrivals_applied_; }
   int departures_applied() const { return departures_applied_; }
+  int shifts_applied() const { return shifts_applied_; }
 
  private:
   struct ActiveDrift {
@@ -220,6 +259,7 @@ class ScenarioDriver : public sim::CycleParticipant {
   int recoveries_applied_ = 0;
   int arrivals_applied_ = 0;
   int departures_applied_ = 0;
+  int shifts_applied_ = 0;
 };
 
 }  // namespace scenario

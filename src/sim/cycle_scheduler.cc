@@ -107,6 +107,14 @@ Status CycleScheduler::RunCycles(int n) {
       if (p == nullptr) continue;
       ASPEN_RETURN_NOT_OK(DeliverPhase(p, cycle_));
     }
+    // Re-optimize phase: sequential, nothing in flight — planned placement
+    // migrations advance and periodic re-optimization decides here, so the
+    // decisions see identical state at every shard count / pipeline depth.
+    for (size_t k = 0; k < participants_.size(); ++k) {
+      CycleParticipant* p = participants_[k];
+      if (p == nullptr) continue;
+      ASPEN_RETURN_NOT_OK(p->OnReoptimize(cycle_));
+    }
     for (size_t k = 0; k < participants_.size(); ++k) {
       CycleParticipant* p = participants_[k];
       if (p == nullptr) continue;

@@ -91,6 +91,19 @@ class CycleParticipant {
   /// once after the final straggler drain of a RunCycles call.
   virtual Status OnDeliver(int cycle) = 0;
 
+  /// Re-optimize phase: runs after deliver and before learn, strictly
+  /// sequential with nothing in flight (the transmit loop drained and
+  /// every deliver commit applied). This is where continuous
+  /// re-optimization advances planned placement migrations and — on its
+  /// period — re-runs the cost model against live estimates: decisions
+  /// made here see identical state for every shard count and pipeline
+  /// depth, which is what keeps migrations byte-identical. Not invoked
+  /// during the straggler drain after the last cycle. Default: no-op.
+  virtual Status OnReoptimize(int cycle) {
+    (void)cycle;
+    return Status::OK();
+  }
+
   /// Learn phase: estimator ticks, adaptation, window advance.
   virtual Status OnLearn(int cycle) = 0;
 

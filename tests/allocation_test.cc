@@ -122,12 +122,12 @@ TEST(SteadyStateAllocationTest, ShardedCyclesAllocateNothing) {
   opts.algorithm = join::Algorithm::kInnet;
   opts.features = join::InnetFeatures::Cm();
   opts.assumed = sel;
-  opts.shards = 4;
+  opts.knobs.shards = 4;
   join::JoinExecutor exec(&wl, opts);
   ASSERT_TRUE(exec.Initiate().ok());
   EXPECT_LE(CountCycleAllocs(&exec, /*warmup_cycles=*/60,
                              /*measured_cycles=*/200),
-            4u);  // == opts.shards
+            4u);  // == knobs.shards
 }
 
 TEST(SteadyStateAllocationTest, ShardedLossyCyclesAllocateNothing) {
@@ -138,12 +138,12 @@ TEST(SteadyStateAllocationTest, ShardedLossyCyclesAllocateNothing) {
   opts.algorithm = join::Algorithm::kInnet;
   opts.assumed = sel;
   opts.loss_prob = 0.1;
-  opts.shards = 3;
+  opts.knobs.shards = 3;
   join::JoinExecutor exec(&wl, opts);
   ASSERT_TRUE(exec.Initiate().ok());
   EXPECT_LE(CountCycleAllocs(&exec, /*warmup_cycles=*/80,
                              /*measured_cycles=*/200),
-            3u);  // == opts.shards
+            3u);  // == knobs.shards
 }
 
 }  // namespace

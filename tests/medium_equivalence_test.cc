@@ -50,8 +50,11 @@ SoloVsShared RunBoth(Algorithm algo, InnetFeatures features, int cycles) {
   auto q1 = *Workload::MakeQuery1(&topo, sel, 3, 7);
   auto q2 = *Workload::MakeQuery2(&topo, sel, 3, 9);
   SharedMedium medium(&topo, {});  // merging disabled, lossless
-  JoinExecutor* e1 = medium.AddQuery(&q1, opts);
-  JoinExecutor* e2 = medium.AddQuery(&q2, opts);
+  auto r1 = medium.TryAddQuery(&q1, opts);
+  auto r2 = medium.TryAddQuery(&q2, opts);
+  EXPECT_TRUE(r1.ok() && r2.ok());
+  JoinExecutor* e1 = *r1;
+  JoinExecutor* e2 = *r2;
   EXPECT_TRUE(medium.InitiateAll().ok());
   EXPECT_TRUE(medium.RunCycles(cycles).ok());
   out.shared1 = e1->Stats();
@@ -129,11 +132,13 @@ TEST(MediumEquivalenceTest, StaggeredInitiationMatchesOwnedRunAtSameCycle) {
   auto q1 = *Workload::MakeQuery1(&topo, sel, 3, 7);
   auto q2 = *Workload::MakeQuery2(&topo, sel, 3, 9);
   SharedMedium medium(&topo, {});  // merging disabled, lossless
-  medium.AddQuery(&q1, opts);
+  ASSERT_TRUE(medium.TryAddQuery(&q1, opts).ok());
   ASSERT_TRUE(medium.InitiateAll().ok());
   ASSERT_TRUE(medium.RunCycles(kStagger).ok());
   // Mid-run admission on the shared clock.
-  JoinExecutor* late = medium.AddQuery(&q2, opts);
+  auto late_admitted = medium.TryAddQuery(&q2, opts);
+  ASSERT_TRUE(late_admitted.ok());
+  JoinExecutor* late = *late_admitted;
   ASSERT_TRUE(late->Initiate().ok());
   EXPECT_EQ(medium.scheduler()->cycle(), kStagger);
   ASSERT_TRUE(medium.RunCycles(kTail).ok());
@@ -163,7 +168,9 @@ TEST(MediumEquivalenceTest, RemoveQueryReturnsOccupancyToBaseline) {
   auto q1 = *Workload::MakeQuery1(&topo, sel, 3, 7);
   auto q2 = *Workload::MakeQuery2(&topo, sel, 3, 9);
   SharedMedium medium(&topo, {});
-  JoinExecutor* e1 = medium.AddQuery(&q1, opts);
+  auto r1 = medium.TryAddQuery(&q1, opts);
+  ASSERT_TRUE(r1.ok());
+  JoinExecutor* e1 = *r1;
   ASSERT_TRUE(medium.InitiateAll().ok());
   ASSERT_TRUE(medium.RunCycles(10).ok());
   const net::RouteTable& routes = medium.network().routes();
@@ -171,7 +178,9 @@ TEST(MediumEquivalenceTest, RemoveQueryReturnsOccupancyToBaseline) {
   const size_t base_mcasts = routes.live_multicasts();
   ASSERT_GT(base_routes, 0u);
 
-  JoinExecutor* e2 = medium.AddQuery(&q2, opts);
+  auto r2 = medium.TryAddQuery(&q2, opts);
+  ASSERT_TRUE(r2.ok());
+  JoinExecutor* e2 = *r2;
   const int q2_id = e2->query_id();
   ASSERT_TRUE(e2->Initiate().ok());
   ASSERT_TRUE(medium.RunCycles(10).ok());
@@ -202,7 +211,9 @@ TEST(MediumEquivalenceTest, RemoveQueryReturnsOccupancyToBaseline) {
   // The freed id is recycled once its traffic has drained, with counters
   // zeroed for the new tenant.
   auto q3 = *Workload::MakeQuery2(&topo, sel, 3, 13);
-  JoinExecutor* e3 = medium.AddQuery(&q3, opts);
+  auto r3 = medium.TryAddQuery(&q3, opts);
+  ASSERT_TRUE(r3.ok());
+  JoinExecutor* e3 = *r3;
   EXPECT_EQ(e3->query_id(), q2_id);
   EXPECT_EQ(medium.stats().QueryBytesSent(q2_id), 0u);
   ASSERT_TRUE(e3->Initiate().ok());

@@ -2,6 +2,7 @@
 
 #include "join/medium.h"
 #include "net/topology.h"
+#include "query/parser.h"
 #include "tests/reference_join.h"
 #include "workload/workload.h"
 
@@ -25,8 +26,11 @@ TEST(SharedMediumTest, TwoQueriesProduceCorrectResults) {
   opts.algorithm = Algorithm::kInnet;
   opts.features = InnetFeatures::Cmg();
   opts.assumed = sel;
-  JoinExecutor* e1 = medium.AddQuery(&*q1, opts);
-  JoinExecutor* e2 = medium.AddQuery(&*q2, opts);
+  auto r1 = medium.TryAddQuery(&*q1, opts);
+  auto r2 = medium.TryAddQuery(&*q2, opts);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  JoinExecutor* e1 = *r1;
+  JoinExecutor* e2 = *r2;
   ASSERT_TRUE(medium.InitiateAll().ok());
   ASSERT_TRUE(medium.RunCycles(30).ok());
 
@@ -50,8 +54,10 @@ TEST(SharedMediumTest, ResultsMatchSoloExecution) {
   opts.assumed = sel;
 
   SharedMedium medium(&*topo, {});
-  JoinExecutor* shared_exec = medium.AddQuery(&shared_wl, opts);
-  medium.AddQuery(&other_wl, opts);
+  auto shared_admitted = medium.TryAddQuery(&shared_wl, opts);
+  ASSERT_TRUE(shared_admitted.ok());
+  JoinExecutor* shared_exec = *shared_admitted;
+  ASSERT_TRUE(medium.TryAddQuery(&other_wl, opts).ok());
   ASSERT_TRUE(medium.InitiateAll().ok());
   ASSERT_TRUE(medium.RunCycles(25).ok());
 
@@ -78,8 +84,8 @@ TEST(SharedMediumTest, CombinedTrafficAtLeastEachQuery) {
 
   auto q2 = *Workload::MakeQuery2(&*topo, sel, 3, 9);
   SharedMedium medium(&*topo, {});
-  medium.AddQuery(&q1, opts);
-  medium.AddQuery(&q2, opts);
+  ASSERT_TRUE(medium.TryAddQuery(&q1, opts).ok());
+  ASSERT_TRUE(medium.TryAddQuery(&q2, opts).ok());
   ASSERT_TRUE(medium.InitiateAll().ok());
   ASSERT_TRUE(medium.RunCycles(20).ok());
   EXPECT_GT(medium.stats().TotalBytesSent(), solo_bytes);
@@ -110,8 +116,8 @@ TEST(SharedMediumTest, CrossQueryMergingSavesHeaders) {
   net::NetworkOptions shared_opts;
   shared_opts.enable_merging = true;
   SharedMedium medium(&*topo, shared_opts);
-  medium.AddQuery(&a, opts);
-  medium.AddQuery(&b, opts);
+  ASSERT_TRUE(medium.TryAddQuery(&a, opts).ok());
+  ASSERT_TRUE(medium.TryAddQuery(&b, opts).ok());
   ASSERT_TRUE(medium.InitiateAll().ok());
   ASSERT_TRUE(medium.RunCycles(20).ok());
   EXPECT_LT(medium.stats().TotalBytesSent(), sum_solo);
@@ -124,7 +130,9 @@ TEST(SharedMediumTest, RunCyclesRejectedOnAttachedExecutor) {
   SharedMedium medium(&*topo, {});
   ExecutorOptions opts;
   opts.algorithm = Algorithm::kBase;
-  JoinExecutor* exec = medium.AddQuery(&wl, opts);
+  auto admitted = medium.TryAddQuery(&wl, opts);
+  ASSERT_TRUE(admitted.ok());
+  JoinExecutor* exec = *admitted;
   ASSERT_TRUE(medium.InitiateAll().ok());
   EXPECT_FALSE(exec->RunCycles(1).ok());
   EXPECT_TRUE(medium.RunCycles(1).ok());
@@ -173,6 +181,85 @@ TEST(SharedMediumTest, TryAddQueryRejectsForeignTopology) {
   ASSERT_FALSE(rejected.ok());
   EXPECT_TRUE(rejected.status().IsInvalidArgument());
   EXPECT_EQ(medium.num_queries(), 0);
+}
+
+// ---- QuerySpec admission (SQL in, medium-owned workload) --------------------
+
+constexpr char kAppendixBSql[] =
+    "SELECT S.id, T.id, S.time FROM S, T [windowsize=3 sampleinterval=100] "
+    "WHERE S.id < 25 AND hash(S.u) % 2 = 0 AND T.id > 50 AND "
+    "hash(T.u) % 2 = 0 AND S.x = T.y + 5 AND S.u = T.u";
+
+TEST(SharedMediumTest, QuerySpecAdmissionMatchesHandBuiltWorkload) {
+  auto topo = net::Topology::Random(100, 7.0, 42);
+  ASSERT_TRUE(topo.ok());
+  SelectivityParams sel{0.5, 0.5, 0.2};
+
+  SharedMedium::QuerySpec spec;
+  spec.sql = kAppendixBSql;
+  spec.params = sel;
+  spec.seed = 7;
+  spec.options.algorithm = Algorithm::kBase;
+  spec.options.assumed = sel;
+
+  SharedMedium medium(&*topo, {});
+  auto admitted = medium.TryAddQuery(spec);
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  JoinExecutor* exec = *admitted;
+  ASSERT_TRUE(medium.InitiateAll().ok());
+  ASSERT_TRUE(medium.RunCycles(30).ok());
+
+  // The spec path must be equivalent to parsing + building the workload by
+  // hand: same query, params and seed → same reference result count.
+  auto query = query::ParseQuery(kAppendixBSql);
+  ASSERT_TRUE(query.ok());
+  auto by_hand = Workload::FromQuery(&*topo, *std::move(query), sel, 7);
+  ASSERT_TRUE(by_hand.ok());
+  EXPECT_EQ(exec->results(), testing_util::ReferenceResults(*by_hand, 30));
+  EXPECT_GT(exec->results(), 0u);
+}
+
+TEST(SharedMediumTest, QuerySpecBadSqlRejectedNothingRegistered) {
+  auto topo = net::Topology::Random(40, 7.0, 3);
+  ASSERT_TRUE(topo.ok());
+  SharedMedium medium(&*topo, {});
+  SharedMedium::QuerySpec spec;
+  spec.sql = "SELECT FROM WHERE";  // not a join query
+  auto rejected = medium.TryAddQuery(spec);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(medium.num_queries(), 0);
+  // The medium is unharmed: a valid spec still admits afterwards.
+  spec.sql = kAppendixBSql;
+  spec.params = {0.5, 0.5, 0.2};
+  spec.options.assumed = spec.params;
+  EXPECT_TRUE(medium.TryAddQuery(spec).ok());
+  EXPECT_EQ(medium.num_queries(), 1);
+}
+
+TEST(SharedMediumTest, RemoveQueryFreesSpecOwnedWorkload) {
+  auto topo = net::Topology::Random(60, 7.0, 5);
+  ASSERT_TRUE(topo.ok());
+  SharedMedium medium(&*topo, {});
+  SharedMedium::QuerySpec spec;
+  spec.sql = kAppendixBSql;
+  spec.params = {0.5, 0.5, 0.2};
+  spec.seed = 9;
+  spec.options.algorithm = Algorithm::kBase;
+  spec.options.assumed = spec.params;
+  auto admitted = medium.TryAddQuery(spec);
+  ASSERT_TRUE(admitted.ok());
+  int id = (*admitted)->query_id();
+  ASSERT_TRUE(medium.InitiateAll().ok());
+  ASSERT_TRUE(medium.RunCycles(5).ok());
+  // Removal tears down the executor AND the medium-owned workload (ASan
+  // would flag a leak or a dangling sample if either survived)...
+  ASSERT_TRUE(medium.RemoveQuery(id).ok());
+  EXPECT_EQ(medium.num_queries(), 0);
+  // ...and the medium keeps serving: re-admit and run again.
+  auto again = medium.TryAddQuery(spec);
+  ASSERT_TRUE(again.ok());
+  ASSERT_TRUE(medium.InitiateAll().ok());
+  EXPECT_TRUE(medium.RunCycles(5).ok());
 }
 
 }  // namespace

@@ -55,7 +55,7 @@ struct ServiceFixture {
     ServiceOptions opts;
     opts.executor.algorithm = join::Algorithm::kInnet;
     opts.executor.assumed = {0.5, 0.5, 0.2};
-    opts.medium.shards = shards;
+    opts.medium.knobs.shards = shards;
     opts.dynamics = &schedule;
     return opts;
   }

@@ -92,7 +92,7 @@ struct Scenario {
 
 RunDigest RunAtShards(const Workload& wl, const Scenario& sc, int shards) {
   join::ExecutorOptions opts = sc.opts;
-  opts.shards = shards;
+  opts.knobs.shards = shards;
   join::JoinExecutor exec(&wl, opts);
   EXPECT_TRUE(exec.Initiate().ok());
   std::unique_ptr<scenario::ScenarioDriver> driver;

@@ -68,8 +68,11 @@ TEST(SchedulerDeterminismTest, SharedMediumSameSeedSameStats) {
     auto q1 = *Workload::MakeQuery1(&topo, sel, 3, 7);
     auto q2 = *Workload::MakeQuery2(&topo, sel, 3, 9);
     join::SharedMedium medium(&topo, {});
-    join::JoinExecutor* e1 = medium.AddQuery(&q1, opts);
-    join::JoinExecutor* e2 = medium.AddQuery(&q2, opts);
+    auto r1 = medium.TryAddQuery(&q1, opts);
+    auto r2 = medium.TryAddQuery(&q2, opts);
+    EXPECT_TRUE(r1.ok() && r2.ok());
+    join::JoinExecutor* e1 = *r1;
+    join::JoinExecutor* e2 = *r2;
     EXPECT_TRUE(medium.InitiateAll().ok());
     EXPECT_TRUE(medium.RunCycles(20).ok());
     return std::make_pair(e1->Stats(), e2->Stats());
@@ -101,8 +104,8 @@ TEST(SchedulerDeterminismTest, PipelinedStatsMatchSequential) {
     for (int shards : {1, 3}) {
       SCOPED_TRACE("depth=" + std::to_string(depth) +
                    " shards=" + std::to_string(shards));
-      opts.pipeline_depth = depth;
-      opts.shards = shards;
+      opts.knobs.pipeline_depth = depth;
+      opts.knobs.shards = shards;
       auto piped = core::RunExperiment(wl, opts, 60);
       ASSERT_TRUE(piped.ok());
       ExpectIdentical(*baseline, *piped);
@@ -146,8 +149,8 @@ TEST(SchedulerDeterminismTest, PipelinedContinuationInvariance) {
     for (int shards : {1, 3}) {
       SCOPED_TRACE("depth=" + std::to_string(depth) +
                    " shards=" + std::to_string(shards));
-      opts.pipeline_depth = depth;
-      opts.shards = shards;
+      opts.knobs.pipeline_depth = depth;
+      opts.knobs.shards = shards;
       ExpectIdentical(whole, RunInChunks(topo, wl, opts, {5, 5}, 0));
       ExpectIdentical(whole, RunInChunks(topo, wl, opts, {3, 3, 4}, 0));
     }
@@ -173,8 +176,8 @@ TEST(SchedulerDeterminismTest, PipelinedSeekToMatchesSequential) {
     for (int shards : {1, 3}) {
       SCOPED_TRACE("depth=" + std::to_string(depth) +
                    " shards=" + std::to_string(shards));
-      opts.pipeline_depth = depth;
-      opts.shards = shards;
+      opts.knobs.pipeline_depth = depth;
+      opts.knobs.shards = shards;
       ExpectIdentical(sequential,
                       RunInChunks(topo, wl, opts, {4, 8}, /*seek_between=*/7));
     }
