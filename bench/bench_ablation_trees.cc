@@ -2,9 +2,17 @@
 // overlapping routing trees. More trees cost more initiation (construction
 // + summaries + wider exploration) but discover shorter producer-to-producer
 // paths, cutting per-cycle computation traffic.
+//
+// Second sweep: tree mode (per-source vs shared Steiner, RunKnobs::
+// tree_mode) x destination-overlap fraction — a population of co-resident
+// queries where 0/25/50/75% duplicate another tenant's placed pairs. The
+// shared mode's saving should grow with the overlap fraction and vanish at
+// zero overlap (DESIGN.md "Cross-query work sharing"). Metrics land in
+// BENCH_ablation_trees.json (merge mode, so matrix re-runs upsert).
 
 #include "bench/bench_util.h"
 #include "join/executor.h"
+#include "join/medium.h"
 
 using namespace aspen;
 using namespace aspen::benchutil;
@@ -46,5 +54,66 @@ int main() {
   }
   std::printf("%d cycles, %d runs\n", cycles, runs);
   table.Print();
+
+  // ---- tree mode x destination-overlap fraction ------------------------------
+  PrintHeader("Ablation", "Tree mode x destination overlap (8 queries)");
+  JsonReport report("BENCH_ablation_trees.json", /*merge=*/true);
+  const int kQueries = 8;
+  const int kPairs = 20;
+  const int mode_cycles = CyclesFromEnv(100);
+  // Distinct templates; an "overlapping" query reuses template 0 instead.
+  std::vector<workload::Workload> pool;
+  pool.reserve(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    pool.push_back(OrDie(workload::Workload::MakeQuery0(
+        &topo, sel, kPairs, /*window=*/3, /*seed=*/100 + i)));
+  }
+  core::Table mode_table(
+      {"overlap", "per-source", "shared", "saving", "shared placements"});
+  for (int overlap_pct : {0, 25, 50, 75}) {
+    const int dups = kQueries * overlap_pct / 100;
+    uint64_t bytes_by_mode[2] = {0, 0};
+    int shared_placements = 0;
+    for (common::TreeMode mode :
+         {common::TreeMode::kPerSource, common::TreeMode::kShared}) {
+      auto opts = MakeOptions(
+          {join::Algorithm::kInnet, join::InnetFeatures::Cm()}, sel);
+      opts.knobs.tree_mode = mode;
+      join::MediumOptions mopts;
+      mopts.knobs.tree_mode = mode;
+      join::SharedMedium medium(&topo, {}, mopts);
+      for (int q = 0; q < kQueries; ++q) {
+        // The first `dups` queries duplicate the last template's pairs.
+        const workload::Workload& wl = q < dups ? pool[kQueries - 1] : pool[q];
+        OrDie(medium.TryAddQuery(&wl, opts).status());
+      }
+      OrDie(medium.InitiateAll());
+      OrDie(medium.RunCycles(mode_cycles));
+      bytes_by_mode[mode == common::TreeMode::kShared] =
+          medium.stats().TotalBytesSent();
+      if (mode == common::TreeMode::kShared) {
+        shared_placements = medium.num_shared_placements();
+      }
+    }
+    const double saving =
+        1.0 - static_cast<double>(bytes_by_mode[1]) /
+                  static_cast<double>(bytes_by_mode[0]);
+    mode_table.AddRow({std::to_string(overlap_pct) + "%",
+                       core::HumanBytes(bytes_by_mode[0]),
+                       core::HumanBytes(bytes_by_mode[1]),
+                       core::Fixed(100.0 * saving, 1) + "%",
+                       std::to_string(shared_placements)});
+    const std::string suffix = "_ov" + std::to_string(overlap_pct);
+    report.Add("ablation_trees", "per_source_bytes" + suffix,
+               static_cast<double>(bytes_by_mode[0]));
+    report.Add("ablation_trees", "shared_bytes" + suffix,
+               static_cast<double>(bytes_by_mode[1]));
+    report.Add("ablation_trees", "shared_saving_pct" + suffix,
+               100.0 * saving);
+  }
+  std::printf("%d cycles, %d queries, %d pairs each\n", mode_cycles, kQueries,
+              kPairs);
+  mode_table.Print();
+  report.Write();
   return 0;
 }

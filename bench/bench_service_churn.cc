@@ -94,6 +94,12 @@ int Main(int argc, char** argv) {
   opts.executor.mesh_mode = true;
   opts.medium.knobs.shards = shards;
   opts.medium.knobs.pipeline_depth = pipeline;
+  // ASPEN_TREE_MODE=shared runs the whole churn scenario with shared
+  // Steiner trees and cross-query placement sharing, so every departure
+  // wave exercises owner hand-off (DetachShared promotion) under the
+  // same leak and determinism gates.
+  opts.executor.knobs.tree_mode = benchutil::TreeModeFromEnv();
+  opts.medium.knobs.tree_mode = opts.executor.knobs.tree_mode;
   opts.dynamics = &full;
 
   auto runner =

@@ -124,14 +124,27 @@ inline int ReoptFromEnv() {
   return 0;
 }
 
+/// Multicast tree policy (ASPEN_TREE_MODE: "shared" | "per_source",
+/// default per_source). The determinism gate also sweeps this knob:
+/// shared-mode runs are byte-identical across shards and pipeline depth,
+/// just against their own shared baseline.
+inline common::TreeMode TreeModeFromEnv() {
+  const char* env = std::getenv("ASPEN_TREE_MODE");
+  if (env != nullptr && std::strcmp(env, "shared") == 0) {
+    return common::TreeMode::kShared;
+  }
+  return common::TreeMode::kPerSource;
+}
+
 /// The one place bench binaries resolve the run-shape environment:
-/// ASPEN_SHARDS, ASPEN_PIPELINE and ASPEN_REOPT compose into the RunKnobs
-/// every ExecutorOptions / MediumOptions embeds.
+/// ASPEN_SHARDS, ASPEN_PIPELINE, ASPEN_REOPT and ASPEN_TREE_MODE compose
+/// into the RunKnobs every ExecutorOptions / MediumOptions embeds.
 inline common::RunKnobs KnobsFromEnv() {
   common::RunKnobs knobs;
   knobs.shards = ShardsFromEnv();
   knobs.pipeline_depth = PipelineFromEnv();
   knobs.reopt_interval = ReoptFromEnv();
+  knobs.tree_mode = TreeModeFromEnv();
   return knobs;
 }
 
@@ -165,6 +178,13 @@ T OrDie(Result<T> r) {
     std::abort();
   }
   return std::move(r).ValueOrDie();
+}
+
+inline void OrDie(Status s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    std::abort();
+  }
 }
 
 inline void PrintHeader(const char* figure, const char* what) {

@@ -16,6 +16,20 @@
 namespace aspen {
 namespace common {
 
+/// \brief Multicast tree construction policy for producer result routes.
+enum class TreeMode {
+  /// One tree per producer per query, built from that query's explored
+  /// path segments — the historical behavior and the default.
+  kPerSource,
+  /// KMB-approximation shared Steiner trees: the tree depends only on
+  /// (root, destination set), so co-resident queries with overlapping
+  /// destination sets intern one refcounted tree via the RouteTable's
+  /// content-addressed destination-set lookup. Also enables common
+  /// sub-join placement sharing in SharedMedium (DESIGN.md "Cross-query
+  /// work sharing").
+  kShared,
+};
+
 /// \brief Run-shape knobs shared by executor, medium and experiment options.
 struct RunKnobs {
   /// Spatial shard count: K > 1 partitions the node space into K contiguous
@@ -47,6 +61,12 @@ struct RunKnobs {
   /// current placement was chosen with that arms a re-optimization pass
   /// for a pair. The paper's Section 6 trigger: 33%.
   double reopt_threshold = 0.33;
+
+  /// Producer multicast tree policy (ASPEN_TREE_MODE: "per_source" |
+  /// "shared"). kShared turns on both shared Steiner trees and
+  /// cross-query placement sharing; kPerSource is byte-identical to the
+  /// pre-sharing behavior.
+  TreeMode tree_mode = TreeMode::kPerSource;
 };
 
 }  // namespace common

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "join/medium.h"
 #include "sim/sharded_scheduler.h"
 
 namespace aspen {
@@ -318,6 +319,15 @@ Status JoinExecutor::Initiate() {
   // MultiTree, nominations) to this query on a shared medium.
   net::TrafficStats::QueryScope scope(&net_->stats(), query_id_);
   ASPEN_RETURN_NOT_OK(InitCommon());
+  // Cross-query placement sharing: claim identical placed pairs from
+  // co-resident queries before the per-algorithm init spends exploration
+  // or placement work on them. Naive has no placements to share (its
+  // producer roles come from workload statics, not the pair lists).
+  if (medium_ != nullptr &&
+      opts_.knobs.tree_mode == common::TreeMode::kShared &&
+      opts_.algorithm != Algorithm::kNaive) {
+    medium_->ClaimPairs(this);
+  }
   Status st;
   switch (opts_.algorithm) {
     case Algorithm::kNaive:
@@ -363,6 +373,7 @@ Status JoinExecutor::Initiate() {
   // flag. Placements are pair-sorted, so site registration order (and with
   // it ForEachState's iteration order) is deterministic.
   for (const PairPlacement& pl : placements_) {
+    if (pl.shared_owner >= 0) continue;  // served by the sharing owner
     PairState& pst = StateAt(pl.at_base ? 0 : pl.join_node, pl.pair);
     pst.s_window.Warm(query::kNumAttrs);
     pst.t_window.Warm(query::kNumAttrs);
@@ -428,6 +439,7 @@ Status JoinExecutor::InitYang07() {
   single_tree_ = std::make_unique<routing::RoutingTree>(
       routing::RoutingTree::Build(workload_->topology(), 0));
   for (auto& pl : placements_) {
+    if (pl.shared_owner >= 0) continue;  // served by the sharing owner
     pl.at_base = false;
     pl.join_node = pl.pair.t;
     // The root's relay route to this T partner, interned once and retained
@@ -454,6 +466,7 @@ Status JoinExecutor::InitGht() {
     return opts_.mesh_mode ? dht_->NodeForKey(key) : geo_->NodeForKey(key);
   };
   for (auto& pl : placements_) {
+    if (pl.shared_owner >= 0) continue;  // served by the sharing owner
     const PairKey& key = pl.pair;
     int32_t hash_key = 0;
     if (primary.has_value() && primary->region_radius_dm.has_value()) {
@@ -490,6 +503,7 @@ Status JoinExecutor::InitGht() {
   std::set<std::pair<NodeId, NodeId>> announced;
   for (const auto& key : pairs_) {
     const PairPlacement* pl = FindPlacement(key);
+    if (pl->shared_owner >= 0) continue;  // served by the sharing owner
     if (announced.insert({key.s, pl->join_node}).second) {
       announce(key.s, pl->join_node);
     }
@@ -840,7 +854,7 @@ void JoinExecutor::OnDeliverMsg(const Message& msg, NodeId at) {
     case MessageKind::kJoinResult: {
       const ResultPayload* res = result_pool_->Get(msg.payload);
       ASPEN_CHECK(res != nullptr);
-      DeliverResultAtBase(1, res->sample_cycle);
+      DeliverResultAtBase(PairKey{res->s, res->t}, 1, res->sample_cycle);
       break;
     }
     case MessageKind::kWindowTransfer: {
@@ -861,11 +875,94 @@ void JoinExecutor::OnDeliverMsg(const Message& msg, NodeId at) {
   }
 }
 
-void JoinExecutor::DeliverResultAtBase(int count, int sample_cycle) {
+void JoinExecutor::DeliverResultAtBase(const PairKey& pair, int count,
+                                       int sample_cycle) {
   results_ += count;
   double delay = static_cast<double>(cycle_ - sample_cycle);
   delay_sum_ += delay * count;
   delay_max_ = std::max(delay_max_, delay);
+  // One evaluation fans out to every subscribed query (placement sharing).
+  // The counter gate keeps unshared queries off the placement lookup.
+  if (num_fanout_pairs_ > 0) {
+    const PairPlacement* pl = FindPlacement(pair);
+    if (pl != nullptr && pl->shared_entry >= 0) {
+      medium_->FanOutSharedResult(pl->shared_entry, count, sample_cycle);
+    }
+  }
+}
+
+void JoinExecutor::AccountSharedResult(int count, int sample_cycle) {
+  // Identical accounting to DeliverResultAtBase: the subscriber's clock
+  // runs in lockstep with the owner's (one medium scheduler), so the
+  // booked delay matches what an unshared run would have measured.
+  results_ += count;
+  double delay = static_cast<double>(cycle_ - sample_cycle);
+  delay_sum_ += delay * count;
+  delay_max_ = std::max(delay_max_, delay);
+}
+
+void JoinExecutor::SuppressSharedPair(int32_t pi) {
+  const PairKey& pair = placements_[pi].pair;
+  auto drop = [pi](std::vector<int32_t>* list) {
+    list->erase(std::remove(list->begin(), list->end(), pi), list->end());
+  };
+  drop(&nodes_[pair.s].s_pairs);
+  drop(&nodes_[pair.t].t_pairs);
+}
+
+void JoinExecutor::AdoptSharedPlacement(JoinExecutor* old_owner,
+                                        const PairKey& pair) {
+  PairPlacement* pl = MutablePlacement(pair);
+  const PairPlacement* src = old_owner->FindPlacement(pair);
+  ASPEN_CHECK(pl != nullptr && src != nullptr);
+  ASPEN_CHECK(pl->shared_owner >= 0);
+  pl->shared_owner = -1;
+  pl->at_base = src->at_base;
+  pl->join_node = src->join_node;
+  pl->path = src->path;
+  pl->path_index = src->path_index;
+  pl->placed_with = src->placed_with;
+  pl->pairwise_at_base = src->pairwise_at_base;
+  pl->failed_over = src->failed_over;
+  // Take a reference of our own before the departing owner's Shutdown
+  // drops its — the route never sees zero references in between.
+  pl->route_from_root = src->route_from_root;
+  RefRoute(pl->route_from_root);
+  // Restore the pair into the data plane. The placement table is
+  // pair-sorted, so sorted index insertion reproduces the order
+  // InitCommon would have built.
+  const int32_t pi = static_cast<int32_t>(pl - placements_.data());
+  common::InsertSortedUnique(&nodes_[pair.s].s_pairs, pi);
+  common::InsertSortedUnique(&nodes_[pair.t].t_pairs, pi);
+  // Adopt the owner's window contents so the promoted query's join resumes
+  // with full history — results continue exactly as the shared stream did
+  // (same workload, same windows).
+  const NodeId site = pl->at_base ? 0 : pl->join_node;
+  PairState* ost = old_owner->FindState(site, pair);
+  PairState& nst = StateAt(site, pair);
+  nst.s_window.Warm(query::kNumAttrs);
+  nst.t_window.Warm(query::kNumAttrs);
+  if (ost != nullptr) {
+    for (int i = 0; i < ost->s_window.size(); ++i) {
+      const auto& e = ost->s_window.entry(i);
+      nst.s_window.Push(e.tuple, e.cycle);
+    }
+    for (int i = 0; i < ost->t_window.size(); ++i) {
+      const auto& e = ost->t_window.entry(i);
+      nst.t_window.Push(e.tuple, e.cycle);
+    }
+  }
+  // The producer caches key off the pair lists; force a rebuild, and
+  // rebuild the producers' multicast trees over the restored target set.
+  for (ShardScratch& sc : scratch_) {
+    sc.cached_begin = -1;
+    sc.cached_end = -1;
+  }
+  plans_dirty_ = true;
+  if (opts_.algorithm == Algorithm::kInnet && !pl->at_base) {
+    RebuildProducerRoute(pair.s, true, /*charge_traffic=*/true);
+    RebuildProducerRoute(pair.t, false, /*charge_traffic=*/true);
+  }
 }
 
 void JoinExecutor::TouchSite(NodeId at) {
@@ -1008,7 +1105,7 @@ Status JoinExecutor::OnDeliverCommit(int cycle) {
 void JoinExecutor::EmitResults(NodeId at, const PairKey& pair, int count,
                                int sample_cycle) {
   if (at == 0) {
-    DeliverResultAtBase(count, sample_cycle);
+    DeliverResultAtBase(pair, count, sample_cycle);
     return;
   }
   for (int i = 0; i < count; ++i) {

@@ -38,6 +38,8 @@
 namespace aspen {
 namespace join {
 
+class SharedMedium;
+
 /// \brief Runs one join query with one algorithm over one workload.
 ///
 /// The sample and deliver phases implement the sharded split (see
@@ -129,6 +131,15 @@ class JoinExecutor : public sim::CycleParticipant,
     bool failed_over = false;
     /// Interned root->t distribution route (Yang+07 relay), built at init.
     net::RouteId route_from_root = net::kInvalidRoute;
+    /// Cross-query placement sharing (tree_mode == kShared, attached to a
+    /// medium). Subscriber side: the query id whose identical placement
+    /// serves this pair (-1 = owned locally). A subscribed pair is removed
+    /// from the node pair lists, so it samples, sends, probes and fails
+    /// over nothing — results arrive through the owner's fan-out.
+    int shared_owner = -1;
+    /// Owner side: index into the medium's sharing registry once at least
+    /// one subscriber rides this placement (-1 = sole consumer).
+    int32_t shared_entry = -1;
   };
 
   /// All placements, sorted by pair key (contiguous; index with
@@ -220,7 +231,24 @@ class JoinExecutor : public sim::CycleParticipant,
                net::NodeId to);
   void EmitResults(net::NodeId at, const PairKey& pair, int count,
                    int sample_cycle) ASPEN_REQUIRES_SEQUENTIAL;
-  void DeliverResultAtBase(int count, int sample_cycle)
+  void DeliverResultAtBase(const PairKey& pair, int count, int sample_cycle)
+      ASPEN_REQUIRES_SEQUENTIAL;
+
+  // -- cross-query placement sharing (tree_mode == kShared on a medium) -------
+  /// Books `count` results delivered through a sharing owner's fan-out
+  /// into this query's result/delay accounting.
+  void AccountSharedResult(int count, int sample_cycle)
+      ASPEN_REQUIRES_SEQUENTIAL;
+  /// Detaches placement index `pi` from the data plane: the pair leaves
+  /// both producers' pair lists, so it never samples, plans, probes or
+  /// fails over — the sharing owner's single evaluation serves it.
+  void SuppressSharedPair(int32_t pi) ASPEN_REQUIRES_SEQUENTIAL;
+  /// Promotion on owner removal: copies the departing owner's placement
+  /// geometry (join node, path, routes) and window state for `pair` into
+  /// this executor, restores the pair into the node pair lists and
+  /// rebuilds the affected producer routes. Runs while the old owner
+  /// still holds its route references, so no retirement window opens.
+  void AdoptSharedPlacement(JoinExecutor* old_owner, const PairKey& pair)
       ASPEN_REQUIRES_SEQUENTIAL;
 
   PairState& StateAt(net::NodeId at, const PairKey& pair)
@@ -315,6 +343,11 @@ class JoinExecutor : public sim::CycleParticipant,
       ASPEN_REQUIRES_SEQUENTIAL;
   void RebuildProducerRoute(net::NodeId p, bool as_s, bool charge_traffic)
       ASPEN_REQUIRES_SEQUENTIAL;
+  /// The tree_mode == kShared variant: a KMB Steiner tree over (producer,
+  /// destination set) alone, adopted from the RouteTable's destination-set
+  /// index when a co-resident query already interned it.
+  void RebuildSharedProducerRoute(net::NodeId p, bool charge_traffic)
+      ASPEN_REQUIRES_SEQUENTIAL;
 
   /// Stamps the executor's query id and submits (unicast / multicast).
   Result<uint64_t> SubmitToNet(net::Message msg) ASPEN_REQUIRES_SEQUENTIAL;
@@ -340,6 +373,12 @@ class JoinExecutor : public sim::CycleParticipant,
   /// medium's scheduler instead.
   std::unique_ptr<sim::CycleScheduler> sched_;
   int query_id_ = 0;
+  /// The hosting medium when attached (placement-sharing fan-out hook);
+  /// nullptr for owned-network executors.
+  SharedMedium* medium_ = nullptr;
+  /// Number of placements with shared_entry >= 0 — gates the fan-out
+  /// lookup in DeliverResultAtBase so unshared queries pay nothing.
+  int num_fanout_pairs_ = 0;
   std::unique_ptr<routing::RoutingTree> single_tree_;  // non-Innet algorithms
   std::unique_ptr<routing::MultiTree> multi_;          // Innet substrate
   std::unique_ptr<routing::GeoHash> geo_;
@@ -359,6 +398,15 @@ class JoinExecutor : public sim::CycleParticipant,
   /// Placement index -> index into groups_ (-1 when ungrouped).
   std::vector<int32_t> pair_group_;
   int group_decision_seq_ = 0;
+  /// Reused scratch for RunLearning's re-estimation pass, so a steady
+  /// state where estimates keep drifting past the divergence threshold
+  /// still allocates nothing once the vectors are warm.
+  struct PlannedReestimate {
+    PairKey pair;
+    workload::SelectivityParams est;
+  };
+  std::vector<PlannedReestimate> reestimate_scratch_;
+  std::vector<int32_t> affected_groups_scratch_;
 
   /// Typed payload pools on the network's data plane (shared by every
   /// executor on a medium). Not owned.

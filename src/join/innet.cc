@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "common/sorted_vec.h"
 #include "join/executor.h"
 
 namespace aspen {
@@ -148,6 +149,9 @@ Status JoinExecutor::ExplorePairs() {
       PairKey key{s, fp.target};
       PairPlacement* pl = MutablePlacement(key);
       ASPEN_CHECK(pl != nullptr);  // accept() is exact
+      // A pair subscribed to a co-resident query's placement keeps no
+      // placement of its own: the owner's path serves it.
+      if (pl->shared_owner >= 0) continue;
       const workload::SelectivityParams pair_params = AssumedFor(key);
       const opt::PairCostInputs assumed = ToCost(pair_params, w);
       OnPathChoice choice = BestOnPath(assumed, fp.path, depth_of);
@@ -284,7 +288,13 @@ void JoinExecutor::EnsureGroups() {
   if (!groups_.empty()) return;
   std::vector<std::pair<NodeId, NodeId>> raw;
   raw.reserve(pairs_.size());
-  for (const PairKey& key : pairs_) raw.emplace_back(key.s, key.t);
+  for (const PairKey& key : pairs_) {
+    // Pairs subscribed to a co-resident query's placement take no part in
+    // group optimization — the owner's decisions serve them.
+    const PairPlacement* pl = FindPlacement(key);
+    if (pl != nullptr && pl->shared_owner >= 0) continue;
+    raw.emplace_back(key.s, key.t);
+  }
   groups_ = opt::DiscoverGroups(raw);
   for (size_t g = 0; g < groups_.size(); ++g) {
     for (const auto& [s, t] : groups_[g].pairs) {
@@ -345,6 +355,10 @@ void JoinExecutor::DecideGroupFor(const opt::JoinGroup& group,
 
 void JoinExecutor::RebuildProducerRoute(NodeId p, bool /*as_s*/,
                                         bool charge_traffic) {
+  if (opts_.knobs.tree_mode == common::TreeMode::kShared) {
+    RebuildSharedProducerRoute(p, charge_traffic);
+    return;
+  }
   // Collect the path segments from p to each of its in-network join nodes
   // (both roles), plus any snoop-discovered shortcut links.
   std::set<NodeId> targets;
@@ -446,6 +460,60 @@ void JoinExecutor::RebuildProducerRoute(NodeId p, bool /*as_s*/,
   UnrefMcast(old_route);
 }
 
+void JoinExecutor::RebuildSharedProducerRoute(NodeId p, bool charge_traffic) {
+  // Shared-tree mode: the tree is a pure function of (producer,
+  // destination set) — explored path segments and snooped extra links are
+  // deliberately ignored so co-resident queries with the same placements
+  // converge on byte-identical trees and share one interned McastId.
+  std::set<NodeId> tset;
+  auto collect = [&](const std::vector<int32_t>& pair_idxs) {
+    for (int32_t pi : pair_idxs) {
+      const PairPlacement& pl = placements_[pi];
+      if (pl.at_base || pl.path.empty()) continue;
+      tset.insert(pl.join_node);
+    }
+  };
+  collect(nodes_[p].s_pairs);
+  collect(nodes_[p].t_pairs);
+  NodeState& pnode = nodes_[p];
+  if (tset.empty()) {
+    UnrefMcast(pnode.mcast_route);
+    pnode.mcast_route = net::kInvalidRoute;
+    return;
+  }
+  const std::vector<NodeId> targets(tset.begin(), tset.end());
+  net::RouteTable& routes = net_->routes();
+  if (pnode.mcast_route != net::kInvalidRoute &&
+      routes.Multicast(pnode.mcast_route).targets == targets) {
+    return;  // destination set unchanged — the cached tree stands
+  }
+  const net::McastId old_route = pnode.mcast_route;
+  net::McastId id = routes.FindSharedMulticast(p, targets);
+  if (id != net::kInvalidRoute) {
+    // Adopt a co-resident query's tree: it is already installed in the
+    // network, so adoption costs no construction and no update traffic.
+    pnode.mcast_route = id;
+    RefMcast(id);
+    UnrefMcast(old_route);
+    return;
+  }
+  net::MulticastRoute route =
+      routing::BuildSharedSteinerTree(net_->topology(), p, targets);
+  if (charge_traffic) {
+    for (const auto& [u, v] : route.edges) {
+      net_->stats().RecordSend(u, MessageKind::kMulticastUpdate,
+                               kMcastUpdateBytesPerEdge +
+                                   net::WireFormat::kLinkHeaderBytes,
+                               query_id_);
+      net_->stats().RecordReceive(v, kMcastUpdateBytesPerEdge +
+                                         net::WireFormat::kLinkHeaderBytes);
+    }
+  }
+  pnode.mcast_route = routes.InternSharedMulticast(p, std::move(route));
+  RefMcast(pnode.mcast_route);
+  UnrefMcast(old_route);
+}
+
 void JoinExecutor::BuildMulticastRoutes(bool charge_traffic) {
   for (NodeId p = 0; p < static_cast<NodeId>(nodes_.size()); ++p) {
     if (nodes_[p].s_pairs.empty() && nodes_[p].t_pairs.empty()) continue;
@@ -533,12 +601,10 @@ void JoinExecutor::RunLearning() {
   if (learn_ticks_ % opts_.reestimate_interval == 0) {
     auto depth_of = [this](NodeId id) { return DepthOf(id); };
     bool any_moved = false;
-    // Collect first: MigratePair mutates the per-node state tables.
-    struct Planned {
-      PairKey pair;
-      workload::SelectivityParams est;
-    };
-    std::vector<Planned> planned;
+    // Collect first: MigratePair mutates the per-node state tables. The
+    // scratch vectors are members reused across ticks (zero-alloc warm).
+    std::vector<PlannedReestimate>& planned = reestimate_scratch_;
+    planned.clear();
     ForEachState([&](NodeId loc, PairState& st) {
       const PairPlacement* pl = FindPlacement(st.pair);
       if (pl == nullptr) return;
@@ -552,7 +618,8 @@ void JoinExecutor::RunLearning() {
         planned.push_back({st.pair, est});
       }
     });
-    std::set<size_t> affected_groups;
+    std::vector<int32_t>& affected_groups = affected_groups_scratch_;
+    affected_groups.clear();
     for (const auto& plan : planned) {
       PairPlacement* pl = MutablePlacement(plan.pair);
       const opt::PairCostInputs est_cost = ToCost(plan.est, w);
@@ -587,13 +654,13 @@ void JoinExecutor::RunLearning() {
       }
       if (opts_.features.group_opt) {
         int32_t g = pair_group_[pl - placements_.data()];
-        if (g >= 0) affected_groups.insert(static_cast<size_t>(g));
+        if (g >= 0) common::InsertSortedUnique(&affected_groups, g);
       }
     }
     if (!affected_groups.empty() && opts_.features.group_opt) {
       // Re-decide only the groups whose members' estimates changed; a full
       // network-wide re-optimization would charge every group's reports.
-      for (size_t g : affected_groups) {
+      for (int32_t g : affected_groups) {
         DecideGroupFor(groups_[g], /*charge_traffic=*/true);
       }
       any_moved = true;

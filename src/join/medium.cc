@@ -1,6 +1,7 @@
 #include "join/medium.h"
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -121,6 +122,7 @@ Result<JoinExecutor*> SharedMedium::TryAddQuery(
   auto exec = std::make_unique<JoinExecutor>(workload, options, &net_, id,
                                              medium_opts_.knobs.shards);
   JoinExecutor* out = exec.get();
+  out->medium_ = this;  // placement-sharing hooks (tree_mode == kShared)
   sched_->Attach(out);
   executors_[id] = std::move(exec);
   admitted_cycle_[id] = sched_->cycle();
@@ -172,6 +174,11 @@ Status SharedMedium::RemoveQuery(int query_id) {
     rec.stats = exec->Stats();
     ledger_.push_back(std::move(rec));
   }
+  // Sharing detach/promotion must run before Shutdown: a promoted
+  // subscriber re-references the departing owner's routes and copies its
+  // window state while the owner still holds them — no retirement window
+  // opens, and nothing is lost.
+  DetachShared(query_id);
   ASPEN_RETURN_NOT_OK(exec->Shutdown());
   sched_->Detach(exec);
   executors_[query_id].reset();
@@ -205,6 +212,205 @@ Status SharedMedium::RunCycles(int n) {
     return Status::FailedPrecondition("SharedMedium has no queries");
   }
   return sched_->RunCycles(n);
+}
+
+// ---- cross-query placement sharing ---------------------------------------------
+
+uint64_t SharedMedium::FingerprintPair(const JoinExecutor& exec,
+                                       const PairKey& pair) const {
+  // Two queries share a pair's evaluation iff one computation provably
+  // serves both: the fingerprint covers everything that shapes results —
+  // the normalized predicate text, window shape, workload identity (seed
+  // and generation parameters drive the sample stream), algorithm and its
+  // feature/placement options, and the pair key itself.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001B3ULL;
+  };
+  auto mix_double = [&mix](double d) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d), "double is 64-bit");
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  auto mix_str = [&mix](const std::string& s) {
+    for (char c : s) mix(static_cast<uint8_t>(c));
+    mix(0x1FFULL);  // terminator: no concatenation ambiguity
+  };
+  const workload::Workload& wl = *exec.workload_;
+  const query::JoinQuery& q = wl.join_query();
+  mix_str(q.where != nullptr ? q.where->ToString() : std::string());
+  mix(static_cast<uint64_t>(q.window.size));
+  mix(static_cast<uint64_t>(q.window.sample_interval));
+  mix(q.window.time_based ? 1 : 0);
+  mix(wl.seed());
+  const ExecutorOptions& o = exec.opts_;
+  mix_str(AlgorithmName(o.algorithm, o.features));
+  mix_double(o.assumed.sigma_s);
+  mix_double(o.assumed.sigma_t);
+  mix_double(o.assumed.sigma_st);
+  mix(o.oracle ? 1 : 0);
+  mix(static_cast<uint64_t>(o.summary_type));
+  mix(o.learning ? 1 : 0);
+  mix(static_cast<uint64_t>(o.num_trees));
+  mix(o.mesh_mode ? 1 : 0);
+  mix_double(o.loss_prob);
+  mix(static_cast<uint64_t>(pair.s));
+  mix(static_cast<uint64_t>(pair.t));
+  return h;
+}
+
+int32_t SharedMedium::FindSharedEntry(uint64_t fp, const PairKey& pair) const {
+  auto it = std::lower_bound(
+      shared_index_.begin(), shared_index_.end(),
+      std::make_pair(fp, static_cast<int32_t>(-1)));
+  for (; it != shared_index_.end() && it->first == fp; ++it) {
+    const SharedEntry& se = shared_entries_[it->second];
+    if (se.owner != 0 && se.pair == pair) return it->second;
+  }
+  return -1;
+}
+
+int32_t SharedMedium::AllocSharedEntry() {
+  if (!free_shared_entries_.empty()) {
+    const int32_t e = free_shared_entries_.back();
+    free_shared_entries_.pop_back();
+    return e;
+  }
+  shared_entries_.emplace_back();
+  return static_cast<int32_t>(shared_entries_.size() - 1);
+}
+
+void SharedMedium::FreeSharedEntry(int32_t e) {
+  SharedEntry& se = shared_entries_[e];
+  auto it = std::lower_bound(shared_index_.begin(), shared_index_.end(),
+                             std::make_pair(se.fp, e));
+  if (it != shared_index_.end() && it->first == se.fp && it->second == e) {
+    shared_index_.erase(it);
+  }
+  se.owner = 0;
+  se.fp = 0;
+  se.subscribers.clear();
+  free_shared_entries_.push_back(e);
+}
+
+int SharedMedium::num_shared_placements() const {
+  int n = 0;
+  for (const SharedEntry& se : shared_entries_) {
+    if (se.owner != 0 && !se.subscribers.empty()) ++n;
+  }
+  return n;
+}
+
+void SharedMedium::ClaimPairs(JoinExecutor* exec) {
+  const int qid = exec->query_id_;
+  for (size_t i = 0; i < exec->placements_.size(); ++i) {
+    JoinExecutor::PairPlacement& pl = exec->placements_[i];
+    const uint64_t fp = FingerprintPair(*exec, pl.pair);
+    const int32_t found = FindSharedEntry(fp, pl.pair);
+    if (found >= 0) {
+      SharedEntry& se = shared_entries_[found];
+      JoinExecutor* owner = FindExecutor(se.owner);
+      ASPEN_CHECK(owner != nullptr && owner->initiated());
+      se.subscribers.insert(std::lower_bound(se.subscribers.begin(),
+                                             se.subscribers.end(), qid),
+                            qid);
+      pl.shared_owner = se.owner;
+      exec->SuppressSharedPair(static_cast<int32_t>(i));
+      JoinExecutor::PairPlacement* opl = owner->MutablePlacement(pl.pair);
+      ASPEN_CHECK(opl != nullptr);
+      if (opl->shared_entry < 0) {
+        opl->shared_entry = found;
+        ++owner->num_fanout_pairs_;
+      }
+    } else {
+      const int32_t e = AllocSharedEntry();
+      SharedEntry& se = shared_entries_[e];
+      se.fp = fp;
+      se.pair = pl.pair;
+      se.owner = qid;
+      se.subscribers.clear();
+      shared_index_.insert(std::lower_bound(shared_index_.begin(),
+                                            shared_index_.end(),
+                                            std::make_pair(fp, e)),
+                           {fp, e});
+    }
+  }
+}
+
+void SharedMedium::FanOutSharedResult(int32_t entry, int count,
+                                      int sample_cycle) {
+  const SharedEntry& se = shared_entries_[entry];
+  for (int qid : se.subscribers) {
+    JoinExecutor* sub = executors_[qid].get();
+    if (sub != nullptr) sub->AccountSharedResult(count, sample_cycle);
+  }
+}
+
+void SharedMedium::DetachShared(int query_id) {
+  if (shared_entries_.empty()) return;
+  JoinExecutor* dying = FindExecutor(query_id);
+  for (size_t e = 0; e < shared_entries_.size(); ++e) {
+    SharedEntry& se = shared_entries_[e];
+    if (se.owner == 0) continue;
+    if (se.owner == query_id) {
+      if (se.subscribers.empty()) {
+        FreeSharedEntry(static_cast<int32_t>(e));
+        continue;
+      }
+      // Promote the smallest subscriber: it adopts the departing owner's
+      // placement geometry, route references and window contents, so the
+      // shared stream continues without a gap. Promotion traffic (tree
+      // rebuilds) is charged to the promoted query.
+      const int promote = se.subscribers.front();
+      se.subscribers.erase(se.subscribers.begin());
+      JoinExecutor* np = FindExecutor(promote);
+      ASPEN_CHECK(np != nullptr && dying != nullptr);
+      {
+        net::TrafficStats::QueryScope scope(&net_.stats(), promote);
+        np->AdoptSharedPlacement(dying, se.pair);
+      }
+      // Adoption just restored the pair into np's per-node pair lists —
+      // state the pipelined sample stage reads. Any slab prestaged for np
+      // before this point was computed while the pair was still
+      // suppressed; drop it so the affected cycles re-stage and the
+      // promotion stays byte-identical at every pipeline depth.
+      sched_->InvalidateStaged(np);
+      se.owner = promote;
+      if (!se.subscribers.empty()) {
+        JoinExecutor::PairPlacement* npl = np->MutablePlacement(se.pair);
+        ASPEN_CHECK(npl != nullptr);
+        npl->shared_entry = static_cast<int32_t>(e);
+        ++np->num_fanout_pairs_;
+        for (int qid : se.subscribers) {
+          JoinExecutor* sub = FindExecutor(qid);
+          if (sub != nullptr) {
+            JoinExecutor::PairPlacement* spl = sub->MutablePlacement(se.pair);
+            if (spl != nullptr) spl->shared_owner = promote;
+          }
+        }
+      }
+    } else {
+      auto it = std::lower_bound(se.subscribers.begin(), se.subscribers.end(),
+                                 query_id);
+      if (it != se.subscribers.end() && *it == query_id) {
+        se.subscribers.erase(it);
+        if (se.subscribers.empty()) {
+          // Sole ownership restored: the owner stops fanning out.
+          JoinExecutor* owner = FindExecutor(se.owner);
+          if (owner != nullptr) {
+            JoinExecutor::PairPlacement* opl =
+                owner->MutablePlacement(se.pair);
+            if (opl != nullptr && opl->shared_entry >= 0) {
+              opl->shared_entry = -1;
+              --owner->num_fanout_pairs_;
+            }
+          }
+        }
+      }
+    }
+  }
 }
 
 Status SharedMedium::OnSample(int cycle) {

@@ -151,6 +151,26 @@ class SharedMedium : private sim::CycleParticipant {
   net::Network& network() { return net_; }
   const net::TrafficStats& stats() const { return net_.stats(); }
   const MediumOptions& medium_options() const { return medium_opts_; }
+
+  /// \brief One cross-query shared placement (tree_mode == kShared): the
+  /// owning query evaluates the pair once and fans results out to every
+  /// subscriber. Entries keep stable indices (owner placements cache them);
+  /// freed slots (owner == 0) are recycled at the next registration.
+  struct SharedEntry {
+    /// Fingerprint: normalized predicate + window shape + workload
+    /// identity + algorithm options + pair key (DESIGN.md "Cross-query
+    /// work sharing").
+    uint64_t fp = 0;
+    PairKey pair;
+    int owner = 0;  ///< owning query id; 0 = free slot
+    std::vector<int> subscribers;  ///< subscribed query ids, ascending
+  };
+  /// The sharing registry (diagnostics/tests; includes free slots).
+  const std::vector<SharedEntry>& shared_entries() const {
+    return shared_entries_;
+  }
+  /// Number of placements currently served for more than one query.
+  int num_shared_placements() const;
   /// Live (admitted, not removed) query count.
   int num_queries() const { return live_queries_; }
   /// Total queries ever admitted (ledger entries + live queries).
@@ -163,6 +183,8 @@ class SharedMedium : private sim::CycleParticipant {
   std::vector<int> live_query_ids() const;
 
  private:
+  friend class JoinExecutor;
+
   // -- scheduler participation (route GC at epoch boundaries) ---------------
   Status OnSample(int cycle) override;
   Status OnDeliver(int cycle) override;
@@ -170,6 +192,29 @@ class SharedMedium : private sim::CycleParticipant {
 
   /// Smallest recyclable id with no in-flight frames, else a fresh one.
   int AcquireQueryId();
+
+  // -- cross-query placement sharing (tree_mode == kShared) -----------------
+  /// Admission hook, called from JoinExecutor::Initiate after InitCommon:
+  /// each of `exec`'s pairs either attaches as a subscriber to a live
+  /// identical placement (and is suppressed from `exec`'s data plane) or
+  /// registers as a new owner for later arrivals to find.
+  void ClaimPairs(JoinExecutor* exec) ASPEN_REQUIRES_SEQUENTIAL;
+  /// Owner fan-out: books `count` results into every subscriber of
+  /// `entry`. Steady-state hot path — allocates nothing.
+  void FanOutSharedResult(int32_t entry, int count, int sample_cycle)
+      ASPEN_REQUIRES_SEQUENTIAL;
+  /// Removal hook, called from RemoveQuery *before* the executor shuts
+  /// down: drops `query_id` as a subscriber everywhere, and for owned
+  /// entries promotes the smallest subscriber (adopting placement
+  /// geometry, routes and window state while the departing owner still
+  /// holds its references) or frees the entry.
+  void DetachShared(int query_id) ASPEN_REQUIRES_SEQUENTIAL;
+  uint64_t FingerprintPair(const JoinExecutor& exec,
+                           const PairKey& pair) const;
+  /// Live registry entry serving (fp, pair), or -1.
+  int32_t FindSharedEntry(uint64_t fp, const PairKey& pair) const;
+  int32_t AllocSharedEntry();
+  void FreeSharedEntry(int32_t e);
 
   const net::Topology* topology_;
   net::Network net_;
@@ -187,6 +232,11 @@ class SharedMedium : private sim::CycleParticipant {
   std::vector<std::pair<int, std::unique_ptr<workload::Workload>>>
       owned_workloads_;
   std::vector<QueryRecord> ledger_;
+  /// Sharing registry (stable indices) and its admission-time lookup
+  /// index, sorted by (fingerprint, entry) — content-driven, never hashed.
+  std::vector<SharedEntry> shared_entries_;
+  std::vector<int32_t> free_shared_entries_;
+  std::vector<std::pair<uint64_t, int32_t>> shared_index_;
   std::unique_ptr<sim::CycleScheduler> sched_;
   int live_queries_ = 0;
   int total_admitted_ = 0;

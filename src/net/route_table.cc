@@ -29,6 +29,11 @@ uint64_t HashMulticast(const MulticastRoute& route) {
   return HashInts(h, route.targets.data(), route.targets.size());
 }
 
+uint64_t HashDestSet(NodeId root, const NodeId* targets, size_t n) {
+  uint64_t h = HashInts(kFnvOffset, &root, 1);
+  return HashInts(h, targets, n);
+}
+
 }  // namespace
 
 void MulticastRoute::Normalize() {
@@ -121,6 +126,42 @@ McastId RouteTable::InternMulticast(MulticastRoute route) {
   return id;
 }
 
+McastId RouteTable::FindSharedMulticast(
+    NodeId root, const std::vector<NodeId>& targets) const {
+  if (targets.empty()) return kInvalidRoute;
+  const uint64_t h = HashDestSet(root, targets.data(), targets.size());
+  auto it = dest_dedup_.find(h);
+  if (it == dest_dedup_.end()) return kInvalidRoute;
+  for (McastId id : it->second) {
+    const McastMeta& m = mcast_meta_[id];
+    // A retired-but-unswept shared tree still matches: the adopter's
+    // AddMulticastRef resurrects it, exactly like content re-interning.
+    if (m.alive && m.shared && m.dest_root == root &&
+        mcasts_[id].targets == targets) {
+      return id;
+    }
+  }
+  return kInvalidRoute;
+}
+
+McastId RouteTable::InternSharedMulticast(NodeId root, MulticastRoute route) {
+  McastId id = InternMulticast(std::move(route));
+  if (id == kInvalidRoute) return id;
+  McastMeta& meta = mcast_meta_[id];
+  const uint64_t h =
+      HashDestSet(root, mcasts_[id].targets.data(), mcasts_[id].targets.size());
+  if (meta.shared) {
+    // Already registered: either the same key (done) or a content
+    // collision across keys — one key per slot, keep the first.
+    return id;
+  }
+  meta.shared = true;
+  meta.dest_hash = h;
+  meta.dest_root = root;
+  dest_dedup_[h].push_back(id);
+  return id;
+}
+
 void RouteTable::AddPathRef(RouteId id) {
   ASPEN_DCHECK(IsValidPath(id));
   ++spans_[id].refs;
@@ -181,6 +222,12 @@ size_t RouteTable::SweepRetired() {
     m.retire_pending = false;
     if (!m.alive || m.refs != 0) continue;
     EraseIdFrom(&mcast_dedup_, m.hash, id);
+    if (m.shared) {
+      EraseIdFrom(&dest_dedup_, m.dest_hash, id);
+      m.shared = false;
+      m.dest_hash = 0;
+      m.dest_root = -1;
+    }
     // The route's edge/target vectors keep their capacity for the slot's
     // next tenant.
     mcasts_[id].edges.clear();
@@ -201,6 +248,7 @@ void RouteTable::Reset() {
   mcast_meta_.clear();
   path_dedup_.clear();
   mcast_dedup_.clear();
+  dest_dedup_.clear();
   free_path_ids_.clear();
   free_blocks_.clear();
   free_mcast_ids_.clear();

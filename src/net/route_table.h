@@ -105,6 +105,26 @@ class RouteTable {
            mcast_meta_[id].alive;
   }
 
+  // ---- shared (destination-set addressed) trees ------------------------------
+
+  /// Looks up a live shared tree registered for exactly (root, targets) —
+  /// `targets` must be sorted unique. Returns kInvalidRoute on miss. A hit
+  /// lets a second query adopt an existing tree without rebuilding it (no
+  /// construction work, no update traffic); the id is the same refcounted
+  /// McastId the first owner holds, so the tree is freed only when the
+  /// last owner releases it and the next epoch sweep runs.
+  McastId FindSharedMulticast(NodeId root,
+                              const std::vector<NodeId>& targets) const;
+
+  /// Interns `route` (content-deduped like InternMulticast) and registers
+  /// it under the destination-set key (root, route.targets) so later
+  /// FindSharedMulticast calls resolve it. If the content already exists
+  /// under a *different* destination-set key (distinct root producing an
+  /// identical tree), the existing id is returned without re-keying — the
+  /// caller's key simply stays unindexed and rebuilds on demand.
+  McastId InternSharedMulticast(NodeId root, MulticastRoute route)
+      ASPEN_REQUIRES_SEQUENTIAL;
+
   // ---- ownership & garbage collection ---------------------------------------
 
   /// Takes (resp. drops) one owner reference. Releasing the last reference
@@ -149,6 +169,11 @@ class RouteTable {
     uint64_t hash = 0;
     bool alive = false;
     bool retire_pending = false;
+    /// Destination-set key for shared trees (valid iff `shared`): the
+    /// sweep uses it to drop the dest_dedup_ entry when the slot frees.
+    uint64_t dest_hash = 0;
+    NodeId dest_root = -1;
+    bool shared = false;
   };
 
   // detlint: order-insensitive(point find/erase on one hash key)
@@ -167,6 +192,10 @@ class RouteTable {
   std::unordered_map<uint64_t, std::vector<RouteId>> path_dedup_;
   // detlint: order-insensitive(point lookup/erase only, never iterated)
   std::unordered_map<uint64_t, std::vector<McastId>> mcast_dedup_;
+  /// Destination-set hash (root + sorted targets) -> candidate shared
+  /// tree ids, verified exactly on lookup like the content indexes.
+  // detlint: order-insensitive(point lookup/erase only, never iterated)
+  std::unordered_map<uint64_t, std::vector<McastId>> dest_dedup_;
   /// Recycled span slots and storage blocks (len -> offsets, LIFO).
   std::vector<RouteId> free_path_ids_;
   // detlint: order-insensitive(keyed by span length; point lookup only)

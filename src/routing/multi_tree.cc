@@ -1,12 +1,130 @@
 #include "routing/multi_tree.h"
 
 #include <algorithm>
+#include <climits>
+#include <map>
+#include <queue>
+#include <set>
 
 #include "common/logging.h"
 #include "net/message.h"
 
 namespace aspen {
 namespace routing {
+
+net::MulticastRoute BuildSharedSteinerTree(
+    const net::Topology& topo, net::NodeId source,
+    const std::vector<net::NodeId>& targets) {
+  using net::NodeId;
+  net::MulticastRoute route;
+  // Terminal set: sorted unique targets; the source spans them.
+  std::vector<NodeId> terms = targets;
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  const bool source_is_target =
+      std::binary_search(terms.begin(), terms.end(), source);
+  std::vector<NodeId> steiner;
+  for (NodeId t : terms) {
+    if (t != source) steiner.push_back(t);
+  }
+  if (steiner.empty()) {
+    // A target co-located with the source needs delivery but no edges.
+    if (source_is_target) route.targets.push_back(source);
+    return route;
+  }
+
+  // KMB step 1 — metric closure over {source} ∪ terminals via BFS hop
+  // distances (deterministic: adjacency lists are in fixed order).
+  const std::vector<int> from_source = topo.HopDistancesFrom(source);
+  std::vector<std::vector<int>> from_term(steiner.size());
+  for (size_t i = 0; i < steiner.size(); ++i) {
+    from_term[i] = topo.HopDistancesFrom(steiner[i]);
+  }
+
+  // KMB step 2 — Prim MST over the closure, rooted at the source. Ties
+  // break toward the smaller terminal id, then the smaller attach id, so
+  // the tree depends only on (topology, source, targets).
+  const size_t n = steiner.size();
+  std::vector<int> best(n, INT_MAX);
+  std::vector<int> attach(n, -1);  // index into steiner; -1 = the source
+  std::vector<char> in_tree(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const int d = from_source[steiner[i]];
+    if (d >= 0) best[i] = d;
+  }
+  auto attach_id = [&](int a) { return a < 0 ? source : steiner[a]; };
+  std::vector<std::pair<int, int>> mst;  // (attach index or -1, steiner index)
+  for (size_t round = 0; round < n; ++round) {
+    int pick = -1;
+    for (size_t i = 0; i < n; ++i) {
+      if (in_tree[i] || best[i] == INT_MAX) continue;
+      if (pick < 0 || best[i] < best[pick] ||
+          (best[i] == best[pick] && steiner[i] < steiner[pick])) {
+        pick = static_cast<int>(i);
+      }
+    }
+    if (pick < 0) break;  // remaining terminals unreachable
+    in_tree[pick] = 1;
+    mst.emplace_back(attach[pick], pick);
+    const std::vector<int>& dp = from_term[pick];
+    for (size_t i = 0; i < n; ++i) {
+      if (in_tree[i]) continue;
+      const int d = dp[steiner[i]];
+      if (d < 0) continue;
+      if (d < best[i] ||
+          (d == best[i] && steiner[pick] < attach_id(attach[i]))) {
+        best[i] = d;
+        attach[i] = pick;
+      }
+    }
+  }
+
+  // KMB step 3 — expand each MST edge along a shortest topology path and
+  // union the hops as undirected edges.
+  std::set<std::pair<NodeId, NodeId>> edges;
+  for (const auto& [a, t] : mst) {
+    const std::vector<NodeId> path =
+        topo.ShortestPath(attach_id(a), steiner[t]);
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      edges.insert({path[i], path[i + 1]});
+      edges.insert({path[i + 1], path[i]});
+    }
+  }
+
+  // KMB step 4 — prune: BFS from the source over the union (sorted
+  // adjacency, deterministic), keep only edges on source→target paths.
+  std::map<NodeId, std::vector<NodeId>> adj;
+  for (const auto& [a, b] : edges) adj[a].push_back(b);
+  std::map<NodeId, NodeId> parent;
+  std::queue<NodeId> frontier;
+  parent[source] = source;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : adj[u]) {
+      if (parent.find(v) == parent.end()) {
+        parent[v] = u;
+        frontier.push(v);
+      }
+    }
+  }
+  std::set<std::pair<NodeId, NodeId>> tree_edges;
+  for (NodeId t : terms) {
+    if (t == source) {
+      route.targets.push_back(t);
+      continue;
+    }
+    if (parent.find(t) == parent.end()) continue;  // unreachable: dropped
+    route.targets.push_back(t);
+    for (NodeId u = t; u != source; u = parent[u]) {
+      tree_edges.insert({parent[u], u});
+    }
+  }
+  route.edges.assign(tree_edges.begin(), tree_edges.end());
+  route.Normalize();
+  return route;
+}
 
 namespace {
 // Forward exploration message: query id (2), sought value (2), origin (2),

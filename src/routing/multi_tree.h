@@ -29,6 +29,24 @@
 namespace aspen {
 namespace routing {
 
+/// \brief Builds a shared Steiner multicast tree rooted at `source`
+/// covering every node in `targets`, by the KMB approximation: metric
+/// closure over the terminal set (BFS hop distances), a deterministic
+/// Prim MST over the closure (ties broken by node id), shortest-path
+/// expansion of each MST edge, and a final prune to the union of
+/// source→target tree paths.
+///
+/// The result depends only on (topology, source, targets) — never on any
+/// query's explored path segments or extra links — so two queries with
+/// the same destination set build byte-identical trees and the
+/// RouteTable's destination-set lookup (`FindSharedMulticast`) lets the
+/// second adopt the first's interned tree outright. Edges connect
+/// topology neighbors; `targets` appear in the returned route's sorted
+/// target list exactly once. Unreachable targets are dropped.
+net::MulticastRoute BuildSharedSteinerTree(const net::Topology& topo,
+                                           net::NodeId source,
+                                           const std::vector<net::NodeId>& targets);
+
 /// \brief Declaration of a static attribute to index in the routing tables.
 struct IndexedAttribute {
   std::string name;

@@ -144,6 +144,17 @@ class CycleScheduler {
   /// scheduler can drop the participant's prestaged slabs with it.
   virtual void Detach(CycleParticipant* participant);
 
+  /// \brief Invalidates any prestaged sample slabs for a participant that
+  /// stays attached but whose sample-visible state was mutated mid-run
+  /// (e.g. a placement-sharing subscriber promoted to owner, whose
+  /// per-node pair lists just changed). A no-op here; the pipelining
+  /// subclass joins in-flight stage work and drops the participant's
+  /// staged range so the affected cycles re-stage from current state,
+  /// keeping the mutation byte-identical at every pipeline depth.
+  virtual void InvalidateStaged(CycleParticipant* participant) {
+    (void)participant;
+  }
+
   /// \brief Advances the clock to `cycle` without running any phases, so a
   /// fresh run can reproduce a query admitted mid-run on a shared medium
   /// (sampling is a pure function of the cycle number). Requires

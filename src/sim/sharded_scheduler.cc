@@ -170,9 +170,9 @@ void ShardedScheduler::RunFinished() {
   staged_.clear();
 }
 
-void ShardedScheduler::Detach(CycleParticipant* participant) {
-  // Detach is only legal from participant hooks or between runs, where no
-  // stage job is in flight — but joining defensively costs nothing.
+void ShardedScheduler::InvalidateStaged(CycleParticipant* participant) {
+  // Only legal from participant hooks or between runs, where no stage job
+  // is in flight — but joining defensively costs nothing.
   if (stage_inflight_) {
     stage_inflight_ = false;
     stage_pool_.Wait();
@@ -186,6 +186,10 @@ void ShardedScheduler::Detach(CycleParticipant* participant) {
       }
     }
   }
+}
+
+void ShardedScheduler::Detach(CycleParticipant* participant) {
+  InvalidateStaged(participant);
   CycleScheduler::Detach(participant);
 }
 

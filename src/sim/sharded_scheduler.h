@@ -69,6 +69,11 @@ class ShardedScheduler : public CycleScheduler {
   /// query's stage must never run or commit after its teardown).
   void Detach(CycleParticipant* participant) override;
 
+  /// Joins any in-flight stage work and drops the participant's staged
+  /// range; the affected cycles re-run their sample stage synchronously
+  /// from post-mutation state.
+  void InvalidateStaged(CycleParticipant* participant) override;
+
   /// Balanced contiguous split: shard i starts at floor(i * n / k).
   static std::vector<net::NodeId> ComputeShardStarts(int num_nodes,
                                                      int num_shards);

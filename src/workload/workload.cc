@@ -259,6 +259,7 @@ std::optional<int32_t> Workload::TJoinKey(net::NodeId id) const {
 void Workload::SetNodeParams(net::NodeId id, SelectivityParams params) {
   if (!node_params_[id].has_value()) ++num_node_overrides_;
   node_params_[id] = params;
+  node_filters_valid_ = false;
 }
 
 void Workload::SetGlobalSwitch(int cycle, SelectivityParams params) {
@@ -301,6 +302,21 @@ void Workload::WarmFilterCache() const {
     if (override_params.has_value()) (void)FilterFor(*override_params);
   }
   if (switch_cycle_ != INT32_MAX) (void)FilterFor(switch_params_);
+  // Tabulate the per-node verdict table used by the override path of
+  // PassFilters, hoisting the ParamsAt + FilterFor resolution out of the
+  // per-sample loop. Below the global switch ParamsAt(id, cycle) is
+  // cycle-independent, so one row per node covers every pre-switch cycle.
+  if (num_node_overrides_ > 0 && !node_filters_valid_) {
+    node_filters_.resize(node_params_.size());
+    for (size_t id = 0; id < node_params_.size(); ++id) {
+      const SelectivityParams& p =
+          node_params_[id].has_value() ? *node_params_[id] : default_params_;
+      const FilterDesign& d = FilterFor(p);
+      node_filters_[id] = {d.pass_mask_s, d.pass_mask_t,
+                           static_cast<uint64_t>(p.UDomain())};
+    }
+    node_filters_valid_ = true;
+  }
 }
 
 // ---- sampling ---------------------------------------------------------------
@@ -360,34 +376,66 @@ bool Workload::PassTFilter(net::NodeId id, const query::Tuple& tuple,
 void Workload::PassFilters(const net::NodeId* ids, int count, int cycle,
                            uint64_t* s_bits, uint64_t* t_bits) const {
   const int words = (count + 63) / 64;
-  std::fill_n(s_bits, words, 0ULL);
-  std::fill_n(t_bits, words, 0ULL);
+  const uint64_t seed = seed_;
+  const int32_t c = static_cast<int32_t>(cycle);
   if (const SelectivityParams* uni = UniformParamsAt(cycle)) {
     // Fast path: one design for the batch. The u draw below is the exact
     // SampleInto expression, and the pass masks tabulate PassS/PassT over
     // the whole domain, so each bit equals the scalar filter verdict. The
-    // loop body is branch-free — the counter hash is inline and the
-    // predicate is two mask tests — so the compiler can vectorize it.
+    // verdicts accumulate block-wise into word-local registers — one store
+    // per 64 ids — and the inner body is branch-free (the counter hash is
+    // inline, the predicate two mask tests), so the compiler can vectorize.
     const FilterDesign& d = FilterFor(*uni);
     const uint64_t domain = static_cast<uint64_t>(uni->UDomain());
     const uint64_t mask_s = d.pass_mask_s;
     const uint64_t mask_t = d.pass_mask_t;
-    const uint64_t seed = seed_;
-    const int32_t c = static_cast<int32_t>(cycle);
-    for (int i = 0; i < count; ++i) {
-      const uint64_t h = routing::HashKey(c, seed ^ (ids[i] * 0x9E3779B9ULL));
-      const uint64_t u = h % domain;
-      s_bits[i >> 6] |= ((mask_s >> u) & 1ULL) << (i & 63);
-      t_bits[i >> 6] |= ((mask_t >> u) & 1ULL) << (i & 63);
+    for (int w = 0; w < words; ++w) {
+      const int base = w << 6;
+      const int n = count - base < 64 ? count - base : 64;
+      uint64_t sw = 0, tw = 0;
+      for (int j = 0; j < n; ++j) {
+        const uint64_t h =
+            routing::HashKey(c, seed ^ (ids[base + j] * 0x9E3779B9ULL));
+        const uint64_t u = h % domain;
+        sw |= ((mask_s >> u) & 1ULL) << j;
+        tw |= ((mask_t >> u) & 1ULL) << j;
+      }
+      s_bits[w] = sw;
+      t_bits[w] = tw;
     }
     return;
   }
-  // Per-node overrides live: resolve the design per node (still cached).
+  if (node_filters_valid_) {
+    // Per-node overrides live with a warm verdict table: the node's masks
+    // and domain come from one indexed load instead of a ParamsAt branch
+    // plus a FilterFor cache scan per sample. Valid for every cycle here —
+    // UniformParamsAt covers cycle >= switch_cycle_, so this path only
+    // runs below the switch, where the table is cycle-independent.
+    for (int w = 0; w < words; ++w) {
+      const int base = w << 6;
+      const int n = count - base < 64 ? count - base : 64;
+      uint64_t sw = 0, tw = 0;
+      for (int j = 0; j < n; ++j) {
+        const net::NodeId id = ids[base + j];
+        const NodeFilter& f = node_filters_[id];
+        const uint64_t h = routing::HashKey(c, seed ^ (id * 0x9E3779B9ULL));
+        const uint64_t u = h % f.domain;
+        sw |= ((f.mask_s >> u) & 1ULL) << j;
+        tw |= ((f.mask_t >> u) & 1ULL) << j;
+      }
+      s_bits[w] = sw;
+      t_bits[w] = tw;
+    }
+    return;
+  }
+  // Cold fallback (no WarmFilterCache since the last override): resolve the
+  // design per node through the memo cache.
+  std::fill_n(s_bits, words, 0ULL);
+  std::fill_n(t_bits, words, 0ULL);
   for (int i = 0; i < count; ++i) {
     const SelectivityParams& p = ParamsAt(ids[i], cycle);
     const FilterDesign& d = FilterFor(p);
-    const uint64_t h = routing::HashKey(static_cast<int32_t>(cycle),
-                                        seed_ ^ (ids[i] * 0x9E3779B9ULL));
+    const uint64_t h = routing::HashKey(c, seed ^ (ids[i] * 0x9E3779B9ULL));
     const uint64_t u = h % static_cast<uint64_t>(p.UDomain());
     s_bits[i >> 6] |= ((d.pass_mask_s >> u) & 1ULL) << (i & 63);
     t_bits[i >> 6] |= ((d.pass_mask_t >> u) & 1ULL) << (i & 63);

@@ -177,6 +177,18 @@ class Workload {
   /// Memoized filter designs keyed by (domain, mod_s, mod_t).
   mutable std::vector<std::pair<std::array<int, 3>, FilterDesign>>
       filter_cache_;
+  /// Per-node filter verdict table for the override path of PassFilters:
+  /// the node's pass masks and u-domain, valid for every cycle below the
+  /// global switch (ParamsAt is cycle-independent there). Built by
+  /// WarmFilterCache(), invalidated by SetNodeParams(); same thread-safety
+  /// contract as filter_cache_ (warm, then read-only).
+  struct NodeFilter {
+    uint64_t mask_s;
+    uint64_t mask_t;
+    uint64_t domain;
+  };
+  mutable std::vector<NodeFilter> node_filters_;
+  mutable bool node_filters_valid_ = false;
   int data_attrs_ = 1;
 };
 

@@ -221,6 +221,104 @@ TEST(MediumEquivalenceTest, RemoveQueryReturnsOccupancyToBaseline) {
   EXPECT_GT(medium.stats().QueryBytesSent(q2_id), 0u);
 }
 
+TEST(MediumEquivalenceTest, SharedPlacementAttachMatchesSoloReference) {
+  // tree_mode=shared: a second identical query attaches to the first's
+  // placements (one evaluation, fanned out) instead of running its own.
+  // Both queries must report exactly the results of an unshared solo run
+  // of the same workload — sharing changes traffic, never answers.
+  const int kCycles = 25;
+  auto topo = *net::Topology::Random(80, 7.0, 11);
+  SelectivityParams sel{0.5, 0.5, 0.2};
+  ExecutorOptions opts;
+  opts.algorithm = Algorithm::kInnet;
+  opts.features = InnetFeatures::Cm();
+  opts.assumed = sel;
+  opts.knobs.tree_mode = common::TreeMode::kShared;
+
+  RunStats solo;
+  {
+    auto wl = *Workload::MakeQuery1(&topo, sel, 3, 7);
+    JoinExecutor exec(&wl, opts);
+    ASSERT_TRUE(exec.Initiate().ok());
+    ASSERT_TRUE(exec.RunCycles(kCycles).ok());
+    solo = exec.Stats();
+  }
+
+  auto q1 = *Workload::MakeQuery1(&topo, sel, 3, 7);
+  auto q2 = *Workload::MakeQuery1(&topo, sel, 3, 7);
+  MediumOptions mopts;
+  mopts.knobs.tree_mode = common::TreeMode::kShared;
+  SharedMedium medium(&topo, {}, mopts);
+  auto r1 = medium.TryAddQuery(&q1, opts);
+  auto r2 = medium.TryAddQuery(&q2, opts);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_TRUE(medium.InitiateAll().ok());
+  EXPECT_GT(medium.num_shared_placements(), 0);
+  ASSERT_TRUE(medium.RunCycles(kCycles).ok());
+
+  const RunStats s1 = (*r1)->Stats();
+  const RunStats s2 = (*r2)->Stats();
+  EXPECT_EQ(s1.results, solo.results);
+  EXPECT_EQ(s2.results, solo.results);
+  EXPECT_DOUBLE_EQ(s1.avg_result_delay_cycles, solo.avg_result_delay_cycles);
+  EXPECT_DOUBLE_EQ(s2.avg_result_delay_cycles, solo.avg_result_delay_cycles);
+  EXPECT_EQ(s1.sampling_cycles, solo.sampling_cycles);
+  EXPECT_EQ(s2.sampling_cycles, solo.sampling_cycles);
+  // The subscriber's own traffic is a fraction of a full solo run: its
+  // data plane is suppressed, results arrive via the owner's evaluation.
+  EXPECT_LT(s2.query_bytes, solo.total_bytes);
+  // Medium-wide, sharing beats two independent tenants.
+  EXPECT_LT(medium.stats().TotalBytesSent(), 2 * solo.total_bytes);
+}
+
+TEST(MediumEquivalenceTest, SharedPlacementDetachPromotesSubscriber) {
+  // Owner departure mid-run: the smallest subscriber adopts the placement
+  // (geometry, routes, window state) and continues producing exactly the
+  // results a never-shared solo run would have over the same cycles.
+  const int kHead = 10, kTail = 15;
+  auto topo = *net::Topology::Random(80, 7.0, 11);
+  SelectivityParams sel{0.5, 0.5, 0.2};
+  ExecutorOptions opts;
+  opts.algorithm = Algorithm::kInnet;
+  opts.features = InnetFeatures::Cm();
+  opts.assumed = sel;
+  opts.knobs.tree_mode = common::TreeMode::kShared;
+
+  RunStats solo;
+  {
+    auto wl = *Workload::MakeQuery1(&topo, sel, 3, 7);
+    JoinExecutor exec(&wl, opts);
+    ASSERT_TRUE(exec.Initiate().ok());
+    ASSERT_TRUE(exec.RunCycles(kHead + kTail).ok());
+    solo = exec.Stats();
+  }
+
+  auto q1 = *Workload::MakeQuery1(&topo, sel, 3, 7);
+  auto q2 = *Workload::MakeQuery1(&topo, sel, 3, 7);
+  MediumOptions mopts;
+  mopts.knobs.tree_mode = common::TreeMode::kShared;
+  SharedMedium medium(&topo, {}, mopts);
+  auto r1 = medium.TryAddQuery(&q1, opts);
+  auto r2 = medium.TryAddQuery(&q2, opts);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  JoinExecutor* owner = *r1;
+  JoinExecutor* sub = *r2;
+  ASSERT_TRUE(medium.InitiateAll().ok());
+  ASSERT_GT(medium.num_shared_placements(), 0);
+  ASSERT_TRUE(medium.RunCycles(kHead).ok());
+
+  // The first-admitted query owns every shared placement; remove it.
+  ASSERT_TRUE(medium.RemoveQuery(owner->query_id()).ok());
+  EXPECT_EQ(medium.num_shared_placements(), 0);
+  ASSERT_TRUE(medium.RunCycles(kTail).ok());
+
+  const RunStats after = sub->Stats();
+  EXPECT_EQ(after.results, solo.results);
+  EXPECT_DOUBLE_EQ(after.avg_result_delay_cycles,
+                   solo.avg_result_delay_cycles);
+  EXPECT_EQ(after.sampling_cycles, solo.sampling_cycles);
+}
+
 }  // namespace
 }  // namespace join
 }  // namespace aspen

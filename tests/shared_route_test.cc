@@ -1,0 +1,201 @@
+// Cross-query shared multicast trees (DESIGN.md "Cross-query work
+// sharing"): the destination-set addressed RouteTable index, the KMB
+// shared Steiner builder, and their lifecycle under refcounted epoch GC.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/phase.h"
+#include "net/route_table.h"
+#include "net/topology.h"
+#include "routing/multi_tree.h"
+
+namespace aspen {
+namespace {
+
+using net::kInvalidRoute;
+using net::McastId;
+using net::MulticastRoute;
+using net::NodeId;
+using net::RouteTable;
+using net::Topology;
+
+Topology TestTopology() { return *Topology::Grid(6, 6, 180.0); }
+
+MulticastRoute TreeFor(const Topology& topo, NodeId source,
+                       std::vector<NodeId> targets) {
+  return routing::BuildSharedSteinerTree(topo, source, targets);
+}
+
+// Walks `route` from `source` along tree edges; every reached node is
+// visited exactly once iff the edge set is a tree rooted at the source.
+std::vector<NodeId> DeliveredTargets(const MulticastRoute& route,
+                                     NodeId source) {
+  std::vector<NodeId> delivered;
+  std::set<NodeId> visited;
+  std::vector<NodeId> frontier{source};
+  visited.insert(source);
+  while (!frontier.empty()) {
+    NodeId at = frontier.back();
+    frontier.pop_back();
+    if (route.IsTarget(at)) delivered.push_back(at);
+    auto [first, last] = route.ChildrenOf(at);
+    for (const auto* e = first; e != last; ++e) {
+      EXPECT_TRUE(visited.insert(e->second).second)
+          << "node " << e->second << " reached twice";
+      frontier.push_back(e->second);
+    }
+  }
+  std::sort(delivered.begin(), delivered.end());
+  return delivered;
+}
+
+TEST(SharedSteinerTreeTest, CoversEveryTargetExactlyOnce) {
+  auto topo = TestTopology();
+  const NodeId source = 0;
+  const std::vector<NodeId> targets{7, 14, 22, 29, 35};
+  MulticastRoute route = TreeFor(topo, source, targets);
+  // Delivery along the tree reaches each destination exactly once (the
+  // walk asserts single-visitation), matching the per-source union of
+  // shortest-path destinations.
+  EXPECT_EQ(DeliveredTargets(route, source), targets);
+  // Every edge is a real radio link.
+  for (const auto& [p, c] : route.edges) {
+    EXPECT_TRUE(topo.AreNeighbors(p, c)) << p << " -> " << c;
+  }
+  // Canonical order: Normalize() sorts edges and targets.
+  EXPECT_TRUE(std::is_sorted(route.edges.begin(), route.edges.end()));
+  EXPECT_TRUE(std::is_sorted(route.targets.begin(), route.targets.end()));
+  // A tree has exactly one parent per non-root node.
+  std::set<NodeId> children;
+  for (const auto& [p, c] : route.edges) {
+    EXPECT_TRUE(children.insert(c).second) << "two parents for " << c;
+    EXPECT_NE(c, source);
+  }
+}
+
+TEST(SharedSteinerTreeTest, DependsOnlyOnSourceAndDestinationSet) {
+  auto topo = TestTopology();
+  const std::vector<NodeId> targets{3, 18, 31};
+  MulticastRoute a = TreeFor(topo, 5, targets);
+  MulticastRoute b = TreeFor(topo, 5, targets);
+  EXPECT_EQ(a, b);  // byte-identical across rebuilds
+  // Unsorted/duplicated target input normalizes to the same tree.
+  MulticastRoute c = TreeFor(topo, 5, {31, 3, 18, 3});
+  EXPECT_EQ(a, c);
+}
+
+TEST(SharedSteinerTreeTest, NoLongerThanPerSourceUnion) {
+  auto topo = TestTopology();
+  const NodeId source = 2;
+  const std::vector<NodeId> targets{12, 17, 25, 33};
+  MulticastRoute shared = TreeFor(topo, source, targets);
+  // Per-source reference: the union of individual shortest paths.
+  std::set<std::pair<NodeId, NodeId>> union_edges;
+  for (NodeId t : targets) {
+    auto path = topo.ShortestPath(source, t);
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      union_edges.insert({path[i], path[i + 1]});
+    }
+  }
+  EXPECT_LE(shared.edges.size(), union_edges.size());
+}
+
+TEST(SharedRouteTableTest, SameDestinationSetInternsOnce) {
+  common::SequentialPhaseScope seq_phase;
+  auto topo = TestTopology();
+  RouteTable table;
+  const NodeId root = 0;
+  const std::vector<NodeId> targets{7, 14, 22};
+
+  // Query A: miss, build, intern.
+  EXPECT_EQ(table.FindSharedMulticast(root, targets), kInvalidRoute);
+  McastId a = table.InternSharedMulticast(root, TreeFor(topo, root, targets));
+  ASSERT_NE(a, kInvalidRoute);
+  table.AddMulticastRef(a);
+
+  // Query B with the same destination set adopts the same id — no rebuild.
+  McastId b = table.FindSharedMulticast(root, targets);
+  EXPECT_EQ(b, a);
+  table.AddMulticastRef(b);
+
+  // A different root or target set does not alias.
+  EXPECT_EQ(table.FindSharedMulticast(1, targets), kInvalidRoute);
+  EXPECT_EQ(table.FindSharedMulticast(root, {7, 14}), kInvalidRoute);
+  EXPECT_EQ(table.live_multicasts(), 1u);
+}
+
+TEST(SharedRouteTableTest, RefcountSurvivesOneOwnersRelease) {
+  common::SequentialPhaseScope seq_phase;
+  auto topo = TestTopology();
+  RouteTable table;
+  const NodeId root = 3;
+  const std::vector<NodeId> targets{10, 20, 30};
+  McastId id = table.InternSharedMulticast(root, TreeFor(topo, root, targets));
+  table.AddMulticastRef(id);  // owner A
+  table.AddMulticastRef(id);  // owner B
+
+  // A departs: the tree stays live and findable through B's reference.
+  table.ReleaseMulticastRef(id);
+  EXPECT_EQ(table.SweepRetired(), 0u);
+  EXPECT_TRUE(table.IsValidMulticast(id));
+  EXPECT_EQ(table.FindSharedMulticast(root, targets), id);
+  EXPECT_EQ(table.live_multicasts(), 1u);
+}
+
+TEST(SharedRouteTableTest, EpochSweepRetiresAtLastRelease) {
+  common::SequentialPhaseScope seq_phase;
+  auto topo = TestTopology();
+  RouteTable table;
+  const NodeId root = 3;
+  const std::vector<NodeId> targets{10, 20, 30};
+  McastId id = table.InternSharedMulticast(root, TreeFor(topo, root, targets));
+  table.AddMulticastRef(id);
+  table.AddMulticastRef(id);
+  table.ReleaseMulticastRef(id);
+  table.ReleaseMulticastRef(id);
+
+  // Retired but unswept: still resolvable (frames may be in flight), and a
+  // late adopter resurrects it instead of rebuilding.
+  EXPECT_TRUE(table.IsValidMulticast(id));
+  EXPECT_EQ(table.FindSharedMulticast(root, targets), id);
+  table.AddMulticastRef(id);
+  EXPECT_EQ(table.SweepRetired(), 0u);  // resurrection won
+  EXPECT_TRUE(table.IsValidMulticast(id));
+
+  // Final release + epoch sweep frees the slot and the dest-set key.
+  table.ReleaseMulticastRef(id);
+  EXPECT_EQ(table.SweepRetired(), 1u);
+  EXPECT_FALSE(table.IsValidMulticast(id));
+  EXPECT_EQ(table.FindSharedMulticast(root, targets), kInvalidRoute);
+  EXPECT_EQ(table.live_multicasts(), 0u);
+
+  // The recycled slot serves a fresh destination set cleanly.
+  McastId next =
+      table.InternSharedMulticast(root, TreeFor(topo, root, {5, 15}));
+  EXPECT_EQ(next, id);  // slot recycled
+  EXPECT_EQ(table.FindSharedMulticast(root, {5, 15}), next);
+  EXPECT_EQ(table.FindSharedMulticast(root, targets), kInvalidRoute);
+}
+
+TEST(SharedRouteTableTest, SharedTreeDeliveryMatchesPerSourceReference) {
+  common::SequentialPhaseScope seq_phase;
+  auto topo = TestTopology();
+  RouteTable table;
+  const NodeId root = 0;
+  // Two queries with 50% overlapping destination sets.
+  const std::vector<NodeId> dests_a{8, 16, 24, 32};
+  const std::vector<NodeId> dests_b{16, 24, 27, 35};
+  McastId a = table.InternSharedMulticast(root, TreeFor(topo, root, dests_a));
+  McastId b = table.InternSharedMulticast(root, TreeFor(topo, root, dests_b));
+  EXPECT_NE(a, b);  // distinct sets, distinct trees
+  EXPECT_EQ(DeliveredTargets(table.Multicast(a), root), dests_a);
+  EXPECT_EQ(DeliveredTargets(table.Multicast(b), root), dests_b);
+}
+
+}  // namespace
+}  // namespace aspen
